@@ -1,0 +1,347 @@
+//! Iterative Closest Point (ICP) rigid registration.
+//!
+//! The macro-block inter codecs the paper compares against estimate a
+//! translation/rotation per matched block with ICP (Besl & McKay) — the
+//! "complex" step the proposed design replaces with a bare reuse pointer
+//! (Sec. VI-C). This module provides that algorithm: point-to-point ICP
+//! with Horn's quaternion closed form for the rotation, suitable for the
+//! few-hundred-point macro blocks the baselines operate on.
+
+use pcc_types::Point3;
+
+/// A rigid transform `x ↦ R·x + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigidTransform {
+    /// Row-major 3×3 rotation matrix.
+    pub rotation: [[f32; 3]; 3],
+    /// Translation applied after rotation.
+    pub translation: Point3,
+}
+
+impl RigidTransform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        RigidTransform {
+            rotation: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            translation: Point3::ORIGIN,
+        }
+    }
+
+    /// A pure translation.
+    pub fn translation(t: Point3) -> Self {
+        RigidTransform { translation: t, ..RigidTransform::identity() }
+    }
+
+    /// Applies the transform to one point.
+    pub fn apply(&self, p: Point3) -> Point3 {
+        let r = &self.rotation;
+        Point3::new(
+            r[0][0] * p.x + r[0][1] * p.y + r[0][2] * p.z,
+            r[1][0] * p.x + r[1][1] * p.y + r[1][2] * p.z,
+            r[2][0] * p.x + r[2][1] * p.y + r[2][2] * p.z,
+        ) + self.translation
+    }
+
+    /// Rotation angle in radians (from the trace of `R`).
+    pub fn rotation_angle(&self) -> f32 {
+        let trace = self.rotation[0][0] + self.rotation[1][1] + self.rotation[2][2];
+        ((trace - 1.0) / 2.0).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// The result of an ICP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcpResult {
+    /// Estimated transform mapping `source` onto `target`.
+    pub transform: RigidTransform,
+    /// Mean squared nearest-neighbor distance after alignment.
+    pub mse: f32,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Registers `source` onto `target` with point-to-point ICP.
+///
+/// Runs at most `max_iterations` rounds of (nearest-neighbor matching →
+/// closed-form rigid fit), stopping early when the mean squared error
+/// improves by less than 1 %. Returns the identity transform when either
+/// cloud is empty.
+///
+/// Complexity is O(`source.len()` × `target.len()`) per iteration — fine
+/// for macro blocks, not meant for whole frames.
+pub fn icp(source: &[Point3], target: &[Point3], max_iterations: usize) -> IcpResult {
+    if source.is_empty() || target.is_empty() {
+        return IcpResult { transform: RigidTransform::identity(), mse: 0.0, iterations: 0 };
+    }
+    let mut transform = RigidTransform::identity();
+    let mut moved: Vec<Point3> = source.to_vec();
+    let mut last_mse = f32::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        // 1. Correspondences: nearest target point for each moved point.
+        let pairs: Vec<(Point3, Point3)> = moved
+            .iter()
+            .map(|&p| {
+                let nn = target
+                    .iter()
+                    .copied()
+                    .min_by(|a, b| p.distance_squared(*a).total_cmp(&p.distance_squared(*b)))
+                    .expect("target non-empty");
+                (p, nn)
+            })
+            .collect();
+        let mse = pairs.iter().map(|(p, q)| p.distance_squared(*q)).sum::<f32>()
+            / pairs.len() as f32;
+
+        // 2. Closed-form rigid fit of the correspondences.
+        let step = fit_rigid(&pairs);
+        transform = compose(&step, &transform);
+        for p in &mut moved {
+            *p = step.apply(*p);
+        }
+
+        // 3. Convergence check.
+        if mse <= 1e-12 || (last_mse - mse) / last_mse.max(1e-12) < 0.01 {
+            last_mse = mse;
+            break;
+        }
+        last_mse = mse;
+    }
+    IcpResult { transform, mse: last_mse, iterations }
+}
+
+/// Horn's closed-form rigid fit for matched pairs `(source, target)`.
+fn fit_rigid(pairs: &[(Point3, Point3)]) -> RigidTransform {
+    let n = pairs.len() as f32;
+    let mut cs = Point3::ORIGIN;
+    let mut ct = Point3::ORIGIN;
+    for (p, q) in pairs {
+        cs = cs + *p;
+        ct = ct + *q;
+    }
+    cs = cs / n;
+    ct = ct / n;
+
+    // Cross-covariance H = Σ (p−cs)(q−ct)ᵀ.
+    let mut h = [[0f32; 3]; 3];
+    for (p, q) in pairs {
+        let a = *p - cs;
+        let b = *q - ct;
+        let av = [a.x, a.y, a.z];
+        let bv = [b.x, b.y, b.z];
+        for (i, &ai) in av.iter().enumerate() {
+            for (j, &bj) in bv.iter().enumerate() {
+                h[i][j] += ai * bj;
+            }
+        }
+    }
+
+    // Horn's 4×4 symmetric matrix whose dominant eigenvector is the
+    // optimal rotation quaternion.
+    let trace = h[0][0] + h[1][1] + h[2][2];
+    let m = [
+        [trace, h[1][2] - h[2][1], h[2][0] - h[0][2], h[0][1] - h[1][0]],
+        [
+            h[1][2] - h[2][1],
+            h[0][0] - h[1][1] - h[2][2],
+            h[0][1] + h[1][0],
+            h[2][0] + h[0][2],
+        ],
+        [
+            h[2][0] - h[0][2],
+            h[0][1] + h[1][0],
+            h[1][1] - h[0][0] - h[2][2],
+            h[1][2] + h[2][1],
+        ],
+        [
+            h[0][1] - h[1][0],
+            h[2][0] + h[0][2],
+            h[1][2] + h[2][1],
+            h[2][2] - h[0][0] - h[1][1],
+        ],
+    ];
+
+    let q = dominant_eigenvector(&m);
+    let rotation = quaternion_to_matrix(q);
+
+    // t = ct − R·cs.
+    let rcs = RigidTransform { rotation, translation: Point3::ORIGIN }.apply(cs);
+    RigidTransform { rotation, translation: ct - rcs }
+}
+
+/// Power iteration for the dominant eigenvector of a symmetric 4×4
+/// matrix (shifted to make the dominant eigenvalue positive).
+fn dominant_eigenvector(m: &[[f32; 4]; 4]) -> [f32; 4] {
+    // Gershgorin-style shift keeps the target eigenvalue the largest in
+    // magnitude.
+    let shift: f32 = (0..4)
+        .map(|i| (0..4).map(|j| m[i][j].abs()).sum::<f32>())
+        .fold(0.0, f32::max);
+    let mut v = [0.5f32; 4];
+    for _ in 0..128 {
+        let mut next = [0f32; 4];
+        for (i, slot) in next.iter_mut().enumerate() {
+            let mut acc = shift * v[i];
+            for (j, &vj) in v.iter().enumerate() {
+                acc += m[i][j] * vj;
+            }
+            *slot = acc;
+        }
+        let norm = next.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-20 {
+            return [1.0, 0.0, 0.0, 0.0];
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        v = next;
+    }
+    v
+}
+
+/// Unit quaternion `[w, x, y, z]` → rotation matrix.
+fn quaternion_to_matrix(q: [f32; 4]) -> [[f32; 3]; 3] {
+    let [w, x, y, z] = q;
+    [
+        [
+            1.0 - 2.0 * (y * y + z * z),
+            2.0 * (x * y - w * z),
+            2.0 * (x * z + w * y),
+        ],
+        [
+            2.0 * (x * y + w * z),
+            1.0 - 2.0 * (x * x + z * z),
+            2.0 * (y * z - w * x),
+        ],
+        [
+            2.0 * (x * z - w * y),
+            2.0 * (y * z + w * x),
+            1.0 - 2.0 * (x * x + y * y),
+        ],
+    ]
+}
+
+/// Composes two transforms: `(a ∘ b)(x) = a(b(x))`.
+fn compose(a: &RigidTransform, b: &RigidTransform) -> RigidTransform {
+    let mut rotation = [[0f32; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            for (k, bk) in b.rotation.iter().enumerate() {
+                rotation[i][j] += a.rotation[i][k] * bk[j];
+            }
+        }
+    }
+    RigidTransform { rotation, translation: a.apply(b.translation) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_block(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn rot_z(angle: f32) -> RigidTransform {
+        let (s, c) = angle.sin_cos();
+        RigidTransform {
+            rotation: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+            translation: Point3::ORIGIN,
+        }
+    }
+
+    #[test]
+    fn identity_on_identical_clouds() {
+        let block = random_block(60, 1);
+        let r = icp(&block, &block, 10);
+        assert!(r.mse < 1e-10);
+        assert!(r.transform.rotation_angle() < 1e-3);
+        assert!(r.transform.translation.distance(Point3::ORIGIN) < 1e-3);
+    }
+
+    #[test]
+    fn recovers_pure_translation() {
+        let source = random_block(80, 2);
+        let t = Point3::new(0.05, -0.03, 0.02);
+        let target: Vec<Point3> = source.iter().map(|&p| p + t).collect();
+        let r = icp(&source, &target, 20);
+        assert!(r.mse < 1e-6, "mse {}", r.mse);
+        assert!(
+            r.transform.translation.distance(t) < 1e-2,
+            "estimated {} vs true {t}",
+            r.transform.translation
+        );
+    }
+
+    #[test]
+    fn recovers_small_rotation() {
+        let source = random_block(120, 3);
+        let truth = rot_z(0.1);
+        let target: Vec<Point3> = source.iter().map(|&p| truth.apply(p)).collect();
+        let r = icp(&source, &target, 30);
+        assert!(r.mse < 1e-5, "mse {}", r.mse);
+        assert!(
+            (r.transform.rotation_angle() - 0.1).abs() < 0.02,
+            "angle {}",
+            r.transform.rotation_angle()
+        );
+    }
+
+    #[test]
+    fn recovers_rotation_plus_translation() {
+        let source = random_block(150, 4);
+        let mut truth = rot_z(0.08);
+        truth.translation = Point3::new(0.1, 0.0, -0.05);
+        let target: Vec<Point3> = source.iter().map(|&p| truth.apply(p)).collect();
+        let r = icp(&source, &target, 40);
+        assert!(r.mse < 1e-4, "mse {}", r.mse);
+        for &p in source.iter().take(10) {
+            let err = r.transform.apply(p).distance(truth.apply(p));
+            assert!(err < 0.02, "point error {err}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_identity() {
+        let r = icp(&[], &random_block(5, 5), 10);
+        assert_eq!(r.transform, RigidTransform::identity());
+        let r = icp(&random_block(5, 6), &[], 10);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let source = random_block(100, 7);
+        let truth = rot_z(0.3);
+        let target: Vec<Point3> = source.iter().map(|&p| truth.apply(p)).collect();
+        let r = icp(&source, &target, 50).transform.rotation;
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f32 = (0..3).map(|k| r[k][i] * r[k][j]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "col {i}·col {j} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_in_few_iterations_on_easy_problems() {
+        let source = random_block(60, 8);
+        let target: Vec<Point3> =
+            source.iter().map(|&p| p + Point3::new(0.01, 0.0, 0.0)).collect();
+        let r = icp(&source, &target, 50);
+        assert!(r.iterations <= 10, "took {} iterations", r.iterations);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. entropy coding on/off in the proposed intra path (paper discards it);
+//! 2. 1-layer vs 2-layer Mid+Residual encoder;
+//! 3. segment-count sweep (Fig. 3a's knob as an encoder parameter);
+//! 4. block-matching candidate-window sweep.
+//!
+//! Each ablation also prints the size side of the trade-off once, so the
+//! bench output documents both axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcc_bench::Scale;
+use pcc_datasets::catalog;
+use pcc_edge::{Device, PowerMode};
+use pcc_inter::{InterCodec, InterConfig};
+use pcc_intra::{IntraCodec, IntraConfig};
+use pcc_types::VoxelizedCloud;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn frame() -> VoxelizedCloud {
+    let scale = Scale { points: 8_000, frames: 1 };
+    let video = scale.video(catalog::by_name("Soldier").unwrap());
+    VoxelizedCloud::from_cloud(&video.frame(0).unwrap().cloud, scale.depth())
+}
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn bench_entropy_ablation(c: &mut Criterion) {
+    let vox = frame();
+    let d = device();
+    static PRINT: Once = Once::new();
+    PRINT.call_once(|| {
+        let plain = IntraCodec::new(IntraConfig::paper()).encode(&vox, &d);
+        let coded =
+            IntraCodec::new(IntraConfig { entropy: true, ..IntraConfig::paper() }).encode(&vox, &d);
+        eprintln!(
+            "# entropy ablation sizes: off={} B, on={} B ({:.2}x smaller, the paper's ~0.1x gain)",
+            plain.total_bytes(),
+            coded.total_bytes(),
+            plain.total_bytes() as f64 / coded.total_bytes() as f64
+        );
+    });
+    let mut g = c.benchmark_group("ablation/entropy");
+    g.sample_size(15);
+    for (label, entropy) in [("off", false), ("on", true)] {
+        let codec = IntraCodec::new(IntraConfig { entropy, ..IntraConfig::paper() });
+        g.bench_with_input(BenchmarkId::from_parameter(label), &vox, |b, vox| {
+            b.iter(|| black_box(codec.encode(black_box(vox), &d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_layer_ablation(c: &mut Criterion) {
+    let vox = frame();
+    let d = device();
+    let mut g = c.benchmark_group("ablation/layers");
+    g.sample_size(15);
+    for (label, two_layer) in [("one", false), ("two", true)] {
+        let codec = IntraCodec::new(IntraConfig { two_layer, ..IntraConfig::paper() });
+        g.bench_with_input(BenchmarkId::from_parameter(label), &vox, |b, vox| {
+            b.iter(|| black_box(codec.encode(black_box(vox), &d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_segment_sweep(c: &mut Criterion) {
+    let vox = frame();
+    let d = device();
+    let mut g = c.benchmark_group("ablation/segments");
+    g.sample_size(15);
+    for segments in [50usize, 500, 5_000, 30_000] {
+        let codec = IntraCodec::new(IntraConfig { segments, ..IntraConfig::paper() });
+        g.bench_with_input(BenchmarkId::from_parameter(segments), &vox, |b, vox| {
+            b.iter(|| black_box(codec.encode(black_box(vox), &d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_candidate_window(c: &mut Criterion) {
+    let scale = Scale { points: 8_000, frames: 2 };
+    let video = scale.video(catalog::by_name("Soldier").unwrap());
+    let bb = video.bounding_box().unwrap();
+    let i_vox = VoxelizedCloud::from_cloud_in_box(&video.frame(0).unwrap().cloud, scale.depth(), &bb);
+    let p_vox = VoxelizedCloud::from_cloud_in_box(&video.frame(1).unwrap().cloud, scale.depth(), &bb);
+    let d = device();
+    let intra = IntraCodec::new(IntraConfig::paper());
+    let reference = intra.decode(&intra.encode(&i_vox, &d), &d).expect("reference").colors().to_vec();
+
+    let mut g = c.benchmark_group("ablation/candidates");
+    g.sample_size(10);
+    for candidates in [10usize, 50, 100, 200] {
+        let codec = InterCodec::new(InterConfig { candidates, ..InterConfig::v1() });
+        g.bench_with_input(BenchmarkId::from_parameter(candidates), &p_vox, |b, p_vox| {
+            b.iter(|| black_box(codec.encode(black_box(p_vox), &reference, &d)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_entropy_ablation,
+    bench_layer_ablation,
+    bench_segment_sweep,
+    bench_candidate_window
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end per-frame encode/decode of all five designs — the
+//! host-measured companion to Fig. 8a (the modeled numbers come from
+//! `experiments fig8a`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcc_bench::Scale;
+use pcc_core::{Design, PccCodec};
+use pcc_datasets::catalog;
+use pcc_edge::{Device, PowerMode};
+use pcc_types::Video;
+use std::hint::black_box;
+
+fn workload() -> (Video, u8) {
+    let scale = Scale { points: 6_000, frames: 3 };
+    (scale.video(catalog::by_name("Redandblack").unwrap()), scale.depth())
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (video, depth) = workload();
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+    let mut g = c.benchmark_group("designs/encode");
+    g.sample_size(10);
+    for design in Design::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.to_string()),
+            &design,
+            |b, &design| {
+                let codec = PccCodec::new(design);
+                b.iter(|| black_box(codec.encode_video(black_box(&video), depth, &device)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (video, depth) = workload();
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+    let mut g = c.benchmark_group("designs/decode");
+    g.sample_size(10);
+    for design in Design::ALL {
+        let codec = PccCodec::new(design);
+        let encoded = codec.encode_video(&video, depth, &device);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.to_string()),
+            &encoded,
+            |b, encoded| {
+                b.iter(|| {
+                    black_box(codec.decode_video(black_box(encoded), &device).expect("decodes"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

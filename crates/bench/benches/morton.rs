@@ -1,0 +1,61 @@
+//! Morton-code kernels: encode throughput and sorting strategies.
+//!
+//! Supports Fig. 4c/8a's geometry stage: code generation is the cheap
+//! parallel pre-pass, the sort the first heavy step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcc_morton::{encode, sort_codes, MortonCode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_coords(n: usize) -> Vec<pcc_types::VoxelCoord> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            pcc_types::VoxelCoord::new(
+                rng.random_range(0..1024),
+                rng.random_range(0..1024),
+                rng.random_range(0..1024),
+            )
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("morton/encode");
+    for n in [10_000usize, 100_000] {
+        let coords = random_coords(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &coords, |b, coords| {
+            b.iter(|| {
+                let codes: Vec<MortonCode> =
+                    coords.iter().map(|&c| encode(black_box(c))).collect();
+                black_box(codes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("morton/sort");
+    for n in [10_000usize, 100_000] {
+        let codes: Vec<MortonCode> = random_coords(n).iter().map(|&c| encode(c)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("radix", n), &codes, |b, codes| {
+            b.iter(|| black_box(sort_codes(black_box(codes))))
+        });
+        g.bench_with_input(BenchmarkId::new("std_unstable", n), &codes, |b, codes| {
+            b.iter(|| {
+                let mut v: Vec<u64> = codes.iter().map(|c| c.value()).collect();
+                v.sort_unstable();
+                black_box(v)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,418 @@
+//! Video-level encoding/decoding across the five designs.
+
+use crate::design::Design;
+use pcc_baseline::{BaselineError, CwipcCodec, CwipcFrame, Tmc13Codec, Tmc13Frame};
+use pcc_edge::{Device, Timeline};
+use pcc_inter::{InterCodec, InterConfig, InterEncoded, InterError};
+use pcc_intra::{IntraCodec, IntraError, IntraFrame};
+use pcc_metrics::CompressedSize;
+use pcc_types::{FrameKind, PointCloud, Rgb, Video, VoxelizedCloud};
+use std::fmt;
+
+/// One encoded frame of any design.
+#[derive(Debug, Clone)]
+pub enum EncodedFrame {
+    /// TMC13 baseline frame.
+    Tmc13(Tmc13Frame),
+    /// CWIPC baseline frame (I or P).
+    Cwipc(CwipcFrame),
+    /// Proposed intra frame.
+    Intra(IntraFrame),
+    /// Proposed inter (P) frame.
+    Inter(InterEncoded),
+}
+
+impl EncodedFrame {
+    /// Size accounting for this frame.
+    pub fn size(&self) -> CompressedSize {
+        let (g, a) = match self {
+            EncodedFrame::Tmc13(f) => (f.geometry.len(), f.attribute.len()),
+            EncodedFrame::Cwipc(f) => (f.geometry.len(), f.attribute.len()),
+            EncodedFrame::Intra(f) => (f.geometry.len(), f.attribute.len()),
+            EncodedFrame::Inter(f) => (f.frame.geometry.len(), f.frame.attribute.len()),
+        };
+        CompressedSize::new(g, a, 0)
+    }
+
+    /// Raw points the frame was encoded from.
+    pub fn raw_points(&self) -> usize {
+        match self {
+            EncodedFrame::Tmc13(f) => f.raw_points,
+            EncodedFrame::Cwipc(f) => f.raw_points,
+            EncodedFrame::Intra(f) => f.raw_points,
+            EncodedFrame::Inter(f) => f.frame.raw_points,
+        }
+    }
+
+    /// Whether this frame was predicted from a reference.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            EncodedFrame::Cwipc(f) if f.predicted => FrameKind::Predicted,
+            EncodedFrame::Inter(_) => FrameKind::Predicted,
+            _ => FrameKind::Intra,
+        }
+    }
+
+    /// Direct-reuse fraction for proposed inter frames (`None` otherwise).
+    pub fn reuse_fraction(&self) -> Option<f64> {
+        match self {
+            EncodedFrame::Inter(f) => Some(f.stats.reuse_fraction()),
+            _ => None,
+        }
+    }
+}
+
+/// An encoded video: per-frame payloads plus per-frame encode timelines.
+#[derive(Debug, Clone)]
+pub struct EncodedVideo {
+    /// The design that produced the stream.
+    pub design: Design,
+    /// Encoded frames in display order.
+    pub frames: Vec<EncodedFrame>,
+    /// Modeled encode timeline of each frame.
+    pub encode_timelines: Vec<Timeline>,
+    /// Voxel-grid depth used for every frame.
+    pub depth: u8,
+}
+
+impl EncodedVideo {
+    /// Total compressed size across frames.
+    pub fn total_size(&self) -> CompressedSize {
+        self.frames.iter().map(|f| f.size()).sum()
+    }
+
+    /// Total raw bytes across frames (15 bytes/point).
+    pub fn total_raw_bytes(&self) -> usize {
+        self.frames.iter().map(|f| f.raw_points() * pcc_types::RAW_BYTES_PER_POINT).sum()
+    }
+}
+
+/// Errors produced while decoding an [`EncodedVideo`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// A baseline frame failed to decode.
+    Baseline(BaselineError),
+    /// A proposed intra frame failed to decode.
+    Intra(IntraError),
+    /// A proposed inter frame failed to decode.
+    Inter(InterError),
+    /// A P-frame appeared before any I-frame.
+    MissingReference {
+        /// Index of the orphaned frame.
+        frame: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Baseline(e) => write!(f, "baseline frame error: {e}"),
+            CodecError::Intra(e) => write!(f, "intra frame error: {e}"),
+            CodecError::Inter(e) => write!(f, "inter frame error: {e}"),
+            CodecError::MissingReference { frame } => {
+                write!(f, "frame {frame} is predicted but no reference was decoded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Baseline(e) => Some(e),
+            CodecError::Intra(e) => Some(e),
+            CodecError::Inter(e) => Some(e),
+            CodecError::MissingReference { .. } => None,
+        }
+    }
+}
+
+impl From<BaselineError> for CodecError {
+    fn from(e: BaselineError) -> Self {
+        CodecError::Baseline(e)
+    }
+}
+
+impl From<IntraError> for CodecError {
+    fn from(e: IntraError) -> Self {
+        CodecError::Intra(e)
+    }
+}
+
+impl From<InterError> for CodecError {
+    fn from(e: InterError) -> Self {
+        CodecError::Inter(e)
+    }
+}
+
+/// The top-level video codec for one [`Design`].
+#[derive(Debug, Clone)]
+pub struct PccCodec {
+    design: Design,
+    inter_config: Option<InterConfig>,
+}
+
+impl PccCodec {
+    /// Creates a codec for a design with its paper configuration.
+    pub fn new(design: Design) -> Self {
+        PccCodec { design, inter_config: design.inter_config() }
+    }
+
+    /// Creates an intra+inter codec with a custom inter configuration
+    /// (the Fig. 10b threshold-sweep entry point).
+    pub fn with_inter_config(config: InterConfig) -> Self {
+        PccCodec { design: Design::IntraInterV1, inter_config: Some(config) }
+    }
+
+    /// The codec's design.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Encodes a whole video on a common voxel grid of the given depth,
+    /// charging each frame's pipeline to `device` (its timeline is drained
+    /// per frame into the result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is outside `1..=21`.
+    pub fn encode_video(&self, video: &Video, depth: u8, device: &Device) -> EncodedVideo {
+        let bb = video.bounding_box();
+        let gof = self.design.gof_pattern();
+        let mut frames = Vec::with_capacity(video.len());
+        let mut timelines = Vec::with_capacity(video.len());
+
+        // References held exactly as a real encoder would: the *decoded*
+        // form of the last I-frame (reconstruction is a cheap by-product
+        // of encoding; it is rebuilt here on an uncharged scratch device).
+        let scratch = Device::new(device.spec().clone(), device.mode());
+        let mut reference_colors: Option<Vec<Rgb>> = None;
+        let mut reference_cloud: Option<VoxelizedCloud> = None;
+
+        for (i, frame) in video.iter().enumerate() {
+            let vox = match &bb {
+                Some(bb) => VoxelizedCloud::from_cloud_in_box(&frame.cloud, depth, bb),
+                None => VoxelizedCloud::from_cloud(&frame.cloud, depth),
+            };
+            let kind = gof.kind_of(i);
+            device.reset();
+            let encoded = match (self.design, kind) {
+                (Design::Tmc13, _) => EncodedFrame::Tmc13(Tmc13Codec::default().encode(&vox, device)),
+                (Design::Cwipc, FrameKind::Intra) => {
+                    let codec = CwipcCodec::default();
+                    let f = codec.encode_intra(&vox, device);
+                    scratch.reset();
+                    reference_cloud = codec.decode(&f, None, &scratch).ok();
+                    EncodedFrame::Cwipc(f)
+                }
+                (Design::Cwipc, FrameKind::Predicted) => {
+                    let codec = CwipcCodec::default();
+                    match &reference_cloud {
+                        Some(r) => EncodedFrame::Cwipc(codec.encode_predicted(&vox, r, device)),
+                        None => EncodedFrame::Cwipc(codec.encode_intra(&vox, device)),
+                    }
+                }
+                (Design::IntraOnly, _) => {
+                    EncodedFrame::Intra(IntraCodec::default().encode(&vox, device))
+                }
+                (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Intra) => {
+                    let cfg = self.inter_config.expect("inter designs carry a config");
+                    let intra = IntraCodec::new(cfg.intra);
+                    let f = intra.encode(&vox, device);
+                    scratch.reset();
+                    reference_colors =
+                        intra.decode(&f, &scratch).ok().map(|d| d.colors().to_vec());
+                    EncodedFrame::Intra(f)
+                }
+                (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Predicted) => {
+                    let cfg = self.inter_config.expect("inter designs carry a config");
+                    match &reference_colors {
+                        Some(r) => {
+                            EncodedFrame::Inter(InterCodec::new(cfg).encode(&vox, r, device))
+                        }
+                        None => EncodedFrame::Intra(IntraCodec::new(cfg.intra).encode(&vox, device)),
+                    }
+                }
+            };
+            timelines.push(device.take_timeline());
+            frames.push(encoded);
+        }
+        EncodedVideo { design: self.design, frames, encode_timelines: timelines, depth }
+    }
+
+    /// Decodes an encoded video back to world-space point clouds,
+    /// charging decode kernels to `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on malformed frames or broken reference
+    /// chains.
+    pub fn decode_video(
+        &self,
+        encoded: &EncodedVideo,
+        device: &Device,
+    ) -> Result<Vec<PointCloud>, CodecError> {
+        Ok(self.decode_video_with_timelines(encoded, device)?.0)
+    }
+
+    /// Like [`decode_video`](Self::decode_video), but also returns each
+    /// frame's modeled decode timeline (the device is drained per frame).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode_video`](Self::decode_video).
+    pub fn decode_video_with_timelines(
+        &self,
+        encoded: &EncodedVideo,
+        device: &Device,
+    ) -> Result<(Vec<PointCloud>, Vec<Timeline>), CodecError> {
+        let mut timelines = Vec::with_capacity(encoded.frames.len());
+        let mut out = Vec::with_capacity(encoded.frames.len());
+        let mut reference_colors: Option<Vec<Rgb>> = None;
+        let mut reference_cloud: Option<VoxelizedCloud> = None;
+        device.reset();
+        for (i, frame) in encoded.frames.iter().enumerate() {
+            let vox = match frame {
+                EncodedFrame::Tmc13(f) => Tmc13Codec::default().decode(f, device)?,
+                EncodedFrame::Cwipc(f) => {
+                    let codec = CwipcCodec::default();
+                    let dec = if f.predicted {
+                        let r = reference_cloud
+                            .as_ref()
+                            .ok_or(CodecError::MissingReference { frame: i })?;
+                        codec.decode(f, Some(r), device)?
+                    } else {
+                        codec.decode(f, None, device)?
+                    };
+                    if !f.predicted {
+                        reference_cloud = Some(dec.clone());
+                    }
+                    dec
+                }
+                EncodedFrame::Intra(f) => {
+                    let cfg = self.inter_config.map(|c| c.intra).unwrap_or_default();
+                    let dec = IntraCodec::new(cfg).decode(f, device)?;
+                    reference_colors = Some(dec.colors().to_vec());
+                    dec
+                }
+                EncodedFrame::Inter(f) => {
+                    let cfg = self.inter_config.expect("inter frames imply an inter design");
+                    let r = reference_colors
+                        .as_ref()
+                        .ok_or(CodecError::MissingReference { frame: i })?;
+                    InterCodec::new(cfg).decode(f, r, device)?
+                }
+            };
+            out.push(vox.to_cloud());
+            timelines.push(device.take_timeline());
+        }
+        Ok((out, timelines))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_datasets::catalog;
+    use pcc_edge::PowerMode;
+
+    fn device() -> Device {
+        Device::jetson_agx_xavier(PowerMode::W15)
+    }
+
+    fn tiny_video() -> Video {
+        catalog::by_name("Redandblack").unwrap().generate_scaled(4, 1_200)
+    }
+
+    #[test]
+    fn all_designs_round_trip() {
+        let video = tiny_video();
+        let d = device();
+        for design in Design::ALL {
+            let codec = PccCodec::new(design);
+            let enc = codec.encode_video(&video, 7, &d);
+            assert_eq!(enc.frames.len(), video.len());
+            assert_eq!(enc.encode_timelines.len(), video.len());
+            let dec = codec.decode_video(&enc, &d).unwrap_or_else(|e| {
+                panic!("{design} failed to decode: {e}");
+            });
+            assert_eq!(dec.len(), video.len());
+            for cloud in &dec {
+                assert!(!cloud.is_empty(), "{design} decoded an empty frame");
+            }
+        }
+    }
+
+    #[test]
+    fn ipp_designs_produce_predicted_frames() {
+        let video = tiny_video();
+        let d = device();
+        for design in [Design::Cwipc, Design::IntraInterV1, Design::IntraInterV2] {
+            let enc = PccCodec::new(design).encode_video(&video, 7, &d);
+            assert_eq!(enc.frames[0].kind(), FrameKind::Intra, "{design}");
+            assert_eq!(enc.frames[1].kind(), FrameKind::Predicted, "{design}");
+            assert_eq!(enc.frames[3].kind(), FrameKind::Intra, "{design}");
+        }
+        let enc = PccCodec::new(Design::IntraOnly).encode_video(&video, 7, &d);
+        assert!(enc.frames.iter().all(|f| f.kind() == FrameKind::Intra));
+    }
+
+    #[test]
+    fn proposed_designs_are_modeled_much_faster_than_baselines() {
+        let video = tiny_video();
+        let d = device();
+        let ms_of = |design: Design| {
+            let enc = PccCodec::new(design).encode_video(&video, 7, &d);
+            let total: f64 =
+                enc.encode_timelines.iter().map(|t| t.total_modeled_ms().as_f64()).sum();
+            total / video.len() as f64
+        };
+        let tmc13 = ms_of(Design::Tmc13);
+        let intra = ms_of(Design::IntraOnly);
+        let v1 = ms_of(Design::IntraInterV1);
+        assert!(
+            tmc13 > intra * 10.0,
+            "TMC13 {tmc13:.1} ms should dwarf Intra-Only {intra:.1} ms"
+        );
+        assert!(v1 >= intra, "inter adds overhead: {v1:.1} vs {intra:.1}");
+    }
+
+    #[test]
+    fn inter_designs_compress_better_than_intra_only() {
+        let video = tiny_video();
+        let d = device();
+        let size_of = |design: Design| {
+            PccCodec::new(design).encode_video(&video, 7, &d).total_size().total_bytes()
+        };
+        let intra = size_of(Design::IntraOnly);
+        let v1 = size_of(Design::IntraInterV1);
+        let v2 = size_of(Design::IntraInterV2);
+        assert!(v1 < intra, "V1 {v1} >= intra {intra}");
+        assert!(v2 <= v1, "V2 {v2} > V1 {v1}");
+    }
+
+    #[test]
+    fn missing_reference_is_detected() {
+        let video = tiny_video();
+        let d = device();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let mut enc = codec.encode_video(&video, 7, &d);
+        enc.frames.remove(0); // drop the I-frame
+        let err = codec.decode_video(&enc, &d).unwrap_err();
+        assert!(matches!(err, CodecError::MissingReference { frame: 0 }), "got {err}");
+    }
+
+    #[test]
+    fn custom_threshold_codec_tracks_reuse() {
+        let video = tiny_video();
+        let d = device();
+        let loose = PccCodec::with_inter_config(
+            pcc_inter::InterConfig::v1().with_threshold(1_000_000),
+        );
+        let enc = loose.encode_video(&video, 7, &d);
+        let reuse: Vec<f64> = enc.frames.iter().filter_map(|f| f.reuse_fraction()).collect();
+        assert!(!reuse.is_empty());
+        assert!(reuse.iter().all(|&r| r > 0.95), "loose threshold should reuse ~all: {reuse:?}");
+    }
+}

@@ -1,0 +1,299 @@
+//! A byte-level container for encoded videos.
+//!
+//! [`EncodedVideo`] values live in memory; to store or transmit a coded
+//! stream, the container frames every payload with lengths and tags:
+//!
+//! ```text
+//! magic "PCCV" | version u8 | design u8 | depth u8 | varint frame count
+//! per frame: tag u8 | varint geometry len | geometry bytes
+//!                   | varint attribute len | attribute bytes
+//!                   | frame metadata (per tag)
+//! ```
+//!
+//! Timelines are measurement artifacts and are deliberately *not* stored;
+//! a demuxed video carries empty timelines.
+
+use crate::codec::{EncodedFrame, EncodedVideo};
+use crate::design::Design;
+use pcc_baseline::{CwipcFrame, Tmc13Frame};
+use pcc_inter::{InterEncoded, ReuseStats};
+use pcc_intra::IntraFrame;
+use pcc_entropy::varint;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PCCV";
+const VERSION: u8 = 1;
+
+/// Errors produced while demuxing a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ContainerError {
+    /// The stream does not start with the `PCCV` magic.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u8),
+    /// Unknown design or frame tag byte.
+    BadTag(u8),
+    /// The stream ended prematurely.
+    Truncated,
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not a pcc container (bad magic)"),
+            ContainerError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            ContainerError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            ContainerError::Truncated => write!(f, "container ended prematurely"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+impl From<pcc_entropy::Error> for ContainerError {
+    fn from(_: pcc_entropy::Error) -> Self {
+        ContainerError::Truncated
+    }
+}
+
+/// Serializes an encoded video into a self-contained byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use pcc_core::{container, Design, PccCodec};
+/// use pcc_datasets::catalog;
+/// use pcc_edge::{Device, PowerMode};
+///
+/// let video = catalog::by_name("Loot").unwrap().generate_scaled(2, 500);
+/// let device = Device::jetson_agx_xavier(PowerMode::W15);
+/// let codec = PccCodec::new(Design::IntraOnly);
+/// let encoded = codec.encode_video(&video, 6, &device);
+///
+/// let bytes = container::mux(&encoded);
+/// let back = container::demux(&bytes)?;
+/// assert_eq!(back.frames.len(), 2);
+/// assert_eq!(back.depth, 6);
+/// # Ok::<(), pcc_core::container::ContainerError>(())
+/// ```
+pub fn mux(video: &EncodedVideo) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(design_tag(video.design));
+    out.push(video.depth);
+    varint::write_u64(&mut out, video.frames.len() as u64);
+    for frame in &video.frames {
+        match frame {
+            EncodedFrame::Tmc13(f) => {
+                out.push(0x01);
+                write_payloads(&mut out, &f.geometry, &f.attribute);
+                varint::write_u64(&mut out, f.unique_voxels as u64);
+                varint::write_u64(&mut out, f.raw_points as u64);
+            }
+            EncodedFrame::Cwipc(f) => {
+                out.push(if f.predicted { 0x03 } else { 0x02 });
+                write_payloads(&mut out, &f.geometry, &f.attribute);
+                varint::write_u64(&mut out, f.unique_voxels as u64);
+                varint::write_u64(&mut out, f.raw_points as u64);
+                varint::write_u64(&mut out, f.matched_blocks as u64);
+                varint::write_u64(&mut out, f.total_blocks as u64);
+            }
+            EncodedFrame::Intra(f) => {
+                out.push(0x04);
+                write_payloads(&mut out, &f.geometry, &f.attribute);
+                varint::write_u64(&mut out, f.unique_voxels as u64);
+                varint::write_u64(&mut out, f.raw_points as u64);
+            }
+            EncodedFrame::Inter(f) => {
+                out.push(0x05);
+                write_payloads(&mut out, &f.frame.geometry, &f.frame.attribute);
+                varint::write_u64(&mut out, f.frame.unique_voxels as u64);
+                varint::write_u64(&mut out, f.frame.raw_points as u64);
+                varint::write_u64(&mut out, f.stats.reused as u64);
+                varint::write_u64(&mut out, f.stats.delta as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a container produced by [`mux`].
+///
+/// # Errors
+///
+/// Returns a [`ContainerError`] on malformed input.
+pub fn demux(bytes: &[u8]) -> Result<EncodedVideo, ContainerError> {
+    let (magic, rest) = bytes.split_at_checked(4).ok_or(ContainerError::Truncated)?;
+    if magic != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let mut input = rest;
+    let version = take_byte(&mut input)?;
+    if version != VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let design = design_from_tag(take_byte(&mut input)?)?;
+    let depth = take_byte(&mut input)?;
+    let count = varint::read_u64(&mut input)? as usize;
+
+    let mut frames = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = take_byte(&mut input)?;
+        let (geometry, attribute) = read_payloads(&mut input)?;
+        let unique_voxels = varint::read_u64(&mut input)? as usize;
+        let raw_points = varint::read_u64(&mut input)? as usize;
+        let frame = match tag {
+            0x01 => EncodedFrame::Tmc13(Tmc13Frame {
+                geometry,
+                attribute,
+                unique_voxels,
+                raw_points,
+            }),
+            0x02 | 0x03 => {
+                let matched_blocks = varint::read_u64(&mut input)? as usize;
+                let total_blocks = varint::read_u64(&mut input)? as usize;
+                EncodedFrame::Cwipc(CwipcFrame {
+                    geometry,
+                    attribute,
+                    predicted: tag == 0x03,
+                    unique_voxels,
+                    raw_points,
+                    matched_blocks,
+                    total_blocks,
+                })
+            }
+            0x04 => EncodedFrame::Intra(IntraFrame {
+                geometry,
+                attribute,
+                unique_voxels,
+                raw_points,
+            }),
+            0x05 => {
+                let reused = varint::read_u64(&mut input)? as usize;
+                let delta = varint::read_u64(&mut input)? as usize;
+                EncodedFrame::Inter(InterEncoded {
+                    frame: IntraFrame { geometry, attribute, unique_voxels, raw_points },
+                    stats: ReuseStats { reused, delta },
+                })
+            }
+            other => return Err(ContainerError::BadTag(other)),
+        };
+        frames.push(frame);
+    }
+    let timelines = vec![pcc_edge::Timeline::default(); frames.len()];
+    Ok(EncodedVideo { design, frames, encode_timelines: timelines, depth })
+}
+
+fn design_tag(design: Design) -> u8 {
+    match design {
+        Design::Tmc13 => 0x10,
+        Design::Cwipc => 0x11,
+        Design::IntraOnly => 0x12,
+        Design::IntraInterV1 => 0x13,
+        Design::IntraInterV2 => 0x14,
+    }
+}
+
+fn design_from_tag(tag: u8) -> Result<Design, ContainerError> {
+    Ok(match tag {
+        0x10 => Design::Tmc13,
+        0x11 => Design::Cwipc,
+        0x12 => Design::IntraOnly,
+        0x13 => Design::IntraInterV1,
+        0x14 => Design::IntraInterV2,
+        other => return Err(ContainerError::BadTag(other)),
+    })
+}
+
+fn write_payloads(out: &mut Vec<u8>, geometry: &[u8], attribute: &[u8]) {
+    varint::write_u64(out, geometry.len() as u64);
+    out.extend_from_slice(geometry);
+    varint::write_u64(out, attribute.len() as u64);
+    out.extend_from_slice(attribute);
+}
+
+fn read_payloads(input: &mut &[u8]) -> Result<(Vec<u8>, Vec<u8>), ContainerError> {
+    let g_len = varint::read_u64(input)? as usize;
+    let (g, rest) = input.split_at_checked(g_len).ok_or(ContainerError::Truncated)?;
+    *input = rest;
+    let a_len = varint::read_u64(input)? as usize;
+    let (a, rest) = input.split_at_checked(a_len).ok_or(ContainerError::Truncated)?;
+    *input = rest;
+    Ok((g.to_vec(), a.to_vec()))
+}
+
+fn take_byte(input: &mut &[u8]) -> Result<u8, ContainerError> {
+    let (&b, rest) = input.split_first().ok_or(ContainerError::Truncated)?;
+    *input = rest;
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PccCodec;
+    use pcc_datasets::catalog;
+    use pcc_edge::{Device, PowerMode};
+
+    fn device() -> Device {
+        Device::jetson_agx_xavier(PowerMode::W15)
+    }
+
+    fn encode(design: Design) -> EncodedVideo {
+        let video = catalog::by_name("Loot").unwrap().generate_scaled(3, 800);
+        PccCodec::new(design).encode_video(&video, 6, &device())
+    }
+
+    #[test]
+    fn round_trips_all_designs_and_stays_decodable() {
+        for design in Design::ALL {
+            let original = encode(design);
+            let bytes = mux(&original);
+            let back = demux(&bytes).unwrap_or_else(|e| panic!("{design}: {e}"));
+            assert_eq!(back.design, design);
+            assert_eq!(back.depth, original.depth);
+            assert_eq!(back.frames.len(), original.frames.len());
+            assert_eq!(back.total_size().total_bytes(), original.total_size().total_bytes());
+            // The demuxed stream must still decode end-to-end.
+            let decoded = PccCodec::new(design).decode_video(&back, &device()).unwrap();
+            assert_eq!(decoded.len(), original.frames.len());
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let original = encode(Design::IntraOnly);
+        let mut bytes = mux(&original);
+        bytes[0] = b'X';
+        assert_eq!(demux(&bytes).unwrap_err(), ContainerError::BadMagic);
+        let mut bytes = mux(&original);
+        bytes[4] = 99;
+        assert_eq!(demux(&bytes).unwrap_err(), ContainerError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let bytes = mux(&encode(Design::IntraInterV1));
+        for cut in (0..bytes.len()).step_by(37) {
+            assert!(demux(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let original = encode(Design::IntraOnly);
+        let mut bytes = mux(&original);
+        bytes[5] = 0x7f; // design tag
+        assert_eq!(demux(&bytes).unwrap_err(), ContainerError::BadTag(0x7f));
+    }
+
+    #[test]
+    fn container_overhead_is_small() {
+        let original = encode(Design::IntraOnly);
+        let payload: usize = original.total_size().total_bytes();
+        let bytes = mux(&original);
+        assert!(bytes.len() < payload + 32 * original.frames.len());
+    }
+}

@@ -1,0 +1,46 @@
+//! `pcc-core` — the five-design point-cloud video codec facade.
+//!
+//! This crate ties the whole workspace together: it exposes the paper's
+//! five evaluated designs ([`Design`]) behind one video codec
+//! ([`PccCodec`]), schedules frames in the paper's IPP pattern, threads
+//! the decoded-reference state that inter-frame compression needs, and
+//! collects the latency / energy / size / quality reports every
+//! experiment consumes ([`DesignReport`]).
+//!
+//! | Design | Paper role |
+//! |---|---|
+//! | [`Design::Tmc13`] | SOTA intra baseline (sequential octree + RAHT) |
+//! | [`Design::Cwipc`] | SOTA inter baseline (macro-block motion estimation) |
+//! | [`Design::IntraOnly`] | proposed Morton-parallel intra codec |
+//! | [`Design::IntraInterV1`] | + inter reuse, quality-oriented (threshold 300) |
+//! | [`Design::IntraInterV2`] | + inter reuse, compression-oriented (threshold 1200) |
+//!
+//! # Examples
+//!
+//! ```
+//! use pcc_core::{Design, PccCodec};
+//! use pcc_datasets::catalog;
+//! use pcc_edge::{Device, PowerMode};
+//!
+//! let video = catalog::by_name("Loot").unwrap().generate_scaled(3, 2_000);
+//! let device = Device::jetson_agx_xavier(PowerMode::W15);
+//! let codec = PccCodec::new(Design::IntraInterV1);
+//! let encoded = codec.encode_video(&video, 7, &device);
+//! let decoded = codec.decode_video(&encoded, &device).unwrap();
+//! assert_eq!(decoded.len(), video.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+pub mod container;
+mod design;
+mod eval;
+pub mod rate;
+mod report;
+
+pub use codec::{CodecError, EncodedFrame, EncodedVideo, PccCodec};
+pub use design::Design;
+pub use eval::{evaluate, EvalOptions};
+pub use report::{DesignReport, FrameReport};

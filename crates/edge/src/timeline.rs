@@ -1,0 +1,213 @@
+//! Timelines of charged work: per-stage and per-kernel breakdowns.
+
+use crate::units::{Joules, Millis};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Which execution unit a record was charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ExecUnit {
+    /// Data-parallel GPU kernel.
+    Gpu,
+    /// Sequential (or thread-parallel) CPU work.
+    Cpu,
+}
+
+/// One charged unit of work.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageRecord {
+    /// Stage label, e.g. `"geometry/octree"` — slash-separated prefixes
+    /// group related records.
+    pub stage: String,
+    /// Kernel or CPU-op name.
+    pub op: &'static str,
+    /// Unit the work ran on.
+    pub unit: ExecUnit,
+    /// Work items (GPU) or operations (CPU) charged.
+    pub items: usize,
+    /// Modeled duration.
+    pub modeled: Millis,
+    /// Modeled energy.
+    pub energy: Joules,
+}
+
+/// An ordered collection of [`StageRecord`]s with aggregation helpers.
+///
+/// # Examples
+///
+/// ```
+/// use pcc_edge::{calib, Device, PowerMode};
+///
+/// let d = Device::jetson_agx_xavier(PowerMode::W15);
+/// d.charge_gpu("geometry/morton", &calib::MORTON_GEN, 1000);
+/// d.charge_gpu("attribute/median", &calib::SEGMENT_MEDIAN, 1000);
+/// let t = d.timeline();
+/// assert!(t.stage_ms("geometry").as_f64() > 0.0);
+/// assert!(t.stage_ms("attribute") < t.total_modeled_ms());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Timeline {
+    records: Vec<StageRecord>,
+}
+
+impl Timeline {
+    /// Wraps a list of records.
+    pub fn new(records: Vec<StageRecord>) -> Self {
+        Timeline { records }
+    }
+
+    /// The raw records, in charge order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Total modeled duration (a `Millis` value; sum over all records).
+    pub fn total_modeled_ms(&self) -> Millis {
+        self.records.iter().map(|r| r.modeled).sum()
+    }
+
+    /// Total modeled energy.
+    pub fn total_energy_j(&self) -> Joules {
+        self.records.iter().map(|r| r.energy).sum()
+    }
+
+    /// Modeled duration of all records whose stage equals `prefix` or
+    /// starts with `prefix` followed by `/`.
+    pub fn stage_ms(&self, prefix: &str) -> Millis {
+        self.matching(prefix).map(|r| r.modeled).sum()
+    }
+
+    /// Modeled energy of all records under `prefix` (same matching rule as
+    /// [`stage_ms`](Self::stage_ms)).
+    pub fn stage_energy_j(&self, prefix: &str) -> Joules {
+        self.matching(prefix).map(|r| r.energy).sum()
+    }
+
+    /// Aggregated `(duration, energy)` per top-level stage, in name order.
+    pub fn by_stage(&self) -> BTreeMap<String, (Millis, Joules)> {
+        let mut map: BTreeMap<String, (Millis, Joules)> = BTreeMap::new();
+        for r in &self.records {
+            let top = r.stage.split('/').next().unwrap_or(&r.stage).to_owned();
+            let e = map.entry(top).or_insert((Millis::ZERO, Joules::ZERO));
+            e.0 += r.modeled;
+            e.1 += r.energy;
+        }
+        map
+    }
+
+    /// Aggregated `(duration, energy)` per kernel/op name, in name order —
+    /// the view the paper's Fig. 9 energy breakdown uses.
+    pub fn by_op(&self) -> BTreeMap<&'static str, (Millis, Joules)> {
+        let mut map: BTreeMap<&'static str, (Millis, Joules)> = BTreeMap::new();
+        for r in &self.records {
+            let e = map.entry(r.op).or_insert((Millis::ZERO, Joules::ZERO));
+            e.0 += r.modeled;
+            e.1 += r.energy;
+        }
+        map
+    }
+
+    /// Fraction of total energy attributed to op `name` (0 if none).
+    pub fn energy_share_of(&self, name: &str) -> f64 {
+        let total = self.total_energy_j().as_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let op: Joules =
+            self.records.iter().filter(|r| r.op == name).map(|r| r.energy).sum();
+        op.as_f64() / total
+    }
+
+    /// Appends all records of `other` to this timeline.
+    pub fn merge(&mut self, other: Timeline) {
+        self.records.extend(other.records);
+    }
+
+    /// `true` if nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn matching<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a StageRecord> + 'a {
+        self.records.iter().filter(move |r| {
+            r.stage == prefix
+                || (r.stage.len() > prefix.len()
+                    && r.stage.starts_with(prefix)
+                    && r.stage.as_bytes()[prefix.len()] == b'/')
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stage: &str, op: &'static str, ms: f64, j: f64) -> StageRecord {
+        StageRecord {
+            stage: stage.to_owned(),
+            op,
+            unit: ExecUnit::Gpu,
+            items: 1,
+            modeled: Millis(ms),
+            energy: Joules(j),
+        }
+    }
+
+    #[test]
+    fn totals_and_stage_filters() {
+        let t = Timeline::new(vec![
+            rec("geometry/morton", "morton_gen", 1.0, 0.1),
+            rec("geometry/octree", "octree_build", 2.0, 0.2),
+            rec("attribute/median", "segment_median", 3.0, 0.3),
+        ]);
+        assert_eq!(t.total_modeled_ms(), Millis(6.0));
+        assert!((t.total_energy_j().as_f64() - 0.6).abs() < 1e-12);
+        assert_eq!(t.stage_ms("geometry"), Millis(3.0));
+        assert_eq!(t.stage_ms("attribute"), Millis(3.0));
+        assert_eq!(t.stage_ms("geometry/morton"), Millis(1.0));
+        // "geo" must not match "geometry".
+        assert_eq!(t.stage_ms("geo"), Millis::ZERO);
+    }
+
+    #[test]
+    fn by_stage_groups_top_level() {
+        let t = Timeline::new(vec![
+            rec("a/x", "k1", 1.0, 0.1),
+            rec("a/y", "k2", 2.0, 0.1),
+            rec("b", "k3", 4.0, 0.2),
+        ]);
+        let g = t.by_stage();
+        assert_eq!(g["a"].0, Millis(3.0));
+        assert_eq!(g["b"].0, Millis(4.0));
+    }
+
+    #[test]
+    fn by_op_and_energy_share() {
+        let t = Timeline::new(vec![
+            rec("m/a", "diff_squared", 1.0, 0.35),
+            rec("m/b", "squared_sum", 1.0, 0.16),
+            rec("m/c", "diff_squared", 1.0, 0.35),
+            rec("m/d", "addr_gen", 1.0, 0.14),
+        ]);
+        assert_eq!(t.by_op()["diff_squared"].1, Joules(0.7));
+        assert!((t.energy_share_of("diff_squared") - 0.7).abs() < 1e-9);
+        assert_eq!(t.energy_share_of("missing"), 0.0);
+    }
+
+    #[test]
+    fn merge_appends() {
+        let mut a = Timeline::new(vec![rec("x", "k", 1.0, 0.1)]);
+        let b = Timeline::new(vec![rec("y", "k", 2.0, 0.2)]);
+        a.merge(b);
+        assert_eq!(a.records().len(), 2);
+        assert_eq!(a.total_modeled_ms(), Millis(3.0));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::default();
+        assert!(t.is_empty());
+        assert_eq!(t.total_modeled_ms(), Millis::ZERO);
+        assert_eq!(t.energy_share_of("anything"), 0.0);
+    }
+}

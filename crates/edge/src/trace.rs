@@ -1,0 +1,114 @@
+//! Chrome-trace export for modeled timelines.
+//!
+//! [`to_chrome_trace`] renders a [`Timeline`] as a Chrome Trace Event
+//! JSON document (`chrome://tracing`, Perfetto, Speedscope): one complete
+//! event per charged record, laid out sequentially on a per-unit track,
+//! with item counts and energy attached as event arguments. Handy for
+//! eyeballing where a frame's modeled time goes.
+
+use crate::timeline::{ExecUnit, Timeline};
+use std::fmt::Write as _;
+
+/// Renders a timeline as a Chrome Trace Event JSON string.
+///
+/// Records are placed back-to-back per execution unit (the model has no
+/// overlap information), starting at time zero, durations in
+/// microseconds as the format requires.
+///
+/// # Examples
+///
+/// ```
+/// use pcc_edge::{calib, trace, Device, PowerMode};
+///
+/// let d = Device::jetson_agx_xavier(PowerMode::W15);
+/// d.charge_gpu("geometry/morton", &calib::MORTON_GEN, 1000);
+/// let json = trace::to_chrome_trace(&d.timeline());
+/// assert!(json.contains("\"name\":\"morton_gen\""));
+/// assert!(json.contains("traceEvents"));
+/// ```
+pub fn to_chrome_trace(timeline: &Timeline) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut cursor_us = [0f64; 2]; // per-unit track cursors
+    let mut first = true;
+    for record in timeline.records() {
+        let (tid, track) = match record.unit {
+            ExecUnit::Gpu => (1, 0),
+            ExecUnit::Cpu => (2, 1),
+        };
+        let dur_us = record.modeled.as_f64() * 1e3;
+        let ts = cursor_us[track];
+        cursor_us[track] += dur_us;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{ts:.3},\"dur\":{dur_us:.3},\
+             \"args\":{{\"items\":{},\"energy_mj\":{:.4}}}}}",
+            record.op,
+            escape(&record.stage),
+            record.items,
+            record.energy.as_f64() * 1e3,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Minimal JSON string escaping for stage labels.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec!['_'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{calib, Device, PowerMode};
+
+    #[test]
+    fn renders_valid_structure() {
+        let d = Device::jetson_agx_xavier(PowerMode::W15);
+        d.charge_gpu("geometry/morton", &calib::MORTON_GEN, 1000);
+        d.charge_cpu("geometry/octree", &calib::OCTREE_INSERT, 5000, 1);
+        let json = to_chrome_trace(&d.timeline());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"tid\":2"));
+        // Balanced braces (cheap well-formedness check).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn events_are_sequential_per_track() {
+        let d = Device::jetson_agx_xavier(PowerMode::W15);
+        d.charge_gpu("a", &calib::MORTON_GEN, 100_000);
+        d.charge_gpu("b", &calib::MORTON_GEN, 100_000);
+        let json = to_chrome_trace(&d.timeline());
+        // The second event starts where the first ended: ts 0 appears once.
+        assert_eq!(json.matches("\"ts\":0.000").count(), 1);
+    }
+
+    #[test]
+    fn empty_timeline_renders_empty_array() {
+        let json = to_chrome_trace(&Timeline::default());
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x_y");
+    }
+}

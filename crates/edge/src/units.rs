@@ -1,0 +1,182 @@
+//! Unit newtypes for modeled time and energy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Millis(pub f64);
+
+impl Millis {
+    /// Zero milliseconds.
+    pub const ZERO: Millis = Millis(0.0);
+
+    /// The raw value in milliseconds.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to seconds.
+    #[inline]
+    pub fn to_seconds(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub fn from_seconds(s: f64) -> Millis {
+        Millis(s * 1e3)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Millis {
+        Millis(us / 1e3)
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Millis {
+    fn add_assign(&mut self, rhs: Millis) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Millis {
+    type Output = Millis;
+    fn sub(self, rhs: Millis) -> Millis {
+        Millis(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Millis {
+    type Output = Millis;
+    fn mul(self, s: f64) -> Millis {
+        Millis(self.0 * s)
+    }
+}
+
+impl Div<f64> for Millis {
+    type Output = Millis;
+    fn div(self, s: f64) -> Millis {
+        Millis(self.0 / s)
+    }
+}
+
+impl Sum for Millis {
+    fn sum<I: Iterator<Item = Millis>>(iter: I) -> Millis {
+        Millis(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.0)
+    }
+}
+
+/// An energy amount in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Joules(pub f64);
+
+impl Joules {
+    /// Zero joules.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// The raw value in joules.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Energy from average power (milliwatts) over a duration.
+    #[inline]
+    pub fn from_power(milliwatts: f64, time: Millis) -> Joules {
+        Joules(milliwatts / 1e3 * time.to_seconds())
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Joules;
+    fn mul(self, s: f64) -> Joules {
+        Joules(self.0 * s)
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|j| j.0).sum())
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} J", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millis_arithmetic() {
+        let a = Millis(2.0) + Millis(3.0);
+        assert_eq!(a, Millis(5.0));
+        assert_eq!(a * 2.0, Millis(10.0));
+        assert_eq!(a / 2.0, Millis(2.5));
+        assert_eq!(Millis(5.0) - Millis(2.0), Millis(3.0));
+        assert_eq!(Millis::from_seconds(1.5).as_f64(), 1500.0);
+        assert_eq!(Millis::from_micros(2500.0), Millis(2.5));
+    }
+
+    #[test]
+    fn joules_from_power() {
+        // 2 W for 500 ms = 1 J.
+        let e = Joules::from_power(2000.0, Millis(500.0));
+        assert!((e.as_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums() {
+        let t: Millis = [Millis(1.0), Millis(2.0)].into_iter().sum();
+        assert_eq!(t, Millis(3.0));
+        let e: Joules = [Joules(0.5), Joules(0.25)].into_iter().sum();
+        assert_eq!(e, Joules(0.75));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Millis(1.2345).to_string(), "1.234 ms");
+        assert_eq!(Joules(0.5).to_string(), "0.5000 J");
+    }
+}

@@ -1,0 +1,239 @@
+//! MSB-first bit-level reading and writing.
+
+use crate::{Error, Result};
+
+/// Writes individual bits (MSB-first within each byte) into a growing
+/// byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use pcc_entropy::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0b1011, 4);
+/// let bytes = w.finish();
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bit().unwrap(), true);
+/// assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of complete bytes written so far (excluding a partial byte).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.filled as usize
+    }
+
+    /// Appends one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.current = (self.current << 1) | bit as u8;
+        self.filled += 1;
+        if self.filled == 8 {
+            self.bytes.push(self.current);
+            self.current = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a whole byte (bit-aligned fast path when possible).
+    pub fn write_byte(&mut self, byte: u8) {
+        if self.filled == 0 {
+            self.bytes.push(byte);
+        } else {
+            self.write_bits(byte as u64, 8);
+        }
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.bytes.push(self.current);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits (MSB-first within each byte) from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, byte_pos: 0, bit_pos: 0 }
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        (self.bytes.len() - self.byte_pos) * 8 - self.bit_pos as usize
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEnd`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = *self.bytes.get(self.byte_pos).ok_or(Error::UnexpectedEnd)?;
+        let bit = (byte >> (7 - self.bit_pos)) & 1 == 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+        Ok(bit)
+    }
+
+    /// Reads `count` bits into the low bits of a `u64`, MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEnd`] if fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Reads a whole byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEnd`] if fewer than 8 bits remain.
+    pub fn read_byte(&mut self) -> Result<u8> {
+        if self.bit_pos == 0 {
+            let b = *self.bytes.get(self.byte_pos).ok_or(Error::UnexpectedEnd)?;
+            self.byte_pos += 1;
+            Ok(b)
+        } else {
+            Ok(self.read_bits(8)? as u8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_round_trip() {
+        let bytes = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit().unwrap_err(), Error::UnexpectedEnd);
+    }
+
+    #[test]
+    fn partial_byte_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn byte_fast_path_matches_slow_path() {
+        let mut aligned = BitWriter::new();
+        aligned.write_byte(0xab);
+        let mut unaligned = BitWriter::new();
+        unaligned.write_bit(false);
+        unaligned.write_byte(0xab);
+        let a = aligned.finish();
+        let b = unaligned.finish();
+        let mut r = BitReader::new(&b);
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_byte().unwrap(), 0xab);
+        assert_eq!(a, vec![0xab]);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+        assert_eq!(w.byte_len(), 1);
+    }
+
+    #[test]
+    fn remaining_bits_counts_down() {
+        let bytes = [0xff, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 11);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_round_trip(values in prop::collection::vec((0u64..u64::MAX, 1u8..=64), 0..50)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                w.write_bits(v, n);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &values {
+                let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+            }
+        }
+
+        #[test]
+        fn bytes_round_trip(data in prop::collection::vec(any::<u8>(), 0..200)) {
+            let mut w = BitWriter::new();
+            for &b in &data {
+                w.write_byte(b);
+            }
+            let bytes = w.finish();
+            prop_assert_eq!(&bytes, &data);
+            let mut r = BitReader::new(&bytes);
+            for &b in &data {
+                prop_assert_eq!(r.read_byte().unwrap(), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Byte-wise run-length coding.
+//!
+//! Occupancy streams of dense point clouds contain long runs of repeated
+//! bytes (fully occupied or single-child regions); the CWIPC-style baseline
+//! applies RLE before its range coder.
+
+use crate::{varint, Error, Result};
+
+/// Run-length encodes `data` as `(varint run length, byte)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// let encoded = pcc_entropy::rle::encode(b"aaaabb");
+/// assert_eq!(pcc_entropy::rle::decode(&encoded).unwrap(), b"aaaabb");
+/// assert!(encoded.len() < 6);
+/// ```
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let byte = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == byte {
+            run += 1;
+        }
+        varint::write_u64(&mut out, run as u64);
+        out.push(byte);
+        i += run;
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`Error::CorruptRun`] on zero-length or absurdly long runs and
+/// [`Error::UnexpectedEnd`] on truncation.
+pub fn decode(mut input: &[u8]) -> Result<Vec<u8>> {
+    // Cap a single run at 2^32 bytes: far beyond any real frame, but
+    // prevents a corrupt header from asking for exabytes.
+    const MAX_RUN: u64 = 1 << 32;
+    let mut out = Vec::new();
+    while !input.is_empty() {
+        let run = varint::read_u64(&mut input)?;
+        if run == 0 || run > MAX_RUN {
+            return Err(Error::CorruptRun);
+        }
+        let (&byte, rest) = input.split_first().ok_or(Error::UnexpectedEnd)?;
+        input = rest;
+        out.extend(std::iter::repeat_n(byte, run as usize));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_round_trip() {
+        assert!(encode(&[]).is_empty());
+        assert!(decode(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn long_runs_compress() {
+        let data = vec![7u8; 1000];
+        let enc = encode(&data);
+        assert!(enc.len() <= 3);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn alternating_bytes_expand_gracefully() {
+        let data: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+        assert_eq!(enc.len(), 200); // 1-byte run header + byte, per run
+    }
+
+    #[test]
+    fn zero_run_is_corrupt() {
+        assert_eq!(decode(&[0x00, 0x41]).unwrap_err(), Error::CorruptRun);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        assert_eq!(decode(&[0x05]).unwrap_err(), Error::UnexpectedEnd);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(data in prop::collection::vec(0u8..4, 0..500)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn round_trip_random_bytes(data in prop::collection::vec(any::<u8>(), 0..300)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

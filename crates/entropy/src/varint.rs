@@ -1,0 +1,166 @@
+//! LEB128 varints and ZigZag signed mapping.
+//!
+//! Used throughout the codec bitstreams for lengths, counts, and small
+//! signed residuals.
+
+use crate::{Error, Result};
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// pcc_entropy::varint::write_u64(&mut buf, 300);
+/// let mut slice = buf.as_slice();
+/// assert_eq!(pcc_entropy::varint::read_u64(&mut slice).unwrap(), 300);
+/// assert!(slice.is_empty());
+/// ```
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from the front of `input`, advancing it.
+///
+/// # Errors
+///
+/// Returns [`Error::UnexpectedEnd`] if the slice ends mid-varint and
+/// [`Error::VarintOverflow`] if the encoding exceeds 64 bits.
+pub fn read_u64(input: &mut &[u8]) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(Error::UnexpectedEnd)?;
+        *input = rest;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(Error::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed integer to an unsigned one with small absolute values
+/// staying small (`0 → 0, −1 → 1, 1 → 2, −2 → 3, …`).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed value as a ZigZag-mapped varint.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Reads a signed ZigZag-mapped varint.
+///
+/// # Errors
+///
+/// Propagates the errors of [`read_u64`].
+pub fn read_i64(input: &mut &[u8]) -> Result<i64> {
+    Ok(unzigzag(read_u64(input)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 0);
+        write_u64(&mut buf, 127);
+        write_u64(&mut buf, 128);
+        assert_eq!(buf, vec![0x00, 0x7f, 0x80, 0x01]);
+    }
+
+    #[test]
+    fn zigzag_small_values() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(2), 4);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut s: &[u8] = &[0x80];
+        assert_eq!(read_u64(&mut s).unwrap_err(), Error::UnexpectedEnd);
+        let mut s: &[u8] = &[];
+        assert_eq!(read_u64(&mut s).unwrap_err(), Error::UnexpectedEnd);
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let mut s: &[u8] = &[0xff; 11];
+        assert_eq!(read_u64(&mut s).unwrap_err(), Error::VarintOverflow);
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        for v in [u64::MAX, u64::MAX - 1, 0] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_u64(&mut s).unwrap(), v);
+        }
+        for v in [i64::MIN, i64::MAX, 0, -1] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_i64(&mut s).unwrap(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn u64_round_trip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut s = buf.as_slice();
+            prop_assert_eq!(read_u64(&mut s).unwrap(), v);
+            prop_assert!(s.is_empty());
+        }
+
+        #[test]
+        fn i64_round_trip(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut s = buf.as_slice();
+            prop_assert_eq!(read_i64(&mut s).unwrap(), v);
+        }
+
+        #[test]
+        fn sequences_round_trip(vs in prop::collection::vec(any::<i64>(), 0..50)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_i64(&mut buf, v);
+            }
+            let mut s = buf.as_slice();
+            for &v in &vs {
+                prop_assert_eq!(read_i64(&mut s).unwrap(), v);
+            }
+            prop_assert!(s.is_empty());
+        }
+    }
+}

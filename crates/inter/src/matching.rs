@@ -1,0 +1,285 @@
+//! Block matching between Morton-ordered attribute sequences.
+
+use pcc_types::Rgb;
+
+/// How one P-block is coded after matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// The best-matched I-block is similar enough: store only the pointer.
+    Reuse,
+    /// Too dissimilar: store per-point deltas against the best match.
+    Delta,
+}
+
+/// The match result for one P-block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMatch {
+    /// Offset of the best-matched I-block inside the candidate window
+    /// (6–7 bits for the paper's 100-candidate window).
+    pub window_offset: u16,
+    /// Index of the matched I-block (window start + offset).
+    pub i_block: u32,
+    /// Normalized 2-norm distance of the best match (per 20-point block,
+    /// the paper's block granularity).
+    pub best_diff: u64,
+    /// Reuse-or-delta decision at the configured threshold.
+    pub outcome: MatchOutcome,
+}
+
+/// Aggregate reuse statistics (the paper's Fig. 10b x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReuseStats {
+    /// Blocks coded as direct reuse.
+    pub reused: usize,
+    /// Blocks coded as post-intra-encoded deltas.
+    pub delta: usize,
+}
+
+impl ReuseStats {
+    /// Fraction of blocks directly reused (0 when there are no blocks).
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.reused + self.delta;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reused as f64 / total as f64
+    }
+}
+
+/// Work-item counts of a matching pass, for device-model charging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchCharge {
+    /// (P-point, I-point) channel-difference items (`Diff_Squared`).
+    pub pair_items: usize,
+    /// Compared (P-block, I-block) pairs (`Squared_Sum` reductions).
+    pub block_pairs: usize,
+}
+
+/// The candidate window of I-blocks for P-block `p_idx`: centered on the
+/// proportionally aligned I-block, clamped to the valid range.
+pub(crate) fn candidate_window(
+    p_idx: usize,
+    p_blocks: usize,
+    i_blocks: usize,
+    candidates: usize,
+) -> (usize, usize) {
+    if i_blocks == 0 {
+        return (0, 0);
+    }
+    let aligned = p_idx * i_blocks / p_blocks.max(1);
+    let half = candidates / 2;
+    let start = aligned.saturating_sub(half);
+    let end = (start + candidates).min(i_blocks);
+    let start = end.saturating_sub(candidates);
+    (start, end)
+}
+
+/// Proportionally maps index `k` of a `len_p`-point block onto a
+/// `len_i`-point block.
+#[inline]
+pub(crate) fn map_index(k: usize, len_p: usize, len_i: usize) -> usize {
+    if len_p == 0 || len_i == 0 {
+        return 0;
+    }
+    (k * len_i / len_p).min(len_i - 1)
+}
+
+/// 2-norm attribute distance between a P-block and an I-block (Equ. 2),
+/// normalized to a 20-point block so the threshold is scale-free.
+pub(crate) fn block_diff(p: &[Rgb], i: &[Rgb]) -> u64 {
+    if p.is_empty() {
+        return 0;
+    }
+    if i.is_empty() {
+        return u64::MAX; // an empty reference block can never match
+    }
+    let sum: u64 = p
+        .iter()
+        .enumerate()
+        .map(|(k, &pc)| pc.distance_squared(i[map_index(k, p.len(), i.len())]) as u64)
+        .sum();
+    sum * 20 / p.len() as u64
+}
+
+/// Matches every P-block against its candidate I-blocks, deciding
+/// reuse-vs-delta at `threshold`.
+///
+/// `p_starts`/`i_starts` are the block boundaries over the Morton-ordered
+/// color sequences (as produced by
+/// [`pcc_intra::encode_layer`]'s segmentation helper). Every block is
+/// independent — the modeled GPU runs the whole pass as two kernels.
+pub fn match_blocks(
+    p_colors: &[Rgb],
+    i_colors: &[Rgb],
+    p_starts: &[u32],
+    i_starts: &[u32],
+    candidates: usize,
+    threshold: u32,
+) -> (Vec<BlockMatch>, ReuseStats, MatchCharge) {
+    let p_blocks = p_starts.len();
+    let i_blocks = i_starts.len();
+    let mut matches = Vec::with_capacity(p_blocks);
+    let mut stats = ReuseStats::default();
+    let mut charge = MatchCharge::default();
+
+    let block_of = |starts: &[u32], colors: &[Rgb], idx: usize| -> std::ops::Range<usize> {
+        let start = starts[idx] as usize;
+        let end = starts.get(idx + 1).map_or(colors.len(), |&e| e as usize);
+        start..end
+    };
+
+    for p_idx in 0..p_blocks {
+        let p_range = block_of(p_starts, p_colors, p_idx);
+        let p_block = &p_colors[p_range];
+        let (w_start, w_end) = candidate_window(p_idx, p_blocks, i_blocks, candidates);
+        let mut best: Option<(usize, u64)> = None;
+        for i_idx in w_start..w_end {
+            let i_range = block_of(i_starts, i_colors, i_idx);
+            let diff = block_diff(p_block, &i_colors[i_range]);
+            charge.pair_items += p_block.len();
+            charge.block_pairs += 1;
+            if best.map_or(true, |(_, d)| diff < d) {
+                best = Some((i_idx, diff));
+            }
+        }
+        let (i_block, best_diff) = best.unwrap_or((0, u64::MAX));
+        let outcome = if best_diff <= threshold as u64 {
+            stats.reused += 1;
+            MatchOutcome::Reuse
+        } else {
+            stats.delta += 1;
+            MatchOutcome::Delta
+        };
+        matches.push(BlockMatch {
+            window_offset: (i_block - w_start) as u16,
+            i_block: i_block as u32,
+            best_diff,
+            outcome,
+        });
+    }
+    (matches, stats, charge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_intra::encode_layer; // only to reuse its segmentation in docs
+    use proptest::prelude::*;
+
+    fn grays(values: &[u8]) -> Vec<Rgb> {
+        values.iter().map(|&v| Rgb::gray(v)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_fully_reuse() {
+        let colors = grays(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        let starts = vec![0u32, 4];
+        let (matches, stats, charge) =
+            match_blocks(&colors, &colors, &starts, &starts, 4, 0);
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.delta, 0);
+        assert_eq!(stats.reuse_fraction(), 1.0);
+        assert!(matches.iter().all(|m| m.best_diff == 0));
+        assert!(charge.block_pairs > 0);
+        let _ = encode_layer(&[[0; 3]], 1, 1); // keep the doc-reference honest
+    }
+
+    #[test]
+    fn dissimilar_blocks_become_delta() {
+        let p = grays(&[200, 200, 200, 200]);
+        let i = grays(&[10, 10, 10, 10]);
+        let starts = vec![0u32];
+        let (matches, stats, _) = match_blocks(&p, &i, &starts, &starts, 4, 300);
+        assert_eq!(stats.delta, 1);
+        assert_eq!(matches[0].outcome, MatchOutcome::Delta);
+        // diff = 4 points × 3 channels × 190² × 20/4.
+        assert_eq!(matches[0].best_diff, 3 * 190 * 190 * 20);
+    }
+
+    #[test]
+    fn threshold_moves_the_decision() {
+        let p = grays(&[100, 100]);
+        let i = grays(&[104, 104]);
+        let starts = vec![0u32];
+        // diff per point = 3·16 = 48; normalized ×20/2 → 960.
+        let (_, s_tight, _) = match_blocks(&p, &i, &starts, &starts, 1, 300);
+        assert_eq!(s_tight.reused, 0);
+        let (_, s_loose, _) = match_blocks(&p, &i, &starts, &starts, 1, 1200);
+        assert_eq!(s_loose.reused, 1);
+    }
+
+    #[test]
+    fn window_clamps_at_sequence_edges() {
+        assert_eq!(candidate_window(0, 10, 10, 4), (0, 4));
+        assert_eq!(candidate_window(9, 10, 10, 4), (6, 10));
+        assert_eq!(candidate_window(5, 10, 10, 100), (0, 10));
+        assert_eq!(candidate_window(0, 10, 0, 4), (0, 0));
+    }
+
+    #[test]
+    fn matcher_finds_shifted_content() {
+        // I-frame holds the P-block's exact content one block later.
+        let p = grays(&[50, 50, 9, 9]);
+        let i = grays(&[1, 1, 50, 50]);
+        let p_starts = vec![0u32, 2];
+        let i_starts = vec![0u32, 2];
+        let (matches, _, _) = match_blocks(&p, &i, &p_starts, &i_starts, 4, 0);
+        assert_eq!(matches[0].i_block, 1); // found the shifted match
+        assert_eq!(matches[0].best_diff, 0);
+    }
+
+    #[test]
+    fn unequal_block_lengths_map_proportionally() {
+        assert_eq!(map_index(0, 4, 2), 0);
+        assert_eq!(map_index(3, 4, 2), 1);
+        assert_eq!(map_index(1, 2, 6), 3);
+        assert_eq!(map_index(0, 0, 5), 0);
+        let p = grays(&[10, 10, 10, 10]);
+        let i = grays(&[10, 10]);
+        assert_eq!(block_diff(&p, &i), 0);
+    }
+
+    #[test]
+    fn empty_reference_marks_everything_delta() {
+        let p = grays(&[1, 2, 3]);
+        let (matches, stats, _) = match_blocks(&p, &[], &[0], &[], 4, 1000);
+        assert_eq!(stats.delta, 1);
+        assert_eq!(matches[0].best_diff, u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn reuse_fraction_monotone_in_threshold(
+            p in prop::collection::vec(any::<u8>(), 8..64),
+            i in prop::collection::vec(any::<u8>(), 8..64),
+        ) {
+            let p = grays(&p);
+            let i = grays(&i);
+            let p_starts: Vec<u32> = (0..p.len() as u32).step_by(4).collect();
+            let i_starts: Vec<u32> = (0..i.len() as u32).step_by(4).collect();
+            let mut last = 0.0;
+            for threshold in [0u32, 100, 1_000, 10_000, 1_000_000] {
+                let (_, stats, _) = match_blocks(&p, &i, &p_starts, &i_starts, 8, threshold);
+                let f = stats.reuse_fraction();
+                prop_assert!(f >= last, "reuse fraction decreased: {f} < {last}");
+                last = f;
+            }
+        }
+
+        #[test]
+        fn pointer_fits_window(
+            p in prop::collection::vec(any::<u8>(), 16..128),
+            i in prop::collection::vec(any::<u8>(), 16..128),
+            candidates in 1usize..16,
+        ) {
+            let p = grays(&p);
+            let i = grays(&i);
+            let p_starts: Vec<u32> = (0..p.len() as u32).step_by(4).collect();
+            let i_starts: Vec<u32> = (0..i.len() as u32).step_by(4).collect();
+            let (matches, _, _) = match_blocks(&p, &i, &p_starts, &i_starts, candidates, 500);
+            for m in matches {
+                prop_assert!((m.window_offset as usize) < candidates);
+            }
+        }
+    }
+}

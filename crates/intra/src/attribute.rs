@@ -1,0 +1,297 @@
+//! Proposed intra-frame attribute compression (paper Fig. 4d):
+//! sort → segment → Mid + Residual → quantize.
+
+use crate::config::IntraConfig;
+use crate::geometry::GeometryEncoded;
+use crate::layer::{decode_layer, encode_layer, LayerEncoded};
+use pcc_edge::{calib, Device};
+use pcc_entropy::{varint, ByteModel, RangeDecoder, RangeEncoder};
+use pcc_types::{Rgb, VoxelizedCloud};
+
+/// Stage label prefix used in device timelines.
+const STAGE: &str = "attribute";
+
+/// Encodes the attributes of a voxelized cloud, reusing the geometry
+/// pass's Morton order (`geo.perm`) and voxel mapping at no extra cost —
+/// the paper's headline reuse.
+///
+/// Points sharing one voxel are averaged (the decoder can only carry one
+/// color per occupied voxel, as in any voxelized codec).
+pub fn encode(
+    cloud: &VoxelizedCloud,
+    geo: &GeometryEncoded,
+    config: &IntraConfig,
+    device: &Device,
+) -> Vec<u8> {
+    let n = cloud.len();
+
+    // 1. Gather colors into Morton order through the geometry permutation,
+    //    averaging duplicates per voxel.
+    let voxel_colors = gather_voxel_colors(cloud, geo);
+    device.charge_gpu(&format!("{STAGE}/gather"), &calib::GATHER, n.max(1));
+
+    // 2-3. Segment + per-segment median (base).
+    let m = voxel_colors.len();
+    let segments = config.segments_for(m);
+    let values: Vec<[i32; 3]> = voxel_colors.iter().map(|c| c.to_i32()).collect();
+    let layer1 = encode_layer(&values, segments, config.quant_step());
+    device.charge_gpu(&format!("{STAGE}/median"), &calib::SEGMENT_MEDIAN, m.max(1));
+    device.charge_gpu(&format!("{STAGE}/delta"), &calib::DELTA_QUANT, m.max(1));
+
+    // 4. Optional second layer: re-encode the residual stream as new
+    //    attributes (lossless inner layer).
+    let mut payload = Vec::new();
+    payload.push(config.two_layer as u8);
+    if config.two_layer {
+        let layer2 = encode_layer(&layer1.residuals, segments, 1);
+        device.charge_gpu(&format!("{STAGE}/delta2"), &calib::DELTA_QUANT, m.max(1));
+        let outer = LayerEncoded { residuals: Vec::new(), ..layer1 };
+        let outer_bytes = outer.to_bytes();
+        varint::write_u64(&mut payload, outer_bytes.len() as u64);
+        payload.extend_from_slice(&outer_bytes);
+        payload.extend_from_slice(&layer2.to_bytes());
+    } else {
+        payload.extend_from_slice(&layer1.to_bytes());
+    }
+    device.charge_gpu(&format!("{STAGE}/pack"), &calib::ATTR_PACK, m.max(1));
+
+    if config.entropy {
+        payload = entropy_wrap(&payload);
+        device.charge_gpu(&format!("{STAGE}/entropy"), &calib::ENTROPY_GPU, payload.len());
+    }
+    payload
+}
+
+/// Decodes an attribute payload back to per-voxel colors (Morton order,
+/// one per unique voxel).
+///
+/// # Errors
+///
+/// Propagates varint/layer decoding errors on malformed input.
+pub fn decode(
+    payload: &[u8],
+    config: &IntraConfig,
+    device: &Device,
+) -> Result<Vec<Rgb>, pcc_entropy::Error> {
+    let owned;
+    let mut input = payload;
+    if config.entropy {
+        owned = entropy_unwrap(payload)?;
+        input = &owned;
+    }
+    let (&two_layer, mut rest) = input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
+    let values = if two_layer != 0 {
+        let outer_len = varint::read_u64(&mut rest)? as usize;
+        if rest.len() < outer_len {
+            return Err(pcc_entropy::Error::UnexpectedEnd);
+        }
+        let mut outer = LayerEncoded::from_bytes(&rest[..outer_len])?;
+        let layer2 = LayerEncoded::from_bytes(&rest[outer_len..])?;
+        outer.residuals = decode_layer(&layer2);
+        decode_layer(&outer)
+    } else {
+        decode_layer(&LayerEncoded::from_bytes(rest)?)
+    };
+    device.charge_gpu("attribute_decode", &calib::ATTR_DECODE, values.len().max(1));
+    Ok(values.into_iter().map(Rgb::from_i32_clamped).collect())
+}
+
+/// Gathers per-voxel mean colors in Morton order.
+fn gather_voxel_colors(cloud: &VoxelizedCloud, geo: &GeometryEncoded) -> Vec<Rgb> {
+    let m = geo.unique_voxels;
+    let mut sums = vec![[0u32; 3]; m];
+    let mut counts = vec![0u32; m];
+    for (rank, &src) in geo.perm.iter().enumerate() {
+        let v = geo.point_to_voxel[rank] as usize;
+        let c = cloud.colors()[src as usize];
+        sums[v][0] += c.r as u32;
+        sums[v][1] += c.g as u32;
+        sums[v][2] += c.b as u32;
+        counts[v] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(s, &k)| {
+            let k = k.max(1);
+            Rgb::new(
+                ((s[0] + k / 2) / k) as u8,
+                ((s[1] + k / 2) / k) as u8,
+                ((s[2] + k / 2) / k) as u8,
+            )
+        })
+        .collect()
+}
+
+fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
+    let mut model = ByteModel::new();
+    let mut enc = RangeEncoder::new();
+    for &b in payload {
+        enc.encode_byte(&mut model, b);
+    }
+    let coded = enc.finish();
+    let mut out = Vec::with_capacity(coded.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&coded);
+    out
+}
+
+fn entropy_unwrap(stream: &[u8]) -> Result<Vec<u8>, pcc_entropy::Error> {
+    if stream.len() < 4 {
+        return Err(pcc_entropy::Error::UnexpectedEnd);
+    }
+    let len = u32::from_le_bytes(stream[..4].try_into().expect("4-byte slice")) as usize;
+    let mut model = ByteModel::new();
+    let mut dec = RangeDecoder::new(&stream[4..]);
+    Ok((0..len).map(|_| dec.decode_byte(&mut model)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry;
+    use pcc_edge::PowerMode;
+    use pcc_types::{Point3, PointCloud};
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::jetson_agx_xavier(PowerMode::W15)
+    }
+
+    fn encode_decode(cloud: &PointCloud, config: &IntraConfig, depth: u8) -> (Vec<Rgb>, Vec<Rgb>) {
+        let vox = VoxelizedCloud::from_cloud(cloud, depth);
+        let d = device();
+        let geo = geometry::encode(&vox, false, &d);
+        let payload = encode(&vox, &geo, config, &d);
+        let decoded = decode(&payload, config, &d).unwrap();
+        let original = gather_voxel_colors(&vox, &geo);
+        (original, decoded)
+    }
+
+    fn gradient_cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                (
+                    Point3::new(i as f32, (i / 8) as f32, 0.0),
+                    Rgb::new((i % 256) as u8, 128, (255 - i % 256) as u8),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_config_round_trips_exactly() {
+        let cloud = gradient_cloud(300);
+        let cfg = IntraConfig::lossless();
+        let (original, decoded) = encode_decode(&cloud, &cfg, 9);
+        assert_eq!(original, decoded);
+    }
+
+    #[test]
+    fn quantized_error_bounded_by_half_step() {
+        let cloud = gradient_cloud(300);
+        let cfg = IntraConfig::paper();
+        let (original, decoded) = encode_decode(&cloud, &cfg, 9);
+        let half = cfg.quant_step() / 2;
+        for (o, d) in original.iter().zip(&decoded) {
+            for (oc, dc) in o.to_i32().iter().zip(d.to_i32()) {
+                assert!((oc - dc).abs() <= half, "err {} > {half}", (oc - dc).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn single_layer_and_two_layer_agree_on_values() {
+        let cloud = gradient_cloud(200);
+        let one = IntraConfig { two_layer: false, ..IntraConfig::lossless() };
+        let two = IntraConfig::lossless();
+        let (_, d1) = encode_decode(&cloud, &one, 9);
+        let (_, d2) = encode_decode(&cloud, &two, 9);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn entropy_config_round_trips() {
+        let cloud = gradient_cloud(200);
+        let cfg = IntraConfig { entropy: true, ..IntraConfig::lossless() };
+        let (original, decoded) = encode_decode(&cloud, &cfg, 9);
+        assert_eq!(original, decoded);
+    }
+
+    #[test]
+    fn duplicate_points_average_per_voxel() {
+        let cloud: PointCloud = [
+            (Point3::ORIGIN, Rgb::gray(100)),
+            (Point3::ORIGIN, Rgb::gray(104)),
+            (Point3::new(40.0, 0.0, 0.0), Rgb::gray(200)),
+        ]
+        .into_iter()
+        .collect();
+        let cfg = IntraConfig::lossless();
+        let (original, decoded) = encode_decode(&cloud, &cfg, 4);
+        assert_eq!(original.len(), 2);
+        assert_eq!(decoded[0], Rgb::gray(102));
+    }
+
+    #[test]
+    fn empty_cloud_round_trips() {
+        let cfg = IntraConfig::paper();
+        let vox = VoxelizedCloud::from_cloud(&PointCloud::new(), 6);
+        let d = device();
+        let geo = geometry::encode(&vox, false, &d);
+        let payload = encode(&vox, &geo, &cfg, &d);
+        let decoded = decode(&payload, &cfg, &d).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn smooth_content_compresses_well() {
+        // Smooth colors => residuals near zero => ~1 byte/channel.
+        let cloud: PointCloud = (0..4096)
+            .map(|i| {
+                let x = (i % 16) as f32;
+                let y = ((i / 16) % 16) as f32;
+                let z = (i / 256) as f32;
+                (Point3::new(x, y, z), Rgb::new((x * 4.0) as u8, (y * 4.0) as u8, (z * 4.0) as u8))
+            })
+            .collect();
+        let cfg = IntraConfig::paper();
+        let vox = VoxelizedCloud::from_cloud(&cloud, 4);
+        let d = device();
+        let geo = geometry::encode(&vox, false, &d);
+        let payload = encode(&vox, &geo, &cfg, &d);
+        let bytes_per_voxel = payload.len() as f64 / geo.unique_voxels as f64;
+        assert!(bytes_per_voxel < 3.5, "{bytes_per_voxel} bytes/voxel");
+    }
+
+    #[test]
+    fn malformed_payload_errors() {
+        let cfg = IntraConfig::paper();
+        let d = device();
+        assert!(decode(&[], &cfg, &d).is_err());
+        assert!(decode(&[1, 200], &cfg, &d).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn decoded_colors_within_quant_bound(
+            pts in prop::collection::vec((0u32..32, 0u32..32, 0u32..32, any::<u8>()), 1..100),
+            shift in 0u8..3,
+        ) {
+            let cloud: PointCloud = pts
+                .iter()
+                .map(|&(x, y, z, c)| {
+                    (Point3::new(x as f32, y as f32, z as f32), Rgb::new(c, c.wrapping_add(40), 255 - c))
+                })
+                .collect();
+            let cfg = IntraConfig { quant_shift: shift, ..IntraConfig::paper() };
+            let (original, decoded) = encode_decode(&cloud, &cfg, 5);
+            prop_assert_eq!(original.len(), decoded.len());
+            let half = cfg.quant_step() / 2;
+            for (o, d) in original.iter().zip(&decoded) {
+                for (oc, dc) in o.to_i32().iter().zip(d.to_i32()) {
+                    prop_assert!((oc - dc).abs() <= half);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Intra-codec configuration.
+
+/// Configuration of the intra-frame codec.
+///
+/// Defaults follow the paper's evaluated operating point (Sec. VI-B):
+/// 30 000 segments per frame, a 2-layer residual encoder, and entropy
+/// coding *disabled* (the paper discards it for a ≈2× geometry-stage
+/// speedup at ≈0.5× larger streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntraConfig {
+    /// Target number of attribute segments per frame.
+    pub segments: usize,
+    /// Residual quantization shift: residuals are quantized with step
+    /// `1 << quant_shift` (0 = lossless residuals).
+    pub quant_shift: u8,
+    /// Re-encode the residual stream through a second base+delta layer.
+    pub two_layer: bool,
+    /// Entropy-code the packed geometry and attribute payloads.
+    pub entropy: bool,
+}
+
+impl IntraConfig {
+    /// The paper's evaluated configuration.
+    pub fn paper() -> Self {
+        IntraConfig { segments: 30_000, quant_shift: 2, two_layer: true, entropy: false }
+    }
+
+    /// A lossless-residual configuration (for tests and ablations).
+    pub fn lossless() -> Self {
+        IntraConfig { quant_shift: 0, ..IntraConfig::paper() }
+    }
+
+    /// Segment count scaled to a frame of `points` points, preserving the
+    /// configured full-scale density (`segments` per 10⁶ points; the
+    /// paper's 30 000 ⇒ ~33 points per segment).
+    pub fn segments_for(&self, points: usize) -> usize {
+        let per_segment = 1_000_000.0 / self.segments.max(1) as f64;
+        let scaled = (points as f64 / per_segment).round() as usize;
+        scaled.clamp(1, self.segments.max(1))
+    }
+
+    /// The residual quantization step (`1 << quant_shift`).
+    pub fn quant_step(&self) -> i32 {
+        1 << self.quant_shift
+    }
+}
+
+impl Default for IntraConfig {
+    fn default() -> Self {
+        IntraConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = IntraConfig::default();
+        assert_eq!(c.segments, 30_000);
+        assert_eq!(c.quant_step(), 4);
+        assert!(c.two_layer);
+        assert!(!c.entropy);
+    }
+
+    #[test]
+    fn segment_scaling_preserves_density() {
+        let c = IntraConfig::default();
+        assert_eq!(c.segments_for(1_000_000), 30_000);
+        assert_eq!(c.segments_for(100_000), 3_000);
+        assert_eq!(c.segments_for(10), 1); // tiny frames get one segment
+        // Never exceeds the configured cap.
+        assert_eq!(c.segments_for(10_000_000), 30_000);
+    }
+
+    #[test]
+    fn lossless_config_has_unit_step() {
+        assert_eq!(IntraConfig::lossless().quant_step(), 1);
+    }
+}

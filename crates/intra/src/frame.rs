@@ -1,0 +1,251 @@
+//! The intra-frame codec facade.
+
+use crate::config::IntraConfig;
+use crate::{attribute, geometry};
+use pcc_edge::Device;
+use pcc_types::{Point3, VoxelizedCloud};
+use std::fmt;
+
+/// One intra-coded frame: independent geometry and attribute payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntraFrame {
+    /// Compressed geometry stream.
+    pub geometry: Vec<u8>,
+    /// Compressed attribute payload.
+    pub attribute: Vec<u8>,
+    /// Unique occupied voxels in the frame.
+    pub unique_voxels: usize,
+    /// Raw points the frame was encoded from (before voxel dedup).
+    pub raw_points: usize,
+}
+
+impl IntraFrame {
+    /// Total compressed bytes (geometry + attribute).
+    pub fn total_bytes(&self) -> usize {
+        self.geometry.len() + self.attribute.len()
+    }
+}
+
+/// Errors produced while decoding an [`IntraFrame`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IntraError {
+    /// The geometry stream is malformed.
+    Geometry(pcc_octree::StreamError),
+    /// The attribute payload is malformed.
+    Attribute(pcc_entropy::Error),
+    /// Geometry and attribute payloads disagree on the voxel count.
+    VoxelCountMismatch {
+        /// Voxels decoded from geometry.
+        geometry: usize,
+        /// Colors decoded from attributes.
+        attribute: usize,
+    },
+}
+
+impl fmt::Display for IntraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntraError::Geometry(e) => write!(f, "geometry stream error: {e}"),
+            IntraError::Attribute(e) => write!(f, "attribute payload error: {e}"),
+            IntraError::VoxelCountMismatch { geometry, attribute } => write!(
+                f,
+                "geometry decodes {geometry} voxels but attributes carry {attribute} colors"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IntraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IntraError::Geometry(e) => Some(e),
+            IntraError::Attribute(e) => Some(e),
+            IntraError::VoxelCountMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<pcc_octree::StreamError> for IntraError {
+    fn from(e: pcc_octree::StreamError) -> Self {
+        IntraError::Geometry(e)
+    }
+}
+
+impl From<pcc_entropy::Error> for IntraError {
+    fn from(e: pcc_entropy::Error) -> Self {
+        IntraError::Attribute(e)
+    }
+}
+
+/// The proposed intra-frame codec (geometry + attributes), wired to the
+/// edge-device model.
+///
+/// See the [crate-level example](crate) for an end-to-end round trip.
+#[derive(Debug, Clone, Default)]
+pub struct IntraCodec {
+    config: IntraConfig,
+}
+
+impl IntraCodec {
+    /// Creates a codec with the given configuration.
+    pub fn new(config: IntraConfig) -> Self {
+        IntraCodec { config }
+    }
+
+    /// The codec's configuration.
+    pub fn config(&self) -> &IntraConfig {
+        &self.config
+    }
+
+    /// Encodes one voxelized frame, charging every stage to `device`.
+    pub fn encode(&self, cloud: &VoxelizedCloud, device: &Device) -> IntraFrame {
+        let geo = geometry::encode(cloud, self.config.entropy, device);
+        let attr = attribute::encode(cloud, &geo, &self.config, device);
+        IntraFrame {
+            geometry: geo.stream,
+            attribute: attr,
+            unique_voxels: geo.unique_voxels,
+            raw_points: cloud.len(),
+        }
+    }
+
+    /// Encodes a frame and also returns the geometry intermediates (Morton
+    /// permutation, voxel mapping) for pipelines that reuse them — the
+    /// inter-frame codec does.
+    pub fn encode_with_intermediates(
+        &self,
+        cloud: &VoxelizedCloud,
+        device: &Device,
+    ) -> (IntraFrame, geometry::GeometryEncoded) {
+        let geo = geometry::encode(cloud, self.config.entropy, device);
+        let attr = attribute::encode(cloud, &geo, &self.config, device);
+        let frame = IntraFrame {
+            geometry: geo.stream.clone(),
+            attribute: attr,
+            unique_voxels: geo.unique_voxels,
+            raw_points: cloud.len(),
+        };
+        (frame, geo)
+    }
+
+    /// Decodes a frame back to a voxelized cloud (one color per unique
+    /// voxel, Morton order, original world frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IntraError`] on malformed payloads or mismatched
+    /// geometry/attribute counts.
+    pub fn decode(&self, frame: &IntraFrame, device: &Device) -> Result<VoxelizedCloud, IntraError> {
+        let geo = geometry::decode(&frame.geometry, self.config.entropy, device)?;
+        let colors = attribute::decode(&frame.attribute, &self.config, device)?;
+        if geo.coords.len() != colors.len() {
+            return Err(IntraError::VoxelCountMismatch {
+                geometry: geo.coords.len(),
+                attribute: colors.len(),
+            });
+        }
+        let origin = Point3::new(geo.origin[0], geo.origin[1], geo.origin[2]);
+        VoxelizedCloud::from_grid_with_frame(geo.coords, colors, geo.depth, origin, geo.voxel_size)
+            .map_err(|_| IntraError::Geometry(pcc_octree::StreamError::Truncated))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_edge::PowerMode;
+    use pcc_types::{Point3, PointCloud, Rgb};
+
+    fn device() -> Device {
+        Device::jetson_agx_xavier(PowerMode::W15)
+    }
+
+    fn cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                (
+                    Point3::new((i % 31) as f32, ((i / 31) % 31) as f32, (i / 961) as f32),
+                    Rgb::new((i % 200) as u8, 100, 50),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_round_trip_preserves_world_frame() {
+        let c = cloud(500);
+        let vox = VoxelizedCloud::from_cloud(&c, 6);
+        let codec = IntraCodec::new(IntraConfig::lossless());
+        let d = device();
+        let frame = codec.encode(&vox, &d);
+        let dec = codec.decode(&frame, &d).unwrap();
+        assert_eq!(dec.depth(), vox.depth());
+        assert_eq!(dec.origin(), vox.origin());
+        assert_eq!(dec.voxel_size(), vox.voxel_size());
+        assert_eq!(dec.len(), frame.unique_voxels);
+    }
+
+    #[test]
+    fn compressed_is_much_smaller_than_raw() {
+        let c = cloud(5000);
+        let vox = VoxelizedCloud::from_cloud(&c, 6);
+        let codec = IntraCodec::default();
+        let d = device();
+        let frame = codec.encode(&vox, &d);
+        let raw = c.len() * pcc_types::RAW_BYTES_PER_POINT;
+        assert!(
+            frame.total_bytes() * 2 < raw,
+            "compressed {} vs raw {raw}",
+            frame.total_bytes()
+        );
+    }
+
+    #[test]
+    fn voxel_count_mismatch_detected() {
+        let c = cloud(100);
+        let vox = VoxelizedCloud::from_cloud(&c, 6);
+        let codec = IntraCodec::new(IntraConfig::lossless());
+        let d = device();
+        let a = codec.encode(&vox, &d);
+        let other: PointCloud =
+            [(Point3::ORIGIN, Rgb::BLACK)].into_iter().collect();
+        let b = codec.encode(&VoxelizedCloud::from_cloud(&other, 6), &d);
+        let franken = IntraFrame {
+            geometry: a.geometry.clone(),
+            attribute: b.attribute,
+            unique_voxels: a.unique_voxels,
+            raw_points: a.raw_points,
+        };
+        let err = codec.decode(&franken, &d).unwrap_err();
+        assert!(matches!(err, IntraError::VoxelCountMismatch { .. }), "got {err}");
+    }
+
+    #[test]
+    fn encode_with_intermediates_matches_encode() {
+        let c = cloud(200);
+        let vox = VoxelizedCloud::from_cloud(&c, 6);
+        let codec = IntraCodec::default();
+        let d = device();
+        let plain = codec.encode(&vox, &d);
+        let (frame, geo) = codec.encode_with_intermediates(&vox, &d);
+        assert_eq!(plain, frame);
+        assert_eq!(geo.unique_voxels, frame.unique_voxels);
+        assert_eq!(geo.perm.len(), c.len());
+    }
+
+    #[test]
+    fn timeline_covers_encode_and_decode() {
+        let c = cloud(100);
+        let vox = VoxelizedCloud::from_cloud(&c, 6);
+        let codec = IntraCodec::default();
+        let d = device();
+        let frame = codec.encode(&vox, &d);
+        codec.decode(&frame, &d).unwrap();
+        let t = d.timeline();
+        assert!(t.stage_ms("geometry").as_f64() > 0.0);
+        assert!(t.stage_ms("attribute").as_f64() > 0.0);
+        assert!(t.stage_ms("geometry_decode").as_f64() > 0.0);
+        assert!(t.stage_ms("attribute_decode").as_f64() > 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Proposed intra-frame geometry compression (paper Fig. 4c).
+
+use pcc_edge::{calib, Device};
+use pcc_entropy::{ByteModel, RangeDecoder, RangeEncoder};
+use pcc_morton::{sort_codes, MortonCode};
+use pcc_octree::ParallelOctree;
+use pcc_types::{VoxelCoord, VoxelizedCloud};
+
+/// The outcome of geometry encoding: the compressed stream plus the
+/// intermediate results the attribute pipeline reuses for free.
+#[derive(Debug, Clone)]
+pub struct GeometryEncoded {
+    /// The compressed geometry stream.
+    pub stream: Vec<u8>,
+    /// Permutation sorting the input points into Morton order
+    /// (`perm[rank] = input index`).
+    pub perm: Vec<u32>,
+    /// For each sorted point, the index of its (deduplicated) voxel in
+    /// the unique-leaf array.
+    pub point_to_voxel: Vec<u32>,
+    /// Number of unique occupied voxels.
+    pub unique_voxels: usize,
+    /// Sorted unique leaf codes (the octree's leaf level).
+    pub leaf_codes: Vec<MortonCode>,
+}
+
+/// Stage label prefix used in device timelines.
+const STAGE: &str = "geometry";
+
+/// Encodes the geometry of a voxelized cloud with the Morton-parallel
+/// pipeline, charging each kernel to `device`.
+///
+/// `entropy` additionally range-codes the occupancy stream (the paper's
+/// discarded option).
+pub fn encode(cloud: &VoxelizedCloud, entropy: bool, device: &Device) -> GeometryEncoded {
+    let n = cloud.len();
+
+    // 1. Morton code generation — one independent item per point, run as
+    //    a data-parallel kernel launch.
+    let codes = device.launch_map(
+        &format!("{STAGE}/morton"),
+        &calib::MORTON_GEN,
+        cloud.coords(),
+        |&c| pcc_morton::encode(c),
+    );
+
+    // 2. Radix sort of the codes.
+    let sorted = sort_codes(&codes);
+    device.charge_gpu(&format!("{STAGE}/sort"), &calib::RADIX_SORT, n);
+
+    // 3. Deduplicate to unique leaves, remembering each point's voxel.
+    let mut leaf_codes: Vec<MortonCode> = Vec::with_capacity(n);
+    let mut point_to_voxel: Vec<u32> = Vec::with_capacity(n);
+    for &code in &sorted.codes {
+        if leaf_codes.last() != Some(&code) {
+            leaf_codes.push(code);
+        }
+        point_to_voxel.push(leaf_codes.len() as u32 - 1);
+    }
+
+    // 4. Parallel octree construction over the sorted unique codes.
+    let tree = ParallelOctree::from_sorted_codes(leaf_codes.clone(), cloud.depth());
+    device.charge_gpu(&format!("{STAGE}/octree"), &calib::OCTREE_BUILD, tree.node_count().max(1));
+
+    // 5. Occupancy-byte post-processing (Algorithm 1).
+    let occupancy = tree.occupancy();
+    device.charge_gpu(&format!("{STAGE}/occupy"), &calib::OCCUPY_POST, tree.node_count().max(1));
+
+    // 6. Stream packing (+ grid metadata so the decoder can restore world
+    //    coordinates).
+    let mut stream = header_bytes(cloud);
+    stream.extend_from_slice(&pcc_octree::serialize_occupancy(
+        cloud.depth(),
+        tree.leaf_count(),
+        &occupancy,
+    ));
+    device.charge_gpu(&format!("{STAGE}/pack"), &calib::STREAM_PACK, n);
+
+    // 7. Optional entropy coding of the payload.
+    if entropy {
+        stream = entropy_wrap(&stream);
+        device.charge_gpu(&format!("{STAGE}/entropy"), &calib::ENTROPY_GPU, stream.len());
+    }
+
+    GeometryEncoded {
+        stream,
+        perm: sorted.perm,
+        point_to_voxel,
+        unique_voxels: leaf_codes.len(),
+        leaf_codes,
+    }
+}
+
+/// The decoded geometry: unique voxels in Morton order plus the grid
+/// metadata to interpret them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryDecoded {
+    /// Unique voxel coordinates, Morton-ordered.
+    pub coords: Vec<VoxelCoord>,
+    /// Grid depth.
+    pub depth: u8,
+    /// World-space origin of the grid.
+    pub origin: [f32; 3],
+    /// World-space voxel side length.
+    pub voxel_size: f32,
+}
+
+/// Decodes a stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`pcc_octree::StreamError`] on malformed input.
+pub fn decode(
+    stream: &[u8],
+    entropy: bool,
+    device: &Device,
+) -> Result<GeometryDecoded, pcc_octree::StreamError> {
+    let owned;
+    let mut input = stream;
+    if entropy {
+        owned = entropy_unwrap(stream)?;
+        input = &owned;
+    }
+    let (header, rest) = parse_header(input)?;
+    let coords = pcc_octree::decode_occupancy(rest)?;
+    device.charge_gpu("geometry_decode", &calib::GEOM_DECODE, coords.len().max(1));
+    Ok(GeometryDecoded {
+        coords,
+        depth: header.depth,
+        origin: header.origin,
+        voxel_size: header.voxel_size,
+    })
+}
+
+struct Header {
+    depth: u8,
+    origin: [f32; 3],
+    voxel_size: f32,
+}
+
+fn header_bytes(cloud: &VoxelizedCloud) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.push(cloud.depth());
+    let o = cloud.origin();
+    for v in [o.x, o.y, o.z, cloud.voxel_size()] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn parse_header(input: &[u8]) -> Result<(Header, &[u8]), pcc_octree::StreamError> {
+    if input.len() < 17 {
+        return Err(pcc_octree::StreamError::Truncated);
+    }
+    let depth = input[0];
+    let mut f = [0f32; 4];
+    for (i, v) in f.iter_mut().enumerate() {
+        let s = 1 + 4 * i;
+        *v = f32::from_le_bytes(input[s..s + 4].try_into().expect("4-byte slice"));
+    }
+    Ok((
+        Header { depth, origin: [f[0], f[1], f[2]], voxel_size: f[3] },
+        &input[17..],
+    ))
+}
+
+fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
+    let mut model = ByteModel::new();
+    let mut enc = RangeEncoder::new();
+    for &b in payload {
+        enc.encode_byte(&mut model, b);
+    }
+    let coded = enc.finish();
+    let mut out = Vec::with_capacity(coded.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&coded);
+    out
+}
+
+fn entropy_unwrap(stream: &[u8]) -> Result<Vec<u8>, pcc_octree::StreamError> {
+    if stream.len() < 4 {
+        return Err(pcc_octree::StreamError::Truncated);
+    }
+    let len = u32::from_le_bytes(stream[..4].try_into().expect("4-byte slice")) as usize;
+    let mut model = ByteModel::new();
+    let mut dec = RangeDecoder::new(&stream[4..]);
+    Ok((0..len).map(|_| dec.decode_byte(&mut model)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_edge::PowerMode;
+    use pcc_types::{Point3, PointCloud, Rgb};
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::jetson_agx_xavier(PowerMode::W15)
+    }
+
+    fn vox_from(coords: &[(f32, f32, f32)], depth: u8) -> VoxelizedCloud {
+        let cloud: PointCloud = coords
+            .iter()
+            .map(|&(x, y, z)| (Point3::new(x, y, z), Rgb::gray(128)))
+            .collect();
+        VoxelizedCloud::from_cloud(&cloud, depth)
+    }
+
+    #[test]
+    fn round_trip_preserves_voxels() {
+        let vox = vox_from(&[(0.0, 0.0, 0.0), (1.0, 2.0, 3.0), (7.0, 7.0, 7.0)], 5);
+        let d = device();
+        let enc = encode(&vox, false, &d);
+        let dec = decode(&enc.stream, false, &d).unwrap();
+        assert_eq!(dec.coords.len(), enc.unique_voxels);
+        assert_eq!(dec.depth, 5);
+        // Decoded voxels are the sorted unique leaf codes.
+        let expect: Vec<VoxelCoord> = enc.leaf_codes.iter().map(|c| c.to_coord()).collect();
+        assert_eq!(dec.coords, expect);
+    }
+
+    #[test]
+    fn entropy_variant_round_trips_and_is_smaller_on_dense_input() {
+        // A dense, regular cloud has very skewed occupancy bytes.
+        let coords: Vec<(f32, f32, f32)> = (0..512)
+            .map(|i| ((i % 8) as f32, ((i / 8) % 8) as f32, (i / 64) as f32))
+            .collect();
+        let vox = vox_from(&coords, 5);
+        let d = device();
+        let plain = encode(&vox, false, &d);
+        let coded = encode(&vox, true, &d);
+        let dec = decode(&coded.stream, true, &d).unwrap();
+        assert_eq!(dec.coords.len(), coded.unique_voxels);
+        assert!(
+            coded.stream.len() < plain.stream.len(),
+            "entropy {} vs plain {}",
+            coded.stream.len(),
+            plain.stream.len()
+        );
+    }
+
+    #[test]
+    fn perm_and_point_to_voxel_are_consistent() {
+        let vox = vox_from(&[(3.0, 3.0, 3.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)], 4);
+        let d = device();
+        let enc = encode(&vox, false, &d);
+        assert_eq!(enc.perm.len(), 3);
+        assert_eq!(enc.point_to_voxel.len(), 3);
+        assert_eq!(enc.unique_voxels, 2);
+        // The two duplicate points map to the same voxel index.
+        let sorted_coords: Vec<VoxelCoord> =
+            enc.perm.iter().map(|&i| vox.coords()[i as usize]).collect();
+        for (rank, &v) in enc.point_to_voxel.iter().enumerate() {
+            assert_eq!(
+                pcc_morton::encode(sorted_coords[rank]),
+                enc.leaf_codes[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn device_timeline_has_all_stages() {
+        let vox = vox_from(&[(1.0, 1.0, 1.0)], 4);
+        let d = device();
+        encode(&vox, false, &d);
+        let t = d.timeline();
+        for stage in ["geometry/morton", "geometry/sort", "geometry/octree", "geometry/occupy", "geometry/pack"]
+        {
+            assert!(t.stage_ms(stage).as_f64() > 0.0, "missing {stage}");
+        }
+        assert_eq!(t.stage_ms("geometry/entropy").as_f64(), 0.0);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let vox = vox_from(&[(1.0, 1.0, 1.0), (2.0, 2.0, 2.0)], 4);
+        let d = device();
+        let enc = encode(&vox, false, &d);
+        for cut in 0..enc.stream.len() {
+            assert!(decode(&enc.stream[..cut], false, &d).is_err());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn geometry_is_lossless_at_voxel_precision(
+            pts in prop::collection::vec((0u32..64, 0u32..64, 0u32..64), 1..150)
+        ) {
+            let coords: Vec<VoxelCoord> =
+                pts.iter().map(|&(x, y, z)| VoxelCoord::new(x, y, z)).collect();
+            let colors = vec![Rgb::BLACK; coords.len()];
+            let vox = VoxelizedCloud::from_grid(coords.clone(), colors, 6).unwrap();
+            let d = device();
+            let enc = encode(&vox, false, &d);
+            let dec = decode(&enc.stream, false, &d).unwrap();
+            let mut expect: Vec<u64> =
+                coords.iter().map(|&c| pcc_morton::encode(c).value()).collect();
+            expect.sort_unstable();
+            expect.dedup();
+            let got: Vec<u64> =
+                dec.coords.iter().map(|&c| pcc_morton::encode(c).value()).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

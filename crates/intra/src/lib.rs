@@ -1,0 +1,49 @@
+//! The paper's proposed **intra-frame** point-cloud codec.
+//!
+//! Two Morton-code-driven pipelines (paper Sec. IV, Fig. 4c/4d):
+//!
+//! - **Geometry** ([`geometry`]): generate Morton codes in one parallel
+//!   pass, radix-sort them, build the octree with the parallel
+//!   (Karras-style) constructor, post-process code/parent arrays into
+//!   occupancy bytes (Algorithm 1), and pack. Entropy coding is optional
+//!   and off by default — the paper measured it at ≈100 ms for ≈0.1×
+//!   size, and discards it.
+//! - **Attributes** ([`attribute`]): reuse the sorted order to gather
+//!   colors, segment the sorted sequence into ~30 000 blocks, store one
+//!   median **base** per segment plus quantized per-point **residuals**,
+//!   applied twice (the evaluated "2-layer encoder").
+//!
+//! [`IntraCodec`] glues both into a frame codec, charging every stage to
+//! the [`pcc_edge::Device`] model so latency/energy figures regenerate.
+//!
+//! # Examples
+//!
+//! ```
+//! use pcc_edge::{Device, PowerMode};
+//! use pcc_intra::{IntraCodec, IntraConfig};
+//! use pcc_types::{Point3, PointCloud, Rgb, VoxelizedCloud};
+//!
+//! let cloud: PointCloud = (0..100)
+//!     .map(|i| (Point3::new(i as f32, (i % 7) as f32, 0.0), Rgb::gray(100 + (i % 5) as u8)))
+//!     .collect();
+//! let vox = VoxelizedCloud::from_cloud(&cloud, 7);
+//!
+//! let device = Device::jetson_agx_xavier(PowerMode::W15);
+//! let codec = IntraCodec::new(IntraConfig::default());
+//! let frame = codec.encode(&vox, &device);
+//! let decoded = codec.decode(&frame, &device).unwrap();
+//! assert_eq!(decoded.len(), frame.unique_voxels);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute;
+mod config;
+mod frame;
+pub mod geometry;
+mod layer;
+
+pub use config::IntraConfig;
+pub use frame::{IntraCodec, IntraError, IntraFrame};
+pub use layer::{decode_layer, encode_layer, encode_layer_with_starts, LayerEncoded};

@@ -1,0 +1,206 @@
+//! A kd-tree nearest-neighbor index.
+//!
+//! PCL offers both octree and kd-tree search structures (the paper's
+//! Sec. I cites the kd-tree module as the other standard organization for
+//! point clouds). This kd-tree complements [`crate::GridIndex`]: it has no
+//! cell-size parameter to tune and degrades gracefully on wildly
+//! non-uniform clouds, at the cost of pointer-chasing instead of hashing.
+//! Both indices return identical nearest neighbors (see the cross-check
+//! property test).
+
+use pcc_types::Point3;
+
+/// A balanced kd-tree over a fixed set of points.
+///
+/// # Examples
+///
+/// ```
+/// use pcc_metrics::KdTree;
+/// use pcc_types::Point3;
+///
+/// let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(10.0, 0.0, 0.0)];
+/// let tree = KdTree::build(&pts);
+/// let (i, d2) = tree.nearest(Point3::new(9.0, 1.0, 0.0)).unwrap();
+/// assert_eq!(i, 1);
+/// assert!((d2 - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Point indices arranged in in-order kd layout.
+    order: Vec<u32>,
+    points: Vec<Point3>,
+}
+
+impl KdTree {
+    /// Builds a balanced tree over `points` (median splits, axis cycling
+    /// x → y → z by depth).
+    pub fn build(points: &[Point3]) -> Self {
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        build_recursive(points, &mut order, 0);
+        KdTree { order, points: points.to_vec() }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns `(index, squared distance)` of the nearest indexed point
+    /// to `q`, or `None` if the tree is empty.
+    pub fn nearest(&self, q: Point3) -> Option<(u32, f32)> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let mut best = (u32::MAX, f32::INFINITY);
+        self.search(q, 0..self.order.len(), 0, &mut best);
+        Some(best)
+    }
+
+    fn search(&self, q: Point3, range: std::ops::Range<usize>, depth: usize, best: &mut (u32, f32)) {
+        if range.is_empty() {
+            return;
+        }
+        let mid = range.start + range.len() / 2;
+        let node_idx = self.order[mid];
+        let node = self.points[node_idx as usize];
+        let d2 = q.distance_squared(node);
+        if d2 < best.1 {
+            *best = (node_idx, d2);
+        }
+        let axis = depth % 3;
+        let diff = axis_value(q, axis) - axis_value(node, axis);
+        let (near, far) = if diff < 0.0 {
+            (range.start..mid, mid + 1..range.end)
+        } else {
+            (mid + 1..range.end, range.start..mid)
+        };
+        self.search(q, near, depth + 1, best);
+        // Only cross the splitting plane if the hypersphere reaches it.
+        if diff * diff < best.1 {
+            self.search(q, far, depth + 1, best);
+        }
+    }
+}
+
+fn build_recursive(points: &[Point3], order: &mut [u32], depth: usize) {
+    if order.len() <= 1 {
+        return;
+    }
+    let axis = depth % 3;
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        axis_value(points[a as usize], axis).total_cmp(&axis_value(points[b as usize], axis))
+    });
+    let (lo, rest) = order.split_at_mut(mid);
+    build_recursive(points, lo, depth + 1);
+    build_recursive(points, &mut rest[1..], depth + 1);
+}
+
+#[inline]
+fn axis_value(p: Point3, axis: usize) -> f32 {
+    match axis {
+        0 => p.x,
+        1 => p.y,
+        _ => p.z,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridIndex;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.nearest(Point3::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(&[Point3::new(1.0, 2.0, 3.0)]);
+        let (i, d2) = t.nearest(Point3::new(1.0, 2.0, 4.0)).unwrap();
+        assert_eq!(i, 0);
+        assert!((d2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicated_points_resolve() {
+        let pts = vec![Point3::ORIGIN; 9];
+        let t = KdTree::build(&pts);
+        let (_, d2) = t.nearest(Point3::new(0.5, 0.0, 0.0)).unwrap();
+        assert!((d2 - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let pts: Vec<Point3> = (0..800)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-50.0..50.0),
+                    rng.random_range(-50.0..50.0),
+                    rng.random_range(-50.0..50.0),
+                )
+            })
+            .collect();
+        let tree = KdTree::build(&pts);
+        for _ in 0..300 {
+            let q = Point3::new(
+                rng.random_range(-60.0..60.0),
+                rng.random_range(-60.0..60.0),
+                rng.random_range(-60.0..60.0),
+            );
+            let (_, got) = tree.nearest(q).unwrap();
+            let want =
+                pts.iter().map(|p| q.distance_squared(*p)).fold(f32::INFINITY, f32::min);
+            assert!((got - want).abs() < 1e-4, "got {got}, want {want}");
+        }
+    }
+
+    proptest! {
+        /// The two NN backends agree everywhere.
+        #[test]
+        fn agrees_with_grid_index(
+            pts in prop::collection::vec((-100i32..100, -100i32..100, -100i32..100), 1..120),
+            q in (-150i32..150, -150i32..150, -150i32..150),
+        ) {
+            let pts: Vec<Point3> = pts
+                .into_iter()
+                .map(|(x, y, z)| Point3::new(x as f32, y as f32, z as f32))
+                .collect();
+            let q = Point3::new(q.0 as f32, q.1 as f32, q.2 as f32);
+            let kd = KdTree::build(&pts);
+            let grid = GridIndex::build(&pts, 5.0);
+            let (_, kd_d2) = kd.nearest(q).unwrap();
+            let (_, grid_d2) = grid.nearest(q).unwrap();
+            prop_assert!((kd_d2 - grid_d2).abs() < 1e-3, "kd {kd_d2} vs grid {grid_d2}");
+        }
+
+        #[test]
+        fn collinear_and_planar_clouds_work(
+            xs in prop::collection::vec(-1000i32..1000, 1..60),
+            q in -2000i32..2000,
+        ) {
+            // Degenerate geometry (all on the x-axis) stresses the split
+            // logic: all variance lives on one axis.
+            let pts: Vec<Point3> =
+                xs.iter().map(|&x| Point3::new(x as f32, 0.0, 0.0)).collect();
+            let tree = KdTree::build(&pts);
+            let qp = Point3::new(q as f32, 3.0, 0.0);
+            let (_, got) = tree.nearest(qp).unwrap();
+            let want =
+                pts.iter().map(|p| qp.distance_squared(*p)).fold(f32::INFINITY, f32::min);
+            prop_assert!((got - want).abs() < 1e-3);
+        }
+    }
+}

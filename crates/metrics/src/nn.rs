@@ -1,0 +1,278 @@
+//! Grid-hash nearest-neighbor index over point clouds.
+
+use pcc_types::Point3;
+use std::collections::HashMap;
+
+/// A uniform-grid spatial hash for nearest-neighbor queries.
+///
+/// Cells are cubes of a caller-supplied size (a good default is the mean
+/// inter-point spacing); queries spiral outward ring by ring until the
+/// best candidate provably cannot be beaten.
+///
+/// # Examples
+///
+/// ```
+/// use pcc_metrics::GridIndex;
+/// use pcc_types::Point3;
+///
+/// let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(10.0, 0.0, 0.0)];
+/// let index = GridIndex::build(&pts, 1.0);
+/// let (i, d2) = index.nearest(Point3::new(9.0, 0.5, 0.0)).unwrap();
+/// assert_eq!(i, 1);
+/// assert!(d2 < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cells: HashMap<(i32, i32, i32), Vec<u32>>,
+    points: Vec<Point3>,
+    cell_size: f32,
+    /// Bounding box of occupied cells (min, max), for search bounds.
+    cell_bounds: Option<((i32, i32, i32), (i32, i32, i32))>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn build(points: &[Point3], cell_size: f32) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite"
+        );
+        let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+        let mut bounds: Option<((i32, i32, i32), (i32, i32, i32))> = None;
+        for (i, p) in points.iter().enumerate() {
+            let key = Self::cell_of(*p, cell_size);
+            cells.entry(key).or_default().push(i as u32);
+            bounds = Some(match bounds {
+                None => (key, key),
+                Some((mn, mx)) => (
+                    (mn.0.min(key.0), mn.1.min(key.1), mn.2.min(key.2)),
+                    (mx.0.max(key.0), mx.1.max(key.1), mx.2.max(key.2)),
+                ),
+            });
+        }
+        GridIndex { cells, points: points.to_vec(), cell_size, cell_bounds: bounds }
+    }
+
+    /// Builds an index with a cell size estimated from the cloud's density
+    /// (≈ mean spacing for surface-like clouds).
+    pub fn build_auto(points: &[Point3]) -> Self {
+        let cell = pcc_types::Aabb::from_points(points.iter().copied())
+            .map(|bb| {
+                let side = bb.longest_side().max(1e-6);
+                // Surface density: n points over ~side² area.
+                (side / (points.len() as f32).sqrt().max(1.0)).max(side * 1e-4)
+            })
+            .unwrap_or(1.0);
+        GridIndex::build(points, cell)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns `(index, squared distance)` of the nearest indexed point to
+    /// `q`, or `None` if the index is empty.
+    ///
+    /// Cells are visited shell by shell (Chebyshev rings, enumerated as
+    /// the six faces of each shell — O(ring²) per shell, not O(ring³)),
+    /// stopping as soon as the best hit provably beats every farther
+    /// shell; the search never extends past the occupied-cell bounds.
+    pub fn nearest(&self, q: Point3) -> Option<(u32, f32)> {
+        let (mn, mx) = self.cell_bounds?;
+        let center = Self::cell_of(q, self.cell_size);
+        // No shell past the farthest occupied cell can hold points.
+        let ring_cap = [
+            (center.0 - mn.0).abs(),
+            (mx.0 - center.0).abs(),
+            (center.1 - mn.1).abs(),
+            (mx.1 - center.1).abs(),
+            (center.2 - mn.2).abs(),
+            (mx.2 - center.2).abs(),
+        ]
+        .into_iter()
+        .max()
+        .expect("non-empty array");
+
+        // Shells closer than the occupied box are provably empty: start
+        // at the box's Chebyshev distance from the query cell.
+        let gap = |a: i32, lo: i32, hi: i32| (lo - a).max(a - hi).max(0);
+        let ring_min = gap(center.0, mn.0, mx.0)
+            .max(gap(center.1, mn.1, mx.1))
+            .max(gap(center.2, mn.2, mx.2));
+
+        // Far queries (or degenerate cell sizes) would walk enormous
+        // shells; a linear scan is cheaper whenever the first candidate
+        // shell already has more cells than the index has points.
+        let first_shell_cells = 24u64 * (ring_min.max(1) as u64).pow(2);
+        if first_shell_cells > self.points.len() as u64 {
+            return self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, q.distance_squared(*p)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+        }
+
+        let mut best: Option<(u32, f32)> = None;
+        for ring in ring_min..=ring_cap {
+            self.visit_shell(center, ring, q, &mut best);
+            if let Some((_, bd)) = best {
+                // The closest possible point in shell r+1 is r·cell away.
+                let safe = ring as f32 * self.cell_size;
+                if bd <= safe * safe {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Visits every occupied cell at exactly Chebyshev distance `ring`
+    /// from `center`, updating `best`.
+    fn visit_shell(
+        &self,
+        center: (i32, i32, i32),
+        ring: i32,
+        q: Point3,
+        best: &mut Option<(u32, f32)>,
+    ) {
+        let mut scan = |dx: i32, dy: i32, dz: i32| {
+            let key = (center.0 + dx, center.1 + dy, center.2 + dz);
+            if let Some(ids) = self.cells.get(&key) {
+                for &i in ids {
+                    let d2 = q.distance_squared(self.points[i as usize]);
+                    if best.map_or(true, |(_, bd)| d2 < bd) {
+                        *best = Some((i, d2));
+                    }
+                }
+            }
+        };
+        if ring == 0 {
+            scan(0, 0, 0);
+            return;
+        }
+        // Two z-faces, then two y-faces, then two x-faces (edges and
+        // corners visited exactly once).
+        for dx in -ring..=ring {
+            for dy in -ring..=ring {
+                scan(dx, dy, -ring);
+                scan(dx, dy, ring);
+            }
+        }
+        for dx in -ring..=ring {
+            for dz in -(ring - 1)..=(ring - 1) {
+                scan(dx, -ring, dz);
+                scan(dx, ring, dz);
+            }
+        }
+        for dy in -(ring - 1)..=(ring - 1) {
+            for dz in -(ring - 1)..=(ring - 1) {
+                scan(-ring, dy, dz);
+                scan(ring, dy, dz);
+            }
+        }
+    }
+
+    fn cell_of(p: Point3, cell: f32) -> (i32, i32, i32) {
+        (
+            (p.x / cell).floor() as i32,
+            (p.y / cell).floor() as i32,
+            (p.z / cell).floor() as i32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.is_empty());
+        assert!(idx.nearest(Point3::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn exact_hit() {
+        let pts = vec![Point3::new(1.0, 2.0, 3.0)];
+        let idx = GridIndex::build(&pts, 0.5);
+        let (i, d2) = idx.nearest(Point3::new(1.0, 2.0, 3.0)).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(d2, 0.0);
+    }
+
+    #[test]
+    fn far_query_still_resolves() {
+        let pts = vec![Point3::ORIGIN];
+        let idx = GridIndex::build(&pts, 0.25);
+        let (i, d2) = idx.nearest(Point3::new(50.0, 0.0, 0.0)).unwrap();
+        assert_eq!(i, 0);
+        assert!((d2 - 2500.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        GridIndex::build(&[], 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_clouds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pts: Vec<Point3> = (0..500)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-10.0..10.0),
+                    rng.random_range(-10.0..10.0),
+                    rng.random_range(-10.0..10.0),
+                )
+            })
+            .collect();
+        let idx = GridIndex::build_auto(&pts);
+        for _ in 0..200 {
+            let q = Point3::new(
+                rng.random_range(-12.0..12.0),
+                rng.random_range(-12.0..12.0),
+                rng.random_range(-12.0..12.0),
+            );
+            let (_, got) = idx.nearest(q).unwrap();
+            let want = pts
+                .iter()
+                .map(|p| q.distance_squared(*p))
+                .fold(f32::INFINITY, f32::min);
+            assert!((got - want).abs() < 1e-4, "got {got}, want {want}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_distance_is_optimal(
+            pts in prop::collection::vec((-100i32..100, -100i32..100, -100i32..100), 1..80),
+            q in (-120i32..120, -120i32..120, -120i32..120),
+        ) {
+            let pts: Vec<Point3> = pts
+                .into_iter()
+                .map(|(x, y, z)| Point3::new(x as f32, y as f32, z as f32))
+                .collect();
+            let q = Point3::new(q.0 as f32, q.1 as f32, q.2 as f32);
+            let idx = GridIndex::build(&pts, 3.0);
+            let (_, got) = idx.nearest(q).unwrap();
+            let want = pts.iter().map(|p| q.distance_squared(*p)).fold(f32::INFINITY, f32::min);
+            prop_assert!((got - want).abs() < 1e-3);
+        }
+    }
+}

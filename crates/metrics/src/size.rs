@@ -1,0 +1,137 @@
+//! Compressed-size accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// The size of one compressed frame, split the way the paper reports it
+/// (geometry vs attribute payload, plus container headers).
+///
+/// # Examples
+///
+/// ```
+/// use pcc_metrics::CompressedSize;
+///
+/// let size = CompressedSize::new(1_000, 4_000, 16);
+/// assert_eq!(size.total_bytes(), 5_016);
+/// // A 15-byte/point frame of 2,000 points is 30,000 raw bytes:
+/// assert!((size.percent_of_raw(30_000) - 16.72).abs() < 0.01);
+/// assert!((size.compression_ratio(30_000) - 5.98).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompressedSize {
+    /// Geometry payload bytes.
+    pub geometry_bytes: usize,
+    /// Attribute payload bytes.
+    pub attribute_bytes: usize,
+    /// Container/header bytes not attributable to either payload.
+    pub header_bytes: usize,
+}
+
+impl CompressedSize {
+    /// Creates a size record from its three components.
+    pub fn new(geometry_bytes: usize, attribute_bytes: usize, header_bytes: usize) -> Self {
+        CompressedSize { geometry_bytes, attribute_bytes, header_bytes }
+    }
+
+    /// Total compressed bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.geometry_bytes + self.attribute_bytes + self.header_bytes
+    }
+
+    /// Compressed size as a percentage of `raw_bytes`
+    /// (Fig. 8c's primary metric: TMC13 ≈8%, CWIPC ≈14%, Intra-only ≈17%).
+    pub fn percent_of_raw(&self, raw_bytes: usize) -> f64 {
+        if raw_bytes == 0 {
+            return 0.0;
+        }
+        100.0 * self.total_bytes() as f64 / raw_bytes as f64
+    }
+
+    /// Compression ratio `raw / compressed`
+    /// (Fig. 10b's metric: ≈5.95 intra-only, ≈10.43 with inter reuse).
+    pub fn compression_ratio(&self, raw_bytes: usize) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return f64::INFINITY;
+        }
+        raw_bytes as f64 / total as f64
+    }
+
+    /// Fraction of the payload that is geometry (CWIPC reports ≈63%
+    /// geometry; the proposed intra design ≈19%).
+    pub fn geometry_fraction(&self) -> f64 {
+        let payload = self.geometry_bytes + self.attribute_bytes;
+        if payload == 0 {
+            return 0.0;
+        }
+        self.geometry_bytes as f64 / payload as f64
+    }
+}
+
+impl Add for CompressedSize {
+    type Output = CompressedSize;
+    fn add(self, rhs: CompressedSize) -> CompressedSize {
+        CompressedSize {
+            geometry_bytes: self.geometry_bytes + rhs.geometry_bytes,
+            attribute_bytes: self.attribute_bytes + rhs.attribute_bytes,
+            header_bytes: self.header_bytes + rhs.header_bytes,
+        }
+    }
+}
+
+impl Sum for CompressedSize {
+    fn sum<I: Iterator<Item = CompressedSize>>(iter: I) -> CompressedSize {
+        iter.fold(CompressedSize::default(), Add::add)
+    }
+}
+
+impl fmt::Display for CompressedSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} B (geometry {}, attribute {}, header {})",
+            self.total_bytes(),
+            self.geometry_bytes,
+            self.attribute_bytes,
+            self.header_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let s = CompressedSize::new(100, 300, 10);
+        assert_eq!(s.total_bytes(), 410);
+        assert!((s.percent_of_raw(4100) - 10.0).abs() < 1e-9);
+        assert!((s.compression_ratio(4100) - 10.0).abs() < 1e-9);
+        assert!((s.geometry_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = CompressedSize::default();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.percent_of_raw(0), 0.0);
+        assert_eq!(s.compression_ratio(100), f64::INFINITY);
+        assert_eq!(s.geometry_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sum_accumulates_components() {
+        let total: CompressedSize =
+            [CompressedSize::new(1, 2, 3), CompressedSize::new(10, 20, 30)].into_iter().sum();
+        assert_eq!(total, CompressedSize::new(11, 22, 33));
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let s = CompressedSize::new(1, 2, 3).to_string();
+        assert!(s.contains("geometry 1") && s.contains("attribute 2") && s.contains("header 3"));
+    }
+}

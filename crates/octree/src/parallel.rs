@@ -1,0 +1,337 @@
+//! The proposed Morton-code-driven parallel octree builder.
+
+use pcc_morton::{sort_codes, MortonCode};
+use pcc_types::VoxelCoord;
+
+/// The code/parent arrays of one octree level.
+///
+/// This is the array-of-relationships representation the paper's proposed
+/// pipeline emits instead of a pointer tree (Fig. 5, lower pipeline): the
+/// `codes` array holds every node's Morton prefix at this level, and
+/// `parent[i]` is the index (in the next-shallower level's `codes`) of
+/// node `i`'s parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelArrays {
+    /// Morton prefixes of the occupied cells at this level, ascending.
+    pub codes: Vec<MortonCode>,
+    /// For each node, the index of its parent in the previous level
+    /// (`u32::MAX` for the root level's single node).
+    pub parent: Vec<u32>,
+}
+
+/// An octree represented as per-level code/parent arrays, built from
+/// sorted Morton codes with data-parallel passes only.
+///
+/// Construction mirrors the GPU algorithm ([Karras 2012] as applied by the
+/// paper): once the leaf codes are sorted, the set of occupied cells at
+/// every shallower level is the compaction of `code >> 3`, and parent
+/// links fall out of the compaction offsets. No insertion order, no
+/// locks — every level is a map + prefix-scan over independent elements.
+///
+/// [Karras 2012]: https://doi.org/10.2312/EGGH/HPG12/033-037
+///
+/// # Examples
+///
+/// ```
+/// use pcc_octree::ParallelOctree;
+/// use pcc_types::VoxelCoord;
+///
+/// let tree = ParallelOctree::from_coords(
+///     &[VoxelCoord::new(0, 0, 0), VoxelCoord::new(3, 3, 3)],
+///     2,
+/// );
+/// assert_eq!(tree.leaf_count(), 2);
+/// assert_eq!(tree.occupancy()[0], 0b1000_0001); // root byte
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelOctree {
+    depth: u8,
+    /// `levels[0]` is the root level (1 node); `levels[depth]` the leaves.
+    levels: Vec<LevelArrays>,
+}
+
+impl ParallelOctree {
+    /// Builds the tree from *sorted, deduplicated* leaf Morton codes.
+    ///
+    /// This is the zero-copy entry point for pipelines that already sorted
+    /// their codes (the intra-frame codec sorts once and reuses the order
+    /// for attributes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is outside `1..=21`, if the codes are not
+    /// strictly ascending, or if any code exceeds the depth.
+    pub fn from_sorted_codes(codes: Vec<MortonCode>, depth: u8) -> Self {
+        assert!((1..=21).contains(&depth), "octree depth {depth} outside 1..=21");
+        assert!(
+            codes.windows(2).all(|w| w[0] < w[1]),
+            "leaf codes must be strictly ascending (sorted + deduplicated)"
+        );
+        if let Some(last) = codes.last() {
+            assert!(
+                last.value() < 1u64 << (3 * depth as u32),
+                "leaf code {last} exceeds depth {depth}"
+            );
+        }
+
+        if codes.is_empty() {
+            // Degenerate tree: an (empty) root node so the occupancy
+            // stream still carries one root byte, matching the sequential
+            // builder.
+            let mut levels =
+                vec![LevelArrays { codes: vec![MortonCode::ZERO], parent: vec![u32::MAX] }];
+            levels.extend(
+                (0..depth).map(|_| LevelArrays { codes: Vec::new(), parent: Vec::new() }),
+            );
+            return ParallelOctree { depth, levels };
+        }
+
+        let mut levels = Vec::with_capacity(depth as usize + 1);
+        levels.push(LevelArrays { codes, parent: Vec::new() });
+
+        // Derive each shallower level by compacting `code >> 3`.
+        // (Data-parallel: a map producing parent codes, then a scan that
+        // keeps the first occurrence of each run — expressed here as the
+        // equivalent sequential compaction.)
+        for _ in 0..depth {
+            let child = levels.last().expect("at least the leaf level exists");
+            let mut parent_codes: Vec<MortonCode> = Vec::with_capacity(child.codes.len());
+            let mut parent_index: Vec<u32> = Vec::with_capacity(child.codes.len());
+            for &code in &child.codes {
+                let p = code.parent();
+                if parent_codes.last() != Some(&p) {
+                    parent_codes.push(p);
+                }
+                parent_index.push(parent_codes.len() as u32 - 1);
+            }
+            let child_level = levels.len() - 1;
+            levels[child_level].parent = parent_index;
+            levels.push(LevelArrays { codes: parent_codes, parent: Vec::new() });
+        }
+
+        // levels currently run leaf -> root; flip to root -> leaf and fix
+        // the root's parent sentinel.
+        levels.reverse();
+        levels[0].parent = vec![u32::MAX; levels[0].codes.len()];
+        ParallelOctree { depth, levels }
+    }
+
+    /// Builds the tree from unsorted voxel coordinates (sorts and
+    /// deduplicates internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is invalid or any coordinate does not fit it.
+    pub fn from_coords(coords: &[VoxelCoord], depth: u8) -> Self {
+        for c in coords {
+            assert!(c.fits_depth(depth), "coordinate {c:?} exceeds depth {depth}");
+        }
+        let codes: Vec<MortonCode> = coords.iter().map(|&c| MortonCode::from_coord(c)).collect();
+        let mut sorted = sort_codes(&codes).codes;
+        sorted.dedup();
+        ParallelOctree::from_sorted_codes(sorted, depth)
+    }
+
+    /// The leaf depth.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Number of occupied leaf voxels.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[self.depth as usize].codes.len()
+    }
+
+    /// Total nodes across all levels below the root (matches
+    /// [`SequentialOctree::node_count`](crate::SequentialOctree::node_count)).
+    pub fn node_count(&self) -> usize {
+        self.levels[1..].iter().map(|l| l.codes.len()).sum()
+    }
+
+    /// The code/parent arrays of one level (0 = root, `depth` = leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > depth`.
+    pub fn level(&self, level: u8) -> &LevelArrays {
+        &self.levels[level as usize]
+    }
+
+    /// The sorted leaf codes.
+    pub fn leaf_codes(&self) -> &[MortonCode] {
+        &self.levels[self.depth as usize].codes
+    }
+
+    /// The occupied leaf coordinates in Morton order.
+    pub fn leaves(&self) -> Vec<VoxelCoord> {
+        self.leaf_codes().iter().map(|c| c.to_coord()).collect()
+    }
+
+    /// Computes the breadth-first occupancy bytes via the paper's
+    /// Algorithm 1: every child ORs `1 << (code % 8)` into its parent's
+    /// byte — one independent operation per node, hence fully parallel.
+    ///
+    /// The result is bit-identical to
+    /// [`SequentialOctree::occupancy`](crate::SequentialOctree::occupancy)
+    /// for the same voxel set.
+    pub fn occupancy(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.occupancy_len());
+        for level in 0..self.depth as usize {
+            let child = &self.levels[level + 1];
+            let mut level_bytes = vec![0u8; self.levels[level].codes.len()];
+            for (code, &parent) in child.codes.iter().zip(&child.parent) {
+                level_bytes[parent as usize] |= 1 << code.child_slot();
+            }
+            bytes.extend_from_slice(&level_bytes);
+        }
+        bytes
+    }
+
+    /// Number of occupancy bytes [`occupancy`](Self::occupancy) produces
+    /// (one per internal node, including the root).
+    pub fn occupancy_len(&self) -> usize {
+        self.levels[..self.depth as usize].iter().map(|l| l.codes.len()).sum()
+    }
+
+    /// Serializes the tree into a self-describing [`OccupancyStream`]
+    /// byte buffer.
+    pub fn serialize(&self) -> Vec<u8> {
+        crate::serialize_occupancy(self.depth, self.leaf_count(), &self.occupancy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialOctree;
+    use pcc_morton::encode;
+    use proptest::prelude::*;
+
+    fn coords_fig5() -> Vec<VoxelCoord> {
+        vec![VoxelCoord::new(0, 0, 0), VoxelCoord::new(1, 0, 0), VoxelCoord::new(3, 3, 3)]
+    }
+
+    #[test]
+    fn fig5_code_and_parent_arrays() {
+        let tree = ParallelOctree::from_coords(&coords_fig5(), 2);
+        // Leaves: codes 0, 1, 63; their parents at level 1: 0, 0, 7.
+        let leaves = tree.level(2);
+        assert_eq!(
+            leaves.codes,
+            vec![MortonCode::from_raw(0), MortonCode::from_raw(1), MortonCode::from_raw(63)]
+        );
+        assert_eq!(leaves.parent, vec![0, 0, 1]);
+        let mid = tree.level(1);
+        assert_eq!(mid.codes, vec![MortonCode::from_raw(0), MortonCode::from_raw(7)]);
+        assert_eq!(mid.parent, vec![0, 0]);
+        assert_eq!(tree.level(0).codes, vec![MortonCode::ZERO]);
+    }
+
+    #[test]
+    fn fig5_occupancy_bytes() {
+        let tree = ParallelOctree::from_coords(&coords_fig5(), 2);
+        let occ = tree.occupancy();
+        // Root: children 0 and 7 -> 0b1000_0001.
+        // Level-1 node 0: leaves 0 and 1 -> 0b0000_0011.
+        // Level-1 node 7: leaf 63 (slot 7) -> 0b1000_0000.
+        assert_eq!(occ, vec![0b1000_0001, 0b0000_0011, 0b1000_0000]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = ParallelOctree::from_coords(&[], 3);
+        assert_eq!(tree.leaf_count(), 0);
+        assert_eq!(tree.node_count(), 0);
+        // Root byte exists and is zero.
+        assert_eq!(tree.occupancy(), vec![0]);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = ParallelOctree::from_coords(&[VoxelCoord::new(5, 6, 7)], 3);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.node_count(), 3);
+        let occ = tree.occupancy();
+        assert_eq!(occ.len(), 3);
+        assert_eq!(occ.iter().map(|b| b.count_ones()).sum::<u32>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_codes_panic() {
+        ParallelOctree::from_sorted_codes(
+            vec![MortonCode::from_raw(5), MortonCode::from_raw(3)],
+            3,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds depth")]
+    fn overflow_code_panics() {
+        ParallelOctree::from_sorted_codes(vec![MortonCode::from_raw(512)], 3);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let tree = ParallelOctree::from_coords(
+            &[VoxelCoord::new(1, 1, 1), VoxelCoord::new(1, 1, 1)],
+            2,
+        );
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    proptest! {
+        /// The headline structural invariant: the parallel builder matches
+        /// the sequential baseline byte-for-byte.
+        #[test]
+        fn matches_sequential_occupancy(
+            coords in prop::collection::vec((0u32..32, 0u32..32, 0u32..32), 1..200)
+        ) {
+            let coords: Vec<VoxelCoord> =
+                coords.into_iter().map(|(x, y, z)| VoxelCoord::new(x, y, z)).collect();
+            let par = ParallelOctree::from_coords(&coords, 5);
+            let seq = SequentialOctree::from_coords(&coords, 5);
+            prop_assert_eq!(par.occupancy(), seq.occupancy());
+            prop_assert_eq!(par.leaves(), seq.leaves());
+            prop_assert_eq!(par.node_count(), seq.node_count());
+        }
+
+        #[test]
+        fn parent_links_are_consistent(
+            coords in prop::collection::vec((0u32..64, 0u32..64, 0u32..64), 1..150)
+        ) {
+            let coords: Vec<VoxelCoord> =
+                coords.into_iter().map(|(x, y, z)| VoxelCoord::new(x, y, z)).collect();
+            let tree = ParallelOctree::from_coords(&coords, 6);
+            for level in 1..=6u8 {
+                let l = tree.level(level);
+                let up = tree.level(level - 1);
+                for (code, &p) in l.codes.iter().zip(&l.parent) {
+                    prop_assert_eq!(up.codes[p as usize], code.parent());
+                }
+                // Codes strictly ascending at every level.
+                prop_assert!(l.codes.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+
+        #[test]
+        fn leaf_codes_survive_round_trip(
+            raw in prop::collection::btree_set(0u64..(1 << 15), 1..100)
+        ) {
+            let codes: Vec<MortonCode> =
+                raw.iter().map(|&v| MortonCode::from_raw(v)).collect();
+            let tree = ParallelOctree::from_sorted_codes(codes.clone(), 5);
+            prop_assert_eq!(tree.leaf_codes().to_vec(), codes);
+        }
+    }
+
+    #[test]
+    fn morton_order_agrees_with_encode() {
+        let coords = vec![VoxelCoord::new(2, 3, 1), VoxelCoord::new(1, 1, 0)];
+        let tree = ParallelOctree::from_coords(&coords, 3);
+        let mut expect: Vec<u64> = coords.iter().map(|&c| encode(c).value()).collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = tree.leaf_codes().iter().map(|c| c.value()).collect();
+        assert_eq!(got, expect);
+    }
+}

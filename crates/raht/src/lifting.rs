@@ -1,0 +1,365 @@
+//! The G-PCC *Lifting Transform* — the third attribute coding method the
+//! paper lists for G-PCC (Sec. II-B3), alongside RAHT and the Predicting
+//! Transform.
+//!
+//! Lifting extends prediction with an **update step**: the signal is
+//! split into levels of detail; each finer level's points are *predicted*
+//! from the coarser set (detail coefficients), and the coarser set is
+//! then *updated* with a weighted share of those details, smoothing the
+//! low-pass band exactly as wavelet lifting does. Because the update uses
+//! the **quantized** details, the decoder can undo it exactly:
+//!
+//! ```text
+//! encode, per level (fine → coarse set):      decode (coarse → fine):
+//!   D_i  = a_i − P(coarse)                      coarse = ĉ − U(D̂)
+//!   D̂_i = Q(D_i)                                a_i    = D̂_i + P(coarse)
+//!   ĉ    = coarse + U(D̂)
+//! ```
+//!
+//! LOD structure and prediction neighborhoods are the deterministic
+//! Morton-order scheme shared with [`crate::predicting_forward`], so the
+//! two interpolation-based transforms are directly comparable.
+
+use pcc_morton::MortonCode;
+
+/// LOD decimation factor per level.
+const DECIMATION: usize = 4;
+
+/// Number of LOD levels (beyond which everything is the coarsest set).
+const LOD_LEVELS: usize = 4;
+
+/// Neighbors consulted per prediction/update.
+const NEIGHBORS: usize = 3;
+
+/// Morton-index search window for neighbors.
+const WINDOW: usize = 16;
+
+/// A lifting-coded attribute block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiftingEncoded {
+    /// Quantized coefficients: per level fine→coarse the detail triples,
+    /// then the coarsest level's values, all in Morton order within each
+    /// group.
+    pub coefficients: Vec<[i64; 3]>,
+    /// Quantization step.
+    pub qstep: f64,
+}
+
+impl LiftingEncoded {
+    /// Serialized payload size in bytes under varint packing.
+    pub fn payload_bytes(&self) -> usize {
+        self.coefficients
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&v| {
+                let z = ((v << 1) ^ (v >> 63)) as u64;
+                (64 - z.leading_zeros()).div_ceil(7).max(1) as usize
+            })
+            .sum()
+    }
+}
+
+/// The LOD split: `levels[0]` is the finest detail set, the last entry is
+/// the coarsest (kept) set. Derived from the point count alone.
+fn lod_split(n: usize) -> Vec<Vec<u32>> {
+    // A point's level: how many decimation rounds its index survives.
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); LOD_LEVELS + 1];
+    for i in 0..n as u32 {
+        let mut level = 0usize;
+        let mut step = DECIMATION as u64;
+        while level < LOD_LEVELS && (i as u64) % step == 0 {
+            level += 1;
+            step *= DECIMATION as u64;
+        }
+        levels[level].push(i);
+    }
+    // levels[k] currently holds points surviving exactly k rounds; finest
+    // details are the k = 0 group, coarsest kept set is k = LOD_LEVELS.
+    levels
+}
+
+/// Prediction neighbors of `target` among the coarser set (indices with
+/// `coarse[idx] == true`), nearest first by Morton-index distance.
+fn neighbors(coarse: &[bool], target: usize) -> Vec<(usize, f64)> {
+    let mut picked = Vec::with_capacity(NEIGHBORS);
+    for offset in 1..=WINDOW {
+        for idx in [target.checked_sub(offset), Some(target + offset)].into_iter().flatten() {
+            if picked.len() == NEIGHBORS {
+                return picked;
+            }
+            if coarse.get(idx).copied().unwrap_or(false) {
+                picked.push((idx, 1.0 / offset as f64));
+            }
+        }
+    }
+    picked
+}
+
+fn predict(values: &[[f64; 3]], nbrs: &[(usize, f64)]) -> [f64; 3] {
+    if nbrs.is_empty() {
+        return [128.0; 3];
+    }
+    let mut num = [0f64; 3];
+    let mut den = 0f64;
+    for &(idx, w) in nbrs {
+        for ch in 0..3 {
+            num[ch] += w * values[idx][ch];
+        }
+        den += w;
+    }
+    [num[0] / den, num[1] / den, num[2] / den]
+}
+
+/// Forward lifting transform over Morton-sorted attributes.
+///
+/// # Panics
+///
+/// Panics if inputs disagree in length, codes are not strictly ascending,
+/// or `qstep` is not positive.
+pub fn lifting_forward(codes: &[MortonCode], attrs: &[[f64; 3]], qstep: f64) -> LiftingEncoded {
+    assert_eq!(codes.len(), attrs.len(), "one attribute vector per point");
+    assert!(qstep > 0.0, "quantization step must be positive");
+    assert!(codes.windows(2).all(|w| w[0] < w[1]), "codes must be strictly ascending");
+
+    let n = attrs.len();
+    let levels = lod_split(n);
+    let mut values: Vec<[f64; 3]> = attrs.to_vec();
+    let mut coarse: Vec<bool> = vec![true; n];
+    let mut coefficients = Vec::with_capacity(n);
+
+    // Fine → coarse: predict, quantize, update.
+    for detail_level in levels.iter().take(LOD_LEVELS) {
+        // This level's points leave the coarse set before prediction.
+        for &i in detail_level {
+            coarse[i as usize] = false;
+        }
+        for &i in detail_level {
+            let i = i as usize;
+            let nbrs = neighbors(&coarse, i);
+            let pred = predict(&values, &nbrs);
+            let mut quantized = [0i64; 3];
+            let mut dequant = [0f64; 3];
+            for ch in 0..3 {
+                let d = values[i][ch] - pred[ch];
+                quantized[ch] = (d / qstep).round() as i64;
+                dequant[ch] = quantized[ch] as f64 * qstep;
+            }
+            coefficients.push(quantized);
+            // Update step: push a weighted share of the (dequantized)
+            // detail into the prediction neighbors — the decoder undoes
+            // this exactly.
+            let total_w: f64 = nbrs.iter().map(|(_, w)| w).sum();
+            for &(j, w) in &nbrs {
+                let share = 0.5 * w / total_w;
+                for ch in 0..3 {
+                    values[j][ch] += share * dequant[ch];
+                }
+            }
+        }
+    }
+    // Coarsest set: quantize the (updated) low-pass values directly.
+    for &i in &levels[LOD_LEVELS] {
+        let v = values[i as usize];
+        coefficients.push([
+            (v[0] / qstep).round() as i64,
+            (v[1] / qstep).round() as i64,
+            (v[2] / qstep).round() as i64,
+        ]);
+    }
+    LiftingEncoded { coefficients, qstep }
+}
+
+/// Inverse lifting transform: reconstructs attributes (in Morton order).
+///
+/// # Panics
+///
+/// Panics if the coefficient count does not match the code count.
+pub fn lifting_inverse(codes: &[MortonCode], encoded: &LiftingEncoded) -> Vec<[f64; 3]> {
+    let n = codes.len();
+    assert_eq!(n, encoded.coefficients.len(), "one coefficient per point is required");
+    let levels = lod_split(n);
+    let qstep = encoded.qstep;
+
+    // Split the coefficient stream back into per-level groups.
+    let mut groups: Vec<&[[i64; 3]]> = Vec::with_capacity(LOD_LEVELS + 1);
+    let mut pos = 0usize;
+    for level in levels.iter().take(LOD_LEVELS) {
+        groups.push(&encoded.coefficients[pos..pos + level.len()]);
+        pos += level.len();
+    }
+    groups.push(&encoded.coefficients[pos..]);
+
+    let mut values: Vec<[f64; 3]> = vec![[0.0; 3]; n];
+    // Coarsest set first: plain dequantization.
+    for (&i, q) in levels[LOD_LEVELS].iter().zip(groups[LOD_LEVELS]) {
+        for ch in 0..3 {
+            values[i as usize][ch] = q[ch] as f64 * qstep;
+        }
+    }
+    // The coarse-membership state as the *encoder left it* after all
+    // levels were removed.
+    let mut coarse = vec![false; n];
+    for &i in &levels[LOD_LEVELS] {
+        coarse[i as usize] = true;
+    }
+
+    // Coarse → fine: un-update, then predict + add detail.
+    for level_idx in (0..LOD_LEVELS).rev() {
+        let detail_level = &levels[level_idx];
+        let details = groups[level_idx];
+        // Un-update in reverse coding order so neighbor state matches the
+        // encoder's forward pass exactly.
+        for (&i, q) in detail_level.iter().zip(details).rev() {
+            let i = i as usize;
+            let nbrs = neighbors(&coarse, i);
+            let total_w: f64 = nbrs.iter().map(|(_, w)| w).sum();
+            for &(j, w) in &nbrs {
+                let share = 0.5 * w / total_w;
+                for ch in 0..3 {
+                    values[j][ch] -= share * (q[ch] as f64 * qstep);
+                }
+            }
+        }
+        // Now replay the encoder's forward pass: predict, reconstruct,
+        // and re-apply each point's update so later points in this level
+        // see exactly the state the encoder saw.
+        for (&i, q) in detail_level.iter().zip(details) {
+            let i = i as usize;
+            let nbrs = neighbors(&coarse, i);
+            let pred = predict(&values, &nbrs);
+            for ch in 0..3 {
+                values[i][ch] = pred[ch] + q[ch] as f64 * qstep;
+            }
+            let total_w: f64 = nbrs.iter().map(|(_, w)| w).sum();
+            for &(j, w) in &nbrs {
+                let share = 0.5 * w / total_w;
+                for ch in 0..3 {
+                    values[j][ch] += share * (q[ch] as f64 * qstep);
+                }
+            }
+        }
+        // Strip this level's updates once more: the next (finer) level
+        // was encoded against the state *before* these updates existed.
+        for (&i, q) in detail_level.iter().zip(details) {
+            let nbrs = neighbors(&coarse, i as usize);
+            let total_w: f64 = nbrs.iter().map(|(_, w)| w).sum();
+            for &(j, w) in &nbrs {
+                let share = 0.5 * w / total_w;
+                for ch in 0..3 {
+                    values[j][ch] -= share * (q[ch] as f64 * qstep);
+                }
+            }
+        }
+        for &i in detail_level {
+            coarse[i as usize] = true;
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codes(n: usize) -> Vec<MortonCode> {
+        (0..n as u64).map(|v| MortonCode::from_raw(v * 5)).collect()
+    }
+
+    #[test]
+    fn lod_split_partitions_all_points() {
+        let levels = lod_split(100);
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 100);
+        // Index 0 survives everything.
+        assert!(levels[LOD_LEVELS].contains(&0));
+        // Finest level holds the non-multiples of 4: 75 of 100.
+        assert_eq!(levels[0].len(), 75);
+    }
+
+    #[test]
+    fn round_trip_is_exact_apart_from_quantization() {
+        let c = codes(160);
+        let attrs: Vec<[f64; 3]> =
+            (0..160).map(|i| [80.0 + (i % 13) as f64, 120.0, 250.0 - (i % 9) as f64]).collect();
+        for qstep in [0.25, 1.0, 4.0] {
+            let enc = lifting_forward(&c, &attrs, qstep);
+            let dec = lifting_inverse(&c, &enc);
+            // The update step spreads quantization noise; bound it by a
+            // few steps rather than qstep/2.
+            for (a, d) in attrs.iter().zip(&dec) {
+                for ch in 0..3 {
+                    assert!(
+                        (a[ch] - d[ch]).abs() <= 2.5 * qstep + 1e-9,
+                        "err {} at qstep {qstep}",
+                        (a[ch] - d[ch]).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_qstep_is_numerically_lossless() {
+        let c = codes(90);
+        let attrs: Vec<[f64; 3]> =
+            (0..90).map(|i| [(i * 3 % 200) as f64, 55.0, (255 - i) as f64]).collect();
+        let enc = lifting_forward(&c, &attrs, 1e-6);
+        let dec = lifting_inverse(&c, &enc);
+        for (a, d) in attrs.iter().zip(&dec) {
+            for ch in 0..3 {
+                assert!((a[ch] - d[ch]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn update_step_changes_the_low_pass_band() {
+        // Lifting must differ from plain prediction: the coarsest
+        // coefficients absorb detail energy.
+        let c = codes(64);
+        let attrs: Vec<[f64; 3]> = (0..64).map(|i| [(i % 2) as f64 * 100.0; 3]).collect();
+        let lift = lifting_forward(&c, &attrs, 1.0);
+        let pred = crate::predicting_forward(&c, &attrs, 1.0);
+        assert_ne!(
+            lift.coefficients, pred.residuals,
+            "update step should alter the coefficient stream"
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let enc = lifting_forward(&[], &[], 1.0);
+        assert!(lifting_inverse(&[], &enc).is_empty());
+        let c = codes(1);
+        let enc = lifting_forward(&c, &[[99.0; 3]], 1.0);
+        let dec = lifting_inverse(&c, &enc);
+        assert!((dec[0][0] - 99.0).abs() <= 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_content(
+            values in prop::collection::vec(0u8..=255, 1..120),
+            qexp in 0u32..3,
+        ) {
+            let c = codes(values.len());
+            let attrs: Vec<[f64; 3]> = values
+                .iter()
+                .map(|&v| [v as f64, (v / 2) as f64, 255.0 - v as f64])
+                .collect();
+            let qstep = 0.5 * 2f64.powi(qexp as i32);
+            let enc = lifting_forward(&c, &attrs, qstep);
+            let dec = lifting_inverse(&c, &enc);
+            prop_assert_eq!(dec.len(), attrs.len());
+            for (a, d) in attrs.iter().zip(&dec) {
+                for ch in 0..3 {
+                    prop_assert!(
+                        (a[ch] - d[ch]).abs() <= 2.5 * qstep + 1e-9,
+                        "err {}", (a[ch] - d[ch]).abs()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The G-PCC *Predicting Transform* — the second of the three attribute
+//! coding methods the paper lists for G-PCC (alongside RAHT and the
+//! Lifting Transform).
+//!
+//! Points are organized into levels of detail (LOD): a coarse subsample
+//! is coded first, then each refinement level predicts every new point's
+//! attribute from its nearest already-coded neighbors (hierarchical
+//! nearest-neighbor interpolation) and codes only the quantized residual.
+//!
+//! This implementation derives the LOD structure and neighbor choices
+//! purely from the Morton-sorted order, so encoder and decoder agree
+//! without side information: Z-order proximity stands in for Euclidean
+//! proximity when selecting prediction neighbors.
+
+use pcc_morton::MortonCode;
+
+/// Number of LOD decimation rounds (coarsest level keeps every
+/// `4^LOD_LEVELS`-th point).
+const LOD_LEVELS: u32 = 4;
+
+/// Neighbors consulted per prediction.
+const NEIGHBORS: usize = 3;
+
+/// Morton-index search window for prediction neighbors.
+const WINDOW: usize = 16;
+
+/// A predicting-transform coded attribute block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictingEncoded {
+    /// Quantized residuals, one per point, in LOD processing order.
+    pub residuals: Vec<[i64; 3]>,
+    /// Quantization step.
+    pub qstep: f64,
+}
+
+impl PredictingEncoded {
+    /// Serialized payload size in bytes under varint packing (for size
+    /// comparisons against RAHT).
+    pub fn payload_bytes(&self) -> usize {
+        self.residuals
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&v| {
+                let z = ((v << 1) ^ (v >> 63)) as u64;
+                (64 - z.leading_zeros()).div_ceil(7).max(1) as usize
+            })
+            .sum()
+    }
+}
+
+/// The LOD processing order: point indices sorted coarse-to-fine.
+///
+/// A point's level is how many times its rank survives decimation by 4;
+/// higher-survival points are coded earlier. Both encoder and decoder
+/// derive this from the point count alone.
+fn processing_order(n: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let level_of = |i: u32| -> u32 {
+        let mut level = 0;
+        let mut step = 4u64;
+        while level < LOD_LEVELS && (i as u64) % step == 0 {
+            level += 1;
+            step *= 4;
+        }
+        level
+    };
+    order.sort_by_key(|&i| (std::cmp::Reverse(level_of(i)), i));
+    order
+}
+
+/// Predicts point `target`'s attribute from already-coded neighbors.
+///
+/// `decoded[j]` is `Some(attr)` once point `j` (in Morton order) has been
+/// coded. Neighbors are the nearest coded points by Morton index within
+/// [`WINDOW`], weighted by inverse index distance.
+fn predict(decoded: &[Option<[f64; 3]>], target: usize) -> [f64; 3] {
+    let mut picked: Vec<(usize, [f64; 3])> = Vec::with_capacity(NEIGHBORS);
+    for offset in 1..=WINDOW {
+        for idx in [target.checked_sub(offset), Some(target + offset)].into_iter().flatten() {
+            if picked.len() == NEIGHBORS {
+                break;
+            }
+            if let Some(Some(attr)) = decoded.get(idx) {
+                picked.push((offset, *attr));
+            }
+        }
+        if picked.len() == NEIGHBORS {
+            break;
+        }
+    }
+    if picked.is_empty() {
+        // First point of the coarsest level: predict mid-gray so small
+        // residuals stay small for typical content.
+        return [128.0; 3];
+    }
+    let mut num = [0.0f64; 3];
+    let mut den = 0.0f64;
+    for (offset, attr) in picked {
+        let w = 1.0 / offset as f64;
+        for ch in 0..3 {
+            num[ch] += w * attr[ch];
+        }
+        den += w;
+    }
+    [num[0] / den, num[1] / den, num[2] / den]
+}
+
+/// Forward predicting transform over Morton-sorted attributes.
+///
+/// # Panics
+///
+/// Panics if `codes` and `attrs` differ in length, codes are not strictly
+/// ascending, or `qstep` is not positive.
+pub fn predicting_forward(
+    codes: &[MortonCode],
+    attrs: &[[f64; 3]],
+    qstep: f64,
+) -> PredictingEncoded {
+    assert_eq!(codes.len(), attrs.len(), "one attribute vector per point");
+    assert!(qstep > 0.0, "quantization step must be positive");
+    assert!(codes.windows(2).all(|w| w[0] < w[1]), "codes must be strictly ascending");
+
+    let order = processing_order(codes.len());
+    let mut decoded: Vec<Option<[f64; 3]>> = vec![None; codes.len()];
+    let mut residuals = Vec::with_capacity(codes.len());
+    for &i in &order {
+        let i = i as usize;
+        let pred = predict(&decoded, i);
+        let mut q = [0i64; 3];
+        let mut rec = [0f64; 3];
+        for ch in 0..3 {
+            let r = attrs[i][ch] - pred[ch];
+            q[ch] = (r / qstep).round() as i64;
+            // Close the loop on the *reconstructed* value so decoder
+            // predictions match exactly.
+            rec[ch] = pred[ch] + q[ch] as f64 * qstep;
+        }
+        residuals.push(q);
+        decoded[i] = Some(rec);
+    }
+    PredictingEncoded { residuals, qstep }
+}
+
+/// Inverse predicting transform: reconstructs attributes (in Morton
+/// order) from residuals plus the shared LOD/neighbor schedule.
+///
+/// # Panics
+///
+/// Panics if the residual count does not match the code count.
+pub fn predicting_inverse(codes: &[MortonCode], encoded: &PredictingEncoded) -> Vec<[f64; 3]> {
+    assert_eq!(
+        codes.len(),
+        encoded.residuals.len(),
+        "one residual per point is required"
+    );
+    let order = processing_order(codes.len());
+    let mut decoded: Vec<Option<[f64; 3]>> = vec![None; codes.len()];
+    for (&i, q) in order.iter().zip(&encoded.residuals) {
+        let i = i as usize;
+        let pred = predict(&decoded, i);
+        let mut rec = [0f64; 3];
+        for ch in 0..3 {
+            rec[ch] = pred[ch] + q[ch] as f64 * encoded.qstep;
+        }
+        decoded[i] = Some(rec);
+    }
+    decoded.into_iter().map(|v| v.expect("every point coded")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codes(n: usize) -> Vec<MortonCode> {
+        (0..n as u64).map(|v| MortonCode::from_raw(v * 3)).collect()
+    }
+
+    #[test]
+    fn processing_order_is_a_permutation_and_coarse_first() {
+        let order = processing_order(64);
+        let mut seen = vec![false; 64];
+        for &i in &order {
+            assert!(!std::mem::replace(&mut seen[i as usize], true));
+        }
+        // Index 0 survives every decimation: coded first.
+        assert_eq!(order[0], 0);
+        // Multiples of 4^4 = 256 absent here; multiples of 64 lead.
+        assert!(order[..4].iter().all(|&i| i % 16 == 0), "coarse first: {:?}", &order[..8]);
+    }
+
+    #[test]
+    fn round_trip_within_quantization() {
+        let c = codes(200);
+        let attrs: Vec<[f64; 3]> =
+            (0..200).map(|i| [100.0 + (i % 7) as f64, 50.0, 200.0 - (i % 11) as f64]).collect();
+        for qstep in [0.5, 1.0, 4.0] {
+            let enc = predicting_forward(&c, &attrs, qstep);
+            let dec = predicting_inverse(&c, &enc);
+            for (a, d) in attrs.iter().zip(&dec) {
+                for ch in 0..3 {
+                    assert!(
+                        (a[ch] - d[ch]).abs() <= qstep / 2.0 + 1e-9,
+                        "err {} at qstep {qstep}",
+                        (a[ch] - d[ch]).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_content_yields_small_residuals() {
+        let c = codes(500);
+        let attrs: Vec<[f64; 3]> =
+            (0..500).map(|i| [(i / 4) as f64 % 256.0, 128.0, 64.0]).collect();
+        let enc = predicting_forward(&c, &attrs, 1.0);
+        let large = enc.residuals.iter().filter(|r| r[0].abs() > 8).count();
+        assert!(
+            large * 10 < enc.residuals.len(),
+            "{large}/{} residuals are large",
+            enc.residuals.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let enc = predicting_forward(&[], &[], 1.0);
+        assert!(predicting_inverse(&[], &enc).is_empty());
+        let c = codes(1);
+        let enc = predicting_forward(&c, &[[42.0; 3]], 1.0);
+        let dec = predicting_inverse(&c, &enc);
+        assert!((dec[0][0] - 42.0).abs() <= 0.5);
+    }
+
+    #[test]
+    fn payload_smaller_than_raw_for_smooth_content() {
+        let c = codes(1000);
+        let attrs: Vec<[f64; 3]> = (0..1000).map(|i| [(i % 32) as f64 + 100.0; 3]).collect();
+        let enc = predicting_forward(&c, &attrs, 2.0);
+        // The varint estimator floors at 1 byte/channel, so "smooth"
+        // content hits exactly the 3-byte/point floor.
+        assert!(enc.payload_bytes() <= 3000, "payload {}", enc.payload_bytes());
+        let small = enc.residuals.iter().filter(|r| r.iter().all(|c| c.abs() <= 8)).count();
+        assert!(small * 10 >= enc.residuals.len() * 9, "{small}/1000 small residuals");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_attributes(
+            values in prop::collection::vec(0u8..=255, 1..150),
+        ) {
+            let c = codes(values.len());
+            let attrs: Vec<[f64; 3]> = values
+                .iter()
+                .map(|&v| [v as f64, 255.0 - v as f64, (v / 2) as f64])
+                .collect();
+            let enc = predicting_forward(&c, &attrs, 1.0);
+            let dec = predicting_inverse(&c, &enc);
+            for (a, d) in attrs.iter().zip(&dec) {
+                for ch in 0..3 {
+                    prop_assert!((a[ch] - d[ch]).abs() <= 0.5 + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the data-model crate.
+
+use std::fmt;
+
+/// A convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while constructing or validating point-cloud data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Position and attribute arrays have different lengths.
+    MismatchedLengths {
+        /// Number of positions supplied.
+        positions: usize,
+        /// Number of colors supplied.
+        colors: usize,
+    },
+    /// An operation that needs at least one point was given an empty cloud.
+    EmptyCloud,
+    /// A position contained a NaN or infinite coordinate.
+    NonFinitePosition {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A voxel-grid depth outside the supported `1..=21` range was requested.
+    ///
+    /// Depth 21 is the most that fits three interleaved coordinates in a
+    /// 63-bit Morton code.
+    InvalidDepth {
+        /// The rejected depth.
+        depth: u8,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MismatchedLengths { positions, colors } => write!(
+                f,
+                "positions ({positions}) and colors ({colors}) have different lengths"
+            ),
+            Error::EmptyCloud => write!(f, "operation requires a non-empty point cloud"),
+            Error::NonFinitePosition { index } => {
+                write!(f, "point {index} has a NaN or infinite coordinate")
+            }
+            Error::InvalidDepth { depth } => {
+                write!(f, "voxel depth {depth} outside supported range 1..=21")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_complete() {
+        let e = Error::MismatchedLengths { positions: 3, colors: 2 };
+        assert!(e.to_string().contains("different lengths"));
+        assert!(Error::EmptyCloud.to_string().contains("non-empty"));
+        assert!(Error::NonFinitePosition { index: 7 }.to_string().contains("point 7"));
+        assert!(Error::InvalidDepth { depth: 40 }.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

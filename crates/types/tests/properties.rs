@@ -1,0 +1,103 @@
+//! Property-based tests for the core data model.
+
+use pcc_types::{Aabb, Point3, PointCloud, Rgb, VoxelizedCloud};
+use proptest::prelude::*;
+
+fn finite_point() -> impl Strategy<Value = Point3> {
+    (-1000i32..1000, -1000i32..1000, -1000i32..1000)
+        .prop_map(|(x, y, z)| Point3::new(x as f32 / 4.0, y as f32 / 4.0, z as f32 / 4.0))
+}
+
+fn cloud_strategy(max: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec((finite_point(), any::<(u8, u8, u8)>()), 1..max).prop_map(|pts| {
+        pts.into_iter().map(|(p, (r, g, b))| (p, Rgb::new(r, g, b))).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn bounding_box_contains_every_point(points in prop::collection::vec(finite_point(), 1..100)) {
+        let bb = Aabb::from_points(points.iter().copied()).unwrap();
+        for p in &points {
+            prop_assert!(bb.contains(*p));
+        }
+        // Cubification never shrinks the box and its side is a power of two.
+        let cube = bb.cubify_pow2();
+        for p in &points {
+            prop_assert!(cube.contains(*p));
+        }
+        let side = cube.extents().x;
+        prop_assert!(side >= 1.0 && side.log2().fract().abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_covers_both_inputs(
+        a in prop::collection::vec(finite_point(), 1..30),
+        b in prop::collection::vec(finite_point(), 1..30),
+    ) {
+        let ba = Aabb::from_points(a.iter().copied()).unwrap();
+        let bb = Aabb::from_points(b.iter().copied()).unwrap();
+        let u1 = ba.union(&bb);
+        let u2 = bb.union(&ba);
+        prop_assert_eq!(u1, u2);
+        for p in a.iter().chain(&b) {
+            prop_assert!(u1.contains(*p));
+        }
+    }
+
+    #[test]
+    fn voxelization_error_is_bounded(cloud in cloud_strategy(80), depth in 3u8..10) {
+        let vox = VoxelizedCloud::from_cloud(&cloud, depth);
+        let back = vox.to_cloud();
+        let bound = vox.voxel_size() * 0.87; // (√3/2)·voxel
+        for (orig, dec) in cloud.positions().iter().zip(back.positions()) {
+            prop_assert!(
+                orig.distance(*dec) <= bound + 1e-4,
+                "error {} > {bound}", orig.distance(*dec)
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_mean_is_idempotent_and_complete(cloud in cloud_strategy(80), depth in 3u8..8) {
+        let vox = VoxelizedCloud::from_cloud(&cloud, depth);
+        let deduped = vox.dedup_mean();
+        // No duplicate voxels remain.
+        let mut coords = deduped.coords().to_vec();
+        let before = coords.len();
+        coords.sort_unstable();
+        coords.dedup();
+        prop_assert_eq!(coords.len(), before);
+        // The voxel *set* is preserved.
+        let mut original: Vec<_> = vox.coords().to_vec();
+        original.sort_unstable();
+        original.dedup();
+        prop_assert_eq!(coords.len(), original.len());
+        // Idempotent.
+        prop_assert_eq!(deduped.dedup_mean(), deduped.clone());
+        // Frame metadata survives.
+        prop_assert_eq!(deduped.depth(), vox.depth());
+        prop_assert_eq!(deduped.voxel_size(), vox.voxel_size());
+    }
+
+    #[test]
+    fn gather_is_a_permutation_action(cloud in cloud_strategy(50)) {
+        let vox = VoxelizedCloud::from_cloud(&cloud, 6);
+        let n = vox.len() as u32;
+        // Reversal twice is the identity.
+        let reversed: Vec<u32> = (0..n).rev().collect();
+        let twice = vox.gather(&reversed).gather(&reversed);
+        prop_assert_eq!(twice, vox);
+    }
+
+    #[test]
+    fn grow_pow2_always_terminates_containing(
+        start in finite_point(),
+        target in finite_point(),
+    ) {
+        let mut bb = Aabb::at_point(start);
+        let steps = bb.grow_pow2_to_contain(target);
+        prop_assert!(bb.contains(target), "{steps} steps, box {:?}", bb);
+        prop_assert!(steps <= 64);
+    }
+}

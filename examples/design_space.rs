@@ -1,0 +1,55 @@
+//! Design-space comparison: run all five designs the paper evaluates on
+//! one video and print the Fig. 8-style table (latency split, energy,
+//! compressed size, attribute quality).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use pcc::core::{evaluate, Design, DesignReport, EvalOptions, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+
+fn main() {
+    let spec = catalog::by_name("Redandblack").expect("Redandblack is in Table I");
+    let video = spec.generate_scaled(6, 8_000);
+    println!(
+        "evaluating {} ({} frames x ~{} points) across all five designs\n",
+        video.name(),
+        video.len(),
+        video.mean_points_per_frame()
+    );
+
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+    println!("{}", DesignReport::table_header());
+    let mut reports = Vec::new();
+    for design in Design::ALL {
+        let codec = PccCodec::new(design);
+        let report =
+            evaluate(&codec, &video, &device, EvalOptions::default()).expect("evaluation");
+        println!("{}", report.table_row());
+        reports.push(report);
+    }
+
+    // The paper's headline comparisons.
+    let tmc13 = &reports[0];
+    let cwipc = &reports[1];
+    let intra = &reports[2];
+    let v2 = &reports[4];
+    println!(
+        "\nIntra-Only vs TMC13: {:.1}x faster, {:.1}% energy saved",
+        tmc13.encode_ms / intra.encode_ms,
+        100.0 * (1.0 - intra.energy_j / tmc13.energy_j)
+    );
+    println!(
+        "Intra-Inter-V2 vs CWIPC: {:.1}x faster, {:.1}% energy saved",
+        cwipc.encode_ms / v2.encode_ms,
+        100.0 * (1.0 - v2.energy_j / cwipc.energy_j)
+    );
+    println!(
+        "compression ratio: intra-only {:.2}, with inter reuse {:.2}",
+        intra.compression_ratio, v2.compression_ratio
+    );
+}

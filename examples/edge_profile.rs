@@ -1,0 +1,48 @@
+//! Edge profiling: encode one frame per design, export the modeled
+//! timeline of each as a Chrome-trace JSON (open in Perfetto /
+//! `chrome://tracing`), and print the device's calibrated kernel table.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example edge_profile
+//! # traces land in ./traces/<design>.json
+//! ```
+
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{trace, Device, PowerMode};
+
+fn main() -> std::io::Result<()> {
+    let video = catalog::by_name("Soldier").expect("Table-I video").generate_scaled(1, 10_000);
+    let depth = pcc::datasets::density_matched_depth(video.mean_points_per_frame());
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+
+    std::fs::create_dir_all("traces")?;
+    println!("{:<15} {:>12} {:>12} {:>8}", "design", "modeled ms", "energy J", "events");
+    for design in Design::ALL {
+        let encoded = PccCodec::new(design).encode_video(&video, depth, &device);
+        let timeline = &encoded.encode_timelines[0];
+        let json = trace::to_chrome_trace(timeline);
+        let path = format!("traces/{}.json", design.to_string().to_lowercase());
+        std::fs::write(&path, &json)?;
+        println!(
+            "{:<15} {:>12.2} {:>12.4} {:>8}   -> {path}",
+            design.to_string(),
+            timeline.total_modeled_ms().as_f64(),
+            timeline.total_energy_j().as_f64(),
+            timeline.records().len()
+        );
+    }
+
+    println!("\nJetson AGX Xavier (15 W) rails:");
+    let spec = device.spec();
+    println!("  static {} mW, GPU {} mW, DRAM {} mW", spec.static_mw, spec.gpu_mw, spec.dram_mw);
+    println!(
+        "  CPU rail: {} mW @1 thread, {} mW @4 threads, {} mW hosting GPU work",
+        spec.cpu_mw(1),
+        spec.cpu_mw(4),
+        spec.gpu_host_cpu_mw
+    );
+    Ok(())
+}

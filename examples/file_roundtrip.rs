@@ -1,0 +1,55 @@
+//! File round trip: encode a clip, mux it into a `.pccv` container on
+//! disk, read it back, decode, and export the first frame as ASCII PLY —
+//! the full storage path a downstream application would use.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example file_roundtrip
+//! ```
+
+use pcc::core::{container, Design, PccCodec};
+use pcc::datasets::{catalog, ply};
+use pcc::edge::{Device, PowerMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let video = catalog::by_name("Redandblack")
+        .expect("Redandblack is in Table I")
+        .generate_scaled(6, 8_000);
+    let depth = pcc::datasets::density_matched_depth(video.mean_points_per_frame());
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+
+    // Encode and mux to disk.
+    let codec = PccCodec::new(Design::IntraInterV2);
+    let encoded = codec.encode_video(&video, depth, &device);
+    let bytes = container::mux(&encoded);
+    let dir = std::env::temp_dir().join("pcc_demo");
+    std::fs::create_dir_all(&dir)?;
+    let stream_path = dir.join("redandblack.pccv");
+    std::fs::write(&stream_path, &bytes)?;
+    println!(
+        "wrote {} ({} frames, {} KiB, {:.1}% of raw)",
+        stream_path.display(),
+        encoded.frames.len(),
+        bytes.len() / 1024,
+        encoded.total_size().percent_of_raw(encoded.total_raw_bytes())
+    );
+
+    // Read back, demux, decode.
+    let read = std::fs::read(&stream_path)?;
+    let demuxed = container::demux(&read)?;
+    let decoded = codec.decode_video(&demuxed, &device)?;
+    println!("decoded {} frames from disk", decoded.len());
+
+    // Export frame 0 as PLY for any external viewer.
+    let ply_path = dir.join("frame000.ply");
+    let file = std::fs::File::create(&ply_path)?;
+    ply::write(std::io::BufWriter::new(file), &decoded[0])?;
+    println!("exported {} ({} points)", ply_path.display(), decoded[0].len());
+
+    // And read the PLY back to prove the loop closes.
+    let reread = ply::read(std::fs::File::open(&ply_path)?)?;
+    assert_eq!(reread.len(), decoded[0].len());
+    println!("ply round trip verified");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Geometry-only LiDAR compression: the autonomous-driving scenario the
+//! paper distinguishes from its vision workloads. A synthetic 32-ring
+//! scan drive is compressed with the Morton-parallel intra pipeline —
+//! geometry dominates, attributes are a near-constant intensity channel.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example lidar_drive
+//! ```
+
+use pcc::datasets::LidarScan;
+use pcc::edge::{Device, PowerMode};
+use pcc::intra::{IntraCodec, IntraConfig};
+use pcc::types::VoxelizedCloud;
+
+fn main() {
+    let scanner = LidarScan { rings: 24, azimuth_steps: 900, ..LidarScan::default() };
+    let video = scanner.generate(5);
+    println!(
+        "drive: {} revolutions x ~{} returns (32-ring style scanner)\n",
+        video.len(),
+        video.mean_points_per_frame()
+    );
+
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+    let codec = IntraCodec::new(IntraConfig::paper());
+    let bb = video.bounding_box().expect("non-empty drive");
+
+    println!(
+        "{:<6} {:>9} {:>12} {:>12} {:>10} {:>10}",
+        "rev", "voxels", "geom KiB", "attr KiB", "% of raw", "enc ms"
+    );
+    for (i, frame) in video.iter().enumerate() {
+        // LiDAR uses a fixed world grid (the vehicle moves through it).
+        let vox = VoxelizedCloud::from_cloud_in_box(&frame.cloud, 11, &bb);
+        device.reset();
+        let enc = codec.encode(&vox, &device);
+        let t = device.take_timeline();
+        println!(
+            "{:<6} {:>9} {:>12.1} {:>12.1} {:>9.1}% {:>10.2}",
+            i,
+            enc.unique_voxels,
+            enc.geometry.len() as f64 / 1024.0,
+            enc.attribute.len() as f64 / 1024.0,
+            100.0 * enc.total_bytes() as f64 / frame.cloud.raw_size_bytes() as f64,
+            t.total_modeled_ms().as_f64()
+        );
+    }
+    println!("\ngeometry-only content: the attribute stream is near-flat intensity,");
+    println!("so the occupancy stream dominates — the opposite split of the");
+    println!("telepresence workloads (cf. `cargo run --example telepresence`).");
+}

@@ -1,0 +1,46 @@
+//! The direct-reuse knob: sweep the inter-frame reuse threshold and watch
+//! the paper's Fig. 10b trade-off — more reused blocks buy compression
+//! ratio and cost attribute PSNR.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example tune_tradeoff
+//! ```
+
+use pcc::core::{evaluate, EvalOptions, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::inter::InterConfig;
+
+fn main() {
+    let spec = catalog::by_name("Longdress").expect("Longdress is in Table I");
+    let video = spec.generate_scaled(6, 8_000);
+    let device = Device::jetson_agx_xavier(PowerMode::W15);
+
+    println!(
+        "threshold sweep on {} ({} frames x ~{} points)\n",
+        video.name(),
+        video.len(),
+        video.mean_points_per_frame()
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "threshold", "reuse %", "ratio", "attr PSNR"
+    );
+
+    for threshold in [0u32, 100, 300, 600, 1200, 2500, 5000, 20_000] {
+        let codec = PccCodec::with_inter_config(InterConfig::v1().with_threshold(threshold));
+        let report =
+            evaluate(&codec, &video, &device, EvalOptions::default()).expect("evaluation");
+        let reuse = report.reuse_fraction.unwrap_or(0.0) * 100.0;
+        println!(
+            "{:>10} {:>9.1}% {:>12.2} {:>9.1} dB",
+            threshold, reuse, report.compression_ratio, report.attribute_psnr_db
+        );
+    }
+
+    println!("\nPick a threshold to match your application:");
+    println!("  quality-first (paper V1): 300");
+    println!("  bandwidth-first (paper V2): 1200");
+}

@@ -1,0 +1,111 @@
+//! Device-model accounting invariants: stage sums, energy consistency,
+//! power modes, and the calibration shape the figures depend on.
+
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::types::Video;
+
+fn video() -> Video {
+    catalog::by_name("Loot").unwrap().generate_scaled(3, 3_000)
+}
+
+#[test]
+fn stage_sums_equal_totals() {
+    let d = Device::jetson_agx_xavier(PowerMode::W15);
+    let enc = PccCodec::new(Design::IntraInterV1).encode_video(&video(), 7, &d);
+    for t in &enc.encode_timelines {
+        let total = t.total_modeled_ms().as_f64();
+        let by_stage: f64 = t.by_stage().values().map(|(ms, _)| ms.as_f64()).sum();
+        assert!((total - by_stage).abs() < 1e-9, "stage sum {by_stage} != total {total}");
+        let energy = t.total_energy_j().as_f64();
+        let by_stage_e: f64 = t.by_stage().values().map(|(_, j)| j.as_f64()).sum();
+        assert!((energy - by_stage_e).abs() < 1e-12);
+        assert!(energy > 0.0);
+    }
+}
+
+#[test]
+fn per_op_shares_sum_to_one() {
+    let d = Device::jetson_agx_xavier(PowerMode::W15);
+    let enc = PccCodec::new(Design::IntraInterV2).encode_video(&video(), 7, &d);
+    let t = &enc.encode_timelines[1]; // a P-frame
+    let share_sum: f64 =
+        t.by_op().keys().map(|op| t.energy_share_of(op)).sum();
+    assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+}
+
+#[test]
+fn w10_mode_slows_by_1_29x() {
+    let v = video();
+    let d15 = Device::jetson_agx_xavier(PowerMode::W15);
+    let d10 = Device::jetson_agx_xavier(PowerMode::W10);
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let t15: f64 = codec
+        .encode_video(&v, 7, &d15)
+        .encode_timelines
+        .iter()
+        .map(|t| t.total_modeled_ms().as_f64())
+        .sum();
+    let t10: f64 = codec
+        .encode_video(&v, 7, &d10)
+        .encode_timelines
+        .iter()
+        .map(|t| t.total_modeled_ms().as_f64())
+        .sum();
+    let ratio = t10 / t15;
+    // Kernel-launch overhead keeps the end-to-end ratio just below the
+    // pure clock ratio of 1.29 (paper Sec. VI-C).
+    assert!((1.2..1.35).contains(&ratio), "W10/W15 ratio {ratio:.3}");
+}
+
+#[test]
+fn inter_energy_breakdown_has_fig9_shape() {
+    // Fig. 9: the 2-norm computation (diff_squared + squared_sum)
+    // dominates the inter-frame attribute energy, with address
+    // generation the second-largest consumer.
+    let d = Device::jetson_agx_xavier(PowerMode::W15);
+    let enc = PccCodec::new(Design::IntraInterV1).encode_video(&video(), 7, &d);
+    let t = &enc.encode_timelines[1]; // P-frame
+    let inter_total = t.stage_energy_j("inter_attr").as_f64();
+    assert!(inter_total > 0.0, "P-frame must charge inter_attr stages");
+    let share = |name: &str| {
+        t.by_op().get(name).map(|(_, j)| j.as_f64()).unwrap_or(0.0) / inter_total
+    };
+    let two_norm = share("diff_squared") + share("squared_sum");
+    let addr = share("addr_gen");
+    assert!(two_norm > 0.3, "2-norm share only {two_norm:.2}");
+    assert!(addr > 0.15, "addr_gen share only {addr:.2}");
+    assert!(two_norm > addr, "2-norm should dominate (paper: 51% vs 32%)");
+}
+
+#[test]
+fn proposed_encode_uses_gpu_baselines_use_cpu() {
+    let d = Device::jetson_agx_xavier(PowerMode::W15);
+    let v = video();
+    let enc = PccCodec::new(Design::IntraOnly).encode_video(&v, 7, &d);
+    assert!(enc.encode_timelines[0]
+        .records()
+        .iter()
+        .all(|r| r.unit == pcc::edge::ExecUnit::Gpu));
+    let enc = PccCodec::new(Design::Tmc13).encode_video(&v, 7, &d);
+    assert!(enc.encode_timelines[0]
+        .records()
+        .iter()
+        .all(|r| r.unit == pcc::edge::ExecUnit::Cpu));
+}
+
+#[test]
+fn device_reset_between_frames_keeps_timelines_independent() {
+    let d = Device::jetson_agx_xavier(PowerMode::W15);
+    let enc = PccCodec::new(Design::IntraOnly).encode_video(&video(), 7, &d);
+    // All-intra frames of similar size should have similar modeled cost;
+    // if timelines leaked across frames they would grow monotonically.
+    let ms: Vec<f64> =
+        enc.encode_timelines.iter().map(|t| t.total_modeled_ms().as_f64()).collect();
+    let min = ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ms.iter().copied().fold(0.0f64, f64::max);
+    assert!(max / min < 1.5, "frame costs diverge: {ms:?}");
+    // And the device is drained afterwards.
+    assert!(d.timeline().is_empty());
+}

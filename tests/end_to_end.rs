@@ -1,0 +1,158 @@
+//! End-to-end integration tests: every design, full video round trips,
+//! quality floors, and the size/quality orderings the paper reports.
+
+use pcc::core::{evaluate, Design, EvalOptions, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::metrics::attribute_psnr;
+use pcc::types::{Video, VoxelizedCloud};
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn video(name: &str, frames: usize, points: usize) -> Video {
+    catalog::by_name(name).expect("Table-I video").generate_scaled(frames, points)
+}
+
+#[test]
+fn every_design_round_trips_every_dataset_family() {
+    let d = device();
+    for name in ["Redandblack", "Phil10"] {
+        let v = video(name, 4, 1_500);
+        for design in Design::ALL {
+            let codec = PccCodec::new(design);
+            let enc = codec.encode_video(&v, 7, &d);
+            let dec = codec
+                .decode_video(&enc, &d)
+                .unwrap_or_else(|e| panic!("{design} on {name}: {e}"));
+            assert_eq!(dec.len(), v.len(), "{design} on {name}");
+            for (i, cloud) in dec.iter().enumerate() {
+                assert!(!cloud.is_empty(), "{design} {name} frame {i} empty");
+            }
+        }
+    }
+}
+
+#[test]
+fn decoded_quality_stays_above_floor() {
+    let d = device();
+    let v = video("Loot", 3, 4_000);
+    let depth = pcc::datasets::density_matched_depth(4_000);
+    let bb = v.bounding_box().unwrap();
+    for design in Design::ALL {
+        let codec = PccCodec::new(design);
+        let enc = codec.encode_video(&v, depth, &d);
+        let dec = codec.decode_video(&enc, &d).unwrap();
+        for (i, frame) in v.iter().enumerate() {
+            let reference =
+                VoxelizedCloud::from_cloud_in_box(&frame.cloud, depth, &bb).dedup_mean().to_cloud();
+            let psnr = attribute_psnr(&reference, &dec[i]).unwrap();
+            assert!(psnr > 25.0, "{design} frame {i}: attribute PSNR {psnr:.1} dB");
+        }
+    }
+}
+
+#[test]
+fn compressed_size_ordering_matches_paper() {
+    // Paper Fig. 8c: TMC13 < V2 <= V1 < Intra-only (as % of raw), and all
+    // far below raw size.
+    let d = device();
+    let v = video("Soldier", 6, 6_000);
+    let opts = EvalOptions { psnr_frames: 0, ..EvalOptions::default() };
+    let pct = |design: Design| {
+        evaluate(&PccCodec::new(design), &v, &d, opts).unwrap().percent_of_raw
+    };
+    let tmc13 = pct(Design::Tmc13);
+    let intra = pct(Design::IntraOnly);
+    let v1 = pct(Design::IntraInterV1);
+    let v2 = pct(Design::IntraInterV2);
+    assert!(tmc13 < intra, "TMC13 {tmc13:.1}% should be smallest vs intra {intra:.1}%");
+    assert!(v1 < intra, "V1 {v1:.1}% should beat intra-only {intra:.1}%");
+    assert!(v2 <= v1, "V2 {v2:.1}% should beat V1 {v1:.1}%");
+    assert!(intra < 60.0, "even intra-only compresses well, got {intra:.1}%");
+}
+
+#[test]
+fn modeled_speedups_match_paper_shape() {
+    // Paper Fig. 8a: proposed designs are 1-2 orders of magnitude faster
+    // than both baselines; inter adds modest overhead over intra-only.
+    let d = device();
+    let v = video("Redandblack", 6, 4_000);
+    let opts = EvalOptions { psnr_frames: 0, ..EvalOptions::default() };
+    let ms = |design: Design| {
+        evaluate(&PccCodec::new(design), &v, &d, opts).unwrap().encode_ms
+    };
+    let tmc13 = ms(Design::Tmc13);
+    let cwipc = ms(Design::Cwipc);
+    let intra = ms(Design::IntraOnly);
+    let v1 = ms(Design::IntraInterV1);
+    assert!(tmc13 / intra > 10.0, "intra speedup vs TMC13 only {:.1}x", tmc13 / intra);
+    assert!(cwipc / v1 > 10.0, "V1 speedup vs CWIPC only {:.1}x", cwipc / v1);
+    assert!(v1 >= intra, "inter should not be faster than intra alone");
+}
+
+#[test]
+fn energy_savings_match_paper_shape() {
+    // Paper Fig. 8b: ≥90% energy saving for the proposed designs.
+    let d = device();
+    let v = video("Loot", 3, 4_000);
+    let opts = EvalOptions { psnr_frames: 0, ..EvalOptions::default() };
+    let joules = |design: Design| {
+        evaluate(&PccCodec::new(design), &v, &d, opts).unwrap().energy_j
+    };
+    let tmc13 = joules(Design::Tmc13);
+    let intra = joules(Design::IntraOnly);
+    let saving = 1.0 - intra / tmc13;
+    assert!(saving > 0.85, "energy saving only {:.1}%", saving * 100.0);
+}
+
+#[test]
+fn quality_ordering_matches_paper() {
+    // Paper Fig. 8c PSNRs: TMC13 (55) > Intra-only (48.5) >= V1 (42.4) >= V2 (39.5).
+    let d = device();
+    let v = video("Longdress", 6, 6_000);
+    let psnr = |design: Design| {
+        evaluate(&PccCodec::new(design), &v, &d, EvalOptions::default())
+            .unwrap()
+            .attribute_psnr_db
+    };
+    let tmc13 = psnr(Design::Tmc13);
+    let intra = psnr(Design::IntraOnly);
+    let v1 = psnr(Design::IntraInterV1);
+    let v2 = psnr(Design::IntraInterV2);
+    assert!(tmc13 > intra, "TMC13 {tmc13:.1} vs intra {intra:.1}");
+    assert!(intra >= v1 - 0.5, "intra {intra:.1} vs V1 {v1:.1}");
+    assert!(v1 >= v2 - 0.5, "V1 {v1:.1} vs V2 {v2:.1}");
+}
+
+#[test]
+fn reuse_fraction_rises_with_threshold() {
+    // Paper Fig. 10b: the knob moves reuse between ~30% and ~80%+.
+    let d = device();
+    let v = video("Loot", 6, 4_000);
+    let opts = EvalOptions { psnr_frames: 0, ..EvalOptions::default() };
+    let mut last = -1.0f64;
+    for threshold in [50u32, 500, 5_000, 500_000] {
+        let codec = PccCodec::with_inter_config(
+            pcc::inter::InterConfig::v1().with_threshold(threshold),
+        );
+        let reuse = evaluate(&codec, &v, &d, opts).unwrap().reuse_fraction.unwrap();
+        assert!(reuse >= last, "reuse fell from {last:.2} to {reuse:.2} at {threshold}");
+        last = reuse;
+    }
+    assert!(last > 0.95, "unbounded threshold should reuse nearly all blocks");
+}
+
+#[test]
+fn decode_latency_is_modeled_near_real_time() {
+    // Paper Sec. IV-B3: decode ≈70 ms/frame at full scale. At reduced
+    // scale the model scales down; sanity-check it stays well under the
+    // baselines' multi-second encode latencies.
+    let d = device();
+    let v = video("Redandblack", 3, 4_000);
+    let opts = EvalOptions { psnr_frames: 0, ..EvalOptions::default() };
+    let report = evaluate(&PccCodec::new(Design::IntraInterV1), &v, &d, opts).unwrap();
+    assert!(report.decode_ms > 0.0);
+    assert!(report.decode_ms < 100.0, "decode modeled {:.1} ms", report.decode_ms);
+}

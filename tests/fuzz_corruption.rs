@@ -1,0 +1,102 @@
+//! Property-based corruption fuzzing: random byte mutations, truncations,
+//! and splices against every decoder in the workspace. Decoders may
+//! reject input or produce garbage values, but must never panic.
+
+use pcc::core::{container, Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::intra::{IntraCodec, IntraConfig, IntraFrame};
+use pcc::types::VoxelizedCloud;
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn sample_frame() -> IntraFrame {
+    let cloud = catalog::by_name("Loot").unwrap().generator_with_points(600).frame_cloud(0);
+    let vox = VoxelizedCloud::from_cloud(&cloud, 6);
+    IntraCodec::new(IntraConfig::paper()).encode(&vox, &device())
+}
+
+fn sample_container() -> Vec<u8> {
+    let video = catalog::by_name("Loot").unwrap().generate_scaled(2, 400);
+    let encoded = PccCodec::new(Design::IntraInterV1).encode_video(&video, 6, &device());
+    container::mux(&encoded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn intra_decoder_survives_random_mutations(
+        positions in prop::collection::vec(0usize..4096, 1..12),
+        xor in 1u8..=255,
+    ) {
+        let frame = sample_frame();
+        let codec = IntraCodec::new(IntraConfig::paper());
+        let d = device();
+        let mut bad = frame.clone();
+        for &p in &positions {
+            if !bad.geometry.is_empty() {
+                let len = bad.geometry.len();
+                bad.geometry[p % len] ^= xor;
+            }
+            if !bad.attribute.is_empty() {
+                let len = bad.attribute.len();
+                bad.attribute[p % len] ^= xor;
+            }
+        }
+        let _ = codec.decode(&bad, &d); // outcome irrelevant; no panic
+    }
+
+    #[test]
+    fn container_demux_survives_random_mutations(
+        positions in prop::collection::vec(0usize..8192, 1..16),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = sample_container();
+        for &p in &positions {
+            let len = bytes.len();
+            bytes[p % len] ^= xor;
+        }
+        if let Ok(video) = container::demux(&bytes) {
+            // Even structurally valid mutations must decode without panic.
+            let _ = PccCodec::new(video.design).decode_video(&video, &device());
+        }
+    }
+
+    #[test]
+    fn container_demux_survives_random_splices(
+        cut_at in 0usize..4096,
+        insert in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = sample_container();
+        let at = cut_at % bytes.len();
+        let tail = bytes.split_off(at);
+        bytes.extend(insert);
+        bytes.extend(tail);
+        if let Ok(video) = container::demux(&bytes) {
+            let _ = PccCodec::new(video.design).decode_video(&video, &device());
+        }
+    }
+
+    #[test]
+    fn occupancy_decoder_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = pcc::octree::decode_occupancy(&bytes);
+    }
+
+    #[test]
+    fn range_decoder_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+        n in 0usize..64,
+    ) {
+        let mut model = pcc::entropy::ByteModel::new();
+        let mut dec = pcc::entropy::RangeDecoder::new(&bytes);
+        for _ in 0..n {
+            let _ = dec.decode_byte(&mut model);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Robustness: corrupted and truncated streams must be rejected with
+//! errors, never panics or silent garbage.
+
+use pcc::baseline::{CwipcCodec, Tmc13Codec};
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::intra::{IntraCodec, IntraConfig};
+use pcc::types::VoxelizedCloud;
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn sample_vox() -> VoxelizedCloud {
+    let cloud = catalog::by_name("Loot").unwrap().generator_with_points(1_000).frame_cloud(0);
+    VoxelizedCloud::from_cloud(&cloud, 7)
+}
+
+#[test]
+fn intra_frame_truncations_never_panic() {
+    let d = device();
+    let codec = IntraCodec::new(IntraConfig::paper());
+    let frame = codec.encode(&sample_vox(), &d);
+    for cut in (0..frame.geometry.len()).step_by(7) {
+        let mut bad = frame.clone();
+        bad.geometry.truncate(cut);
+        assert!(codec.decode(&bad, &d).is_err(), "geometry cut at {cut} accepted");
+    }
+    for cut in (0..frame.attribute.len().saturating_sub(1)).step_by(11) {
+        let mut bad = frame.clone();
+        bad.attribute.truncate(cut);
+        // Either an explicit error or (for cuts landing on a valid
+        // prefix) a voxel-count mismatch — never a panic.
+        let _ = codec.decode(&bad, &d);
+    }
+}
+
+#[test]
+fn intra_frame_bitflips_are_handled() {
+    let d = device();
+    let codec = IntraCodec::new(IntraConfig::paper());
+    let frame = codec.encode(&sample_vox(), &d);
+    for pos in (0..frame.geometry.len()).step_by(13) {
+        let mut bad = frame.clone();
+        bad.geometry[pos] ^= 0x55;
+        let _ = codec.decode(&bad, &d); // must not panic
+    }
+}
+
+#[test]
+fn tmc13_corruption_is_rejected() {
+    let d = device();
+    let codec = Tmc13Codec::default();
+    let frame = codec.encode(&sample_vox(), &d);
+    let mut bad = frame.clone();
+    bad.geometry.truncate(3);
+    assert!(codec.decode(&bad, &d).is_err());
+    let mut bad = frame.clone();
+    bad.attribute.truncate(2);
+    assert!(codec.decode(&bad, &d).is_err());
+}
+
+#[test]
+fn cwipc_predicted_without_reference_is_an_error() {
+    let d = device();
+    let codec = CwipcCodec::default();
+    let vox = sample_vox();
+    let i = codec.encode_intra(&vox, &d);
+    let dec_i = codec.decode(&i, None, &d).unwrap();
+    let p = codec.encode_predicted(&vox, &dec_i, &d);
+    assert!(codec.decode(&p, None, &d).is_err());
+}
+
+#[test]
+fn video_stream_with_shuffled_frames_fails_cleanly() {
+    let d = device();
+    let video = catalog::by_name("Redandblack").unwrap().generate_scaled(4, 800);
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let mut enc = codec.encode_video(&video, 7, &d);
+    // Move a P-frame to the front: decoding must fail with
+    // MissingReference, not panic.
+    enc.frames.swap(0, 1);
+    assert!(codec.decode_video(&enc, &d).is_err());
+}
+
+#[test]
+fn empty_video_round_trips() {
+    let d = device();
+    let video = pcc::types::Video::new("empty", vec![], 30.0);
+    for design in Design::ALL {
+        let codec = PccCodec::new(design);
+        let enc = codec.encode_video(&video, 7, &d);
+        let dec = codec.decode_video(&enc, &d).unwrap();
+        assert!(dec.is_empty(), "{design}");
+    }
+}

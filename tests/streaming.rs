@@ -1,0 +1,102 @@
+//! Long-stream integration: IPP chains over many GOFs, quality drift,
+//! rate control end-to-end, and decoder state independence.
+
+use pcc::core::{rate, Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::metrics::attribute_psnr;
+use pcc::types::{FrameKind, VoxelizedCloud};
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+#[test]
+fn quality_does_not_drift_across_gofs() {
+    // 12 frames = 4 IPP groups. P-frames always reference their own
+    // I-frame, so late-GOF quality must match early-GOF quality.
+    let video = catalog::by_name("Redandblack").unwrap().generate_scaled(12, 2_500);
+    let depth = pcc::datasets::density_matched_depth(2_500);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let enc = codec.encode_video(&video, depth, &d);
+    let dec = codec.decode_video(&enc, &d).unwrap();
+
+    let bb = video.bounding_box().unwrap();
+    let psnr_of = |i: usize| {
+        let reference = VoxelizedCloud::from_cloud_in_box(&video.frame(i).unwrap().cloud, depth, &bb)
+            .dedup_mean()
+            .to_cloud();
+        attribute_psnr(&reference, &dec[i]).unwrap()
+    };
+    // Compare P-frames of the first and last GOF.
+    let early = psnr_of(1);
+    let late = psnr_of(10);
+    assert!(
+        (early - late).abs() < 6.0,
+        "P-frame quality drifted: GOF0 {early:.1} dB vs GOF3 {late:.1} dB"
+    );
+}
+
+#[test]
+fn ipp_cadence_holds_over_long_streams() {
+    let video = catalog::by_name("Loot").unwrap().generate_scaled(9, 800);
+    let d = device();
+    let enc = PccCodec::new(Design::IntraInterV2).encode_video(&video, 7, &d);
+    for (i, frame) in enc.frames.iter().enumerate() {
+        let expect = if i % 3 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+        assert_eq!(frame.kind(), expect, "frame {i}");
+    }
+}
+
+#[test]
+fn decoding_twice_gives_identical_results() {
+    // The decoder holds no hidden cross-call state.
+    let video = catalog::by_name("Phil10").unwrap().generate_scaled(4, 1_200);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let enc = codec.encode_video(&video, 7, &d);
+    let a = codec.decode_video(&enc, &d).unwrap();
+    let b = codec.decode_video(&enc, &d).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rate_controlled_stream_honors_its_budget_on_unseen_frames() {
+    // Pick a threshold on a 3-frame probe, then encode a longer stream:
+    // the achieved ratio stays near the target (content is stationary).
+    let probe = catalog::by_name("Soldier").unwrap().generate_scaled(3, 2_000);
+    let full = catalog::by_name("Soldier").unwrap().generate_scaled(9, 2_000);
+    let d = device();
+    let target = 4.0;
+    let choice =
+        rate::threshold_for_ratio(&probe, 7, pcc::inter::InterConfig::v1(), target, &d);
+    let codec =
+        PccCodec::with_inter_config(pcc::inter::InterConfig::v1().with_threshold(choice.threshold));
+    let enc = codec.encode_video(&full, 7, &d);
+    let achieved = enc.total_size().compression_ratio(enc.total_raw_bytes());
+    assert!(
+        achieved > target * 0.85,
+        "budget missed: target {target}, achieved {achieved:.2}"
+    );
+}
+
+#[test]
+fn mixed_scale_frames_round_trip() {
+    // Frame sizes vary in real captures; the pipeline must not assume a
+    // constant point count.
+    let spec = catalog::by_name("Longdress").unwrap();
+    let mut frames = Vec::new();
+    for (i, points) in [800usize, 2_400, 400, 1_600].into_iter().enumerate() {
+        let cloud = spec.generator_with_points(points).frame_cloud(i);
+        frames.push(pcc::types::Frame::new(cloud, i as f64 * 33.3));
+    }
+    let video = pcc::types::Video::new("mixed", frames, 30.0);
+    let d = device();
+    for design in Design::ALL {
+        let codec = PccCodec::new(design);
+        let enc = codec.encode_video(&video, 7, &d);
+        let dec = codec.decode_video(&enc, &d).unwrap_or_else(|e| panic!("{design}: {e}"));
+        assert_eq!(dec.len(), 4, "{design}");
+    }
+}

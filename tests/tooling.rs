@@ -1,0 +1,81 @@
+//! Integration tests for the tooling layers: the byte container, the
+//! Chrome-trace exporter, and the alternative G-PCC attribute transform.
+
+use pcc::core::{container, Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{trace, Device, PowerMode};
+use pcc::raht::{predicting_forward, predicting_inverse};
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+#[test]
+fn container_survives_a_file_round_trip() {
+    let video = catalog::by_name("Soldier").unwrap().generate_scaled(3, 1_000);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV2);
+    let encoded = codec.encode_video(&video, 7, &d);
+    let bytes = container::mux(&encoded);
+
+    let dir = std::env::temp_dir().join("pcc_container_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.pccv");
+    std::fs::write(&path, &bytes).unwrap();
+    let read_back = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let demuxed = container::demux(&read_back).unwrap();
+    assert_eq!(demuxed.design, Design::IntraInterV2);
+    let decoded = codec.decode_video(&demuxed, &d).unwrap();
+    assert_eq!(decoded.len(), video.len());
+    // Reuse statistics survive the container.
+    let reuse: Vec<_> = demuxed.frames.iter().filter_map(|f| f.reuse_fraction()).collect();
+    assert_eq!(reuse.len(), 2, "two P-frames in IPP over 3 frames");
+}
+
+#[test]
+fn traces_cover_all_designs() {
+    let video = catalog::by_name("Loot").unwrap().generate_scaled(1, 800);
+    let d = device();
+    for design in Design::ALL {
+        let encoded = PccCodec::new(design).encode_video(&video, 7, &d);
+        let json = trace::to_chrome_trace(&encoded.encode_timelines[0]);
+        assert!(json.contains("traceEvents"), "{design}");
+        assert!(json.matches("\"ph\":\"X\"").count() >= 3, "{design} has too few events");
+        // Events must carry the model's energy annotations.
+        assert!(json.contains("energy_mj"), "{design}");
+    }
+}
+
+#[test]
+fn predicting_transform_is_competitive_with_raht_on_real_frames() {
+    // The paper's G-PCC background lists three attribute methods; the
+    // predicting transform must round-trip and land in the same size
+    // ballpark as RAHT on a real synthetic frame.
+    let cloud = catalog::by_name("Longdress").unwrap().generator_with_points(4_000).frame_cloud(0);
+    let depth = pcc::datasets::density_matched_depth(cloud.len());
+    let vox = pcc::types::VoxelizedCloud::from_cloud(&cloud, depth).dedup_mean();
+    // Both transforms consume strictly ascending Morton codes.
+    let sorted = pcc::morton::sorted_permutation(&vox);
+    let gathered = vox.gather(&sorted.perm);
+    let codes = sorted.codes;
+    let attrs: Vec<[f64; 3]> = gathered.colors().iter().map(|c| c.to_f64()).collect();
+
+    let qstep = 1.0;
+    let pred = predicting_forward(&codes, &attrs, qstep);
+    let dec = predicting_inverse(&codes, &pred);
+    for (a, d) in attrs.iter().zip(&dec) {
+        for ch in 0..3 {
+            assert!((a[ch] - d[ch]).abs() <= qstep / 2.0 + 1e-9);
+        }
+    }
+
+    let weights = vec![1.0; codes.len()];
+    let raht = pcc::raht::forward(&codes, &attrs, &weights, depth, qstep);
+    let ratio = pred.payload_bytes() as f64 / raht.payload_bytes() as f64;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "predicting/raht payload ratio {ratio:.2} out of family"
+    );
+}
