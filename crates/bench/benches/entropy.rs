@@ -13,7 +13,7 @@ fn occupancy_like(n: usize) -> Vec<u8> {
     (0..n)
         .map(|_| {
             if rng.random_ratio(4, 5) {
-                *[0x03u8, 0x0c, 0x30, 0xc0, 0xff].get(rng.random_range(0..5)).unwrap()
+                *[0x03u8, 0x0c, 0x30, 0xc0, 0xff].get(rng.random_range(0..5usize)).unwrap()
             } else {
                 rng.random()
             }

@@ -4,7 +4,8 @@
 //! parallel pre-pass, the sort the first heavy step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pcc_morton::{encode, sort_codes, MortonCode};
+use pcc_morton::{encode, sort_codes, sort_codes_with, MortonCode, SortScratch};
+use std::num::NonZeroUsize;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -52,6 +53,16 @@ fn bench_sort(c: &mut Criterion) {
                 v.sort_unstable();
                 black_box(v)
             })
+        });
+        // Frame-loop shape: the encoder sorts every frame, so the scratch
+        // (ping-pong buffers + histogram matrix) is reused across calls
+        // instead of reallocated. Compare against the `radix` case above,
+        // which allocates fresh scratch per sort.
+        let threads = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(1).unwrap());
+        g.bench_with_input(BenchmarkId::new("radix_reused_scratch", n), &codes, |b, codes| {
+            let mut scratch = SortScratch::new();
+            b.iter(|| black_box(sort_codes_with(black_box(codes), threads, &mut scratch)))
         });
     }
     g.finish();

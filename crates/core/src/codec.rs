@@ -186,7 +186,8 @@ impl PccCodec {
         // References held exactly as a real encoder would: the *decoded*
         // form of the last I-frame (reconstruction is a cheap by-product
         // of encoding; it is rebuilt here on an uncharged scratch device).
-        let scratch = Device::new(device.spec().clone(), device.mode());
+        let scratch = Device::new(device.spec().clone(), device.mode())
+            .with_host_threads(device.configured_host_threads());
         let mut reference_colors: Option<Vec<Rgb>> = None;
         let mut reference_cloud: Option<VoxelizedCloud> = None;
 

@@ -127,13 +127,35 @@ pub struct CpuOp {
 pub struct Device {
     spec: DeviceSpec,
     mode: PowerMode,
+    host_threads: Option<std::num::NonZeroUsize>,
     records: Mutex<Vec<StageRecord>>,
 }
 
 impl Device {
     /// Creates a device from a spec and power mode.
     pub fn new(spec: DeviceSpec, mode: PowerMode) -> Self {
-        Device { spec, mode, records: Mutex::new(Vec::new()) }
+        Device { spec, mode, host_threads: None, records: Mutex::new(Vec::new()) }
+    }
+
+    /// Sets an explicit host thread count for data-parallel kernel
+    /// emulation ([`launch_map`](Self::launch_map)). `None` defers to the
+    /// `PCC_THREADS` environment variable, then to the machine's available
+    /// parallelism. Results are byte-identical at every thread count.
+    pub fn with_host_threads(mut self, threads: Option<std::num::NonZeroUsize>) -> Self {
+        self.host_threads = threads;
+        self
+    }
+
+    /// The explicitly configured host thread count, if any (before the
+    /// environment/hardware fallback chain).
+    pub fn configured_host_threads(&self) -> Option<std::num::NonZeroUsize> {
+        self.host_threads
+    }
+
+    /// The resolved host thread count (explicit → `PCC_THREADS` →
+    /// available parallelism).
+    pub fn host_threads(&self) -> std::num::NonZeroUsize {
+        pcc_parallel::resolve(self.host_threads)
     }
 
     /// The Jetson AGX Xavier board the paper evaluates on.
@@ -224,17 +246,31 @@ impl Device {
     ///
     /// This is the "CUDA kernel as a Rust closure" entry point: `f` must
     /// be item-independent (no cross-item state), which is exactly the
-    /// contract a GPU grid launch imposes. Host execution order is
-    /// sequential (this container has one core); the *model* accounts the
-    /// launch at the device's full core count.
-    pub fn launch_map<T, R>(
+    /// contract a GPU grid launch imposes. Host execution fans out over
+    /// [`host_threads`](Self::host_threads) scoped threads in contiguous
+    /// index chunks merged in order, so the output is byte-identical at
+    /// every thread count; the *model* accounts the launch at the device's
+    /// full core count either way.
+    pub fn launch_map<T: Sync, R: Send>(
         &self,
         stage: &str,
         kernel: &KernelProfile,
         items: &[T],
-        f: impl Fn(&T) -> R,
+        f: impl Fn(&T) -> R + Sync,
     ) -> Vec<R> {
-        let out = items.iter().map(f).collect();
+        let fan = pcc_parallel::effective_threads(self.host_threads(), items.len());
+        let out = if fan <= 1 {
+            items.iter().map(f).collect()
+        } else {
+            let ranges = pcc_parallel::chunk_ranges(items.len(), fan);
+            let chunks =
+                pcc_parallel::scope_map(&ranges, |_, r| items[r].iter().map(&f).collect::<Vec<R>>());
+            let mut out = Vec::with_capacity(items.len());
+            for chunk in chunks {
+                out.extend(chunk);
+            }
+            out
+        };
         self.charge_gpu(stage, kernel, items.len().max(1));
         out
     }

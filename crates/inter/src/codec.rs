@@ -1,12 +1,15 @@
 //! The inter-frame (P-frame) codec facade.
 
 use crate::config::InterConfig;
-use crate::matching::{self, match_blocks, MatchOutcome, ReuseStats};
+use crate::matching::{self, match_blocks_with, MatchOutcome, ReuseStats};
 use pcc_edge::{calib, Device};
 use pcc_entropy::varint;
-use pcc_intra::{decode_layer, encode_layer_with_starts, IntraCodec, LayerEncoded};
+use pcc_intra::{
+    decode_layer_threaded, encode_layer_with_starts_threaded, IntraCodec, LayerEncoded,
+};
 use pcc_types::{Point3, Rgb, VoxelizedCloud};
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Stage label prefix used in device timelines.
 const STAGE: &str = "inter_attr";
@@ -86,6 +89,13 @@ impl InterCodec {
         &self.config
     }
 
+    /// The host thread count this codec will use on `device`: the intra
+    /// config wins, then the device knob, then `PCC_THREADS`, then the
+    /// machine's available parallelism.
+    pub fn threads_for(&self, device: &Device) -> NonZeroUsize {
+        pcc_parallel::resolve(self.config.intra.threads.or(device.configured_host_threads()))
+    }
+
     /// Encodes a P-frame: geometry via the intra pipeline, attributes via
     /// block matching against `reference` (the decoded I-frame's
     /// Morton-ordered voxel colors).
@@ -95,14 +105,16 @@ impl InterCodec {
         reference: &[Rgb],
         device: &Device,
     ) -> InterEncoded {
-        let geo = pcc_intra::geometry::encode(cloud, self.config.intra.entropy, device);
+        let threads = self.threads_for(device);
+        let geo =
+            pcc_intra::geometry::encode_with(cloud, self.config.intra.entropy, device, threads);
 
         // Per-voxel colors in Morton order (averaging duplicate points),
         // identical to the intra attribute path's view.
-        let p_colors = voxel_colors(cloud, &geo);
+        let p_colors = pcc_intra::attribute::gather_voxel_colors_with(cloud, &geo, threads);
         device.charge_gpu(&format!("{STAGE}/gather"), &calib::GATHER, cloud.len().max(1));
 
-        let (payload, stats) = self.encode_attributes(&p_colors, reference, device);
+        let (payload, stats) = self.encode_attributes(&p_colors, reference, device, threads);
         InterEncoded {
             frame: pcc_intra::IntraFrame {
                 geometry: geo.stream,
@@ -120,6 +132,7 @@ impl InterCodec {
         p_colors: &[Rgb],
         reference: &[Rgb],
         device: &Device,
+        threads: NonZeroUsize,
     ) -> (Vec<u8>, ReuseStats) {
         let m = p_colors.len();
         let blocks = self.config.blocks_for(m);
@@ -127,13 +140,14 @@ impl InterCodec {
         let i_starts = segment_starts(reference.len(), self.config.blocks_for(reference.len()));
 
         // Block matching (the Diff_Squared / Squared_Sum kernels).
-        let (matches, stats, charge) = match_blocks(
+        let (matches, stats, charge) = match_blocks_with(
             p_colors,
             reference,
             &p_starts,
             &i_starts,
             self.config.candidates,
             self.config.reuse_threshold,
+            threads,
         );
         device.charge_gpu(
             &format!("{STAGE}/diff_squared"),
@@ -169,8 +183,12 @@ impl InterCodec {
         device.charge_gpu(&format!("{STAGE}/addr_gen"), &calib::ADDR_GEN, m.max(1));
 
         // Compress deltas with the intra Base+Delta layer (segment = block).
-        let delta_layer =
-            encode_layer_with_starts(&delta_values, delta_starts, self.config.intra.quant_step());
+        let delta_layer = encode_layer_with_starts_threaded(
+            &delta_values,
+            delta_starts,
+            self.config.intra.quant_step(),
+            threads,
+        );
         device.charge_gpu(
             &format!("{STAGE}/delta_encode"),
             &calib::DELTA_QUANT,
@@ -225,7 +243,7 @@ impl InterCodec {
             flags.push(((v >> 1) as usize, v & 1 == 1));
         }
         let delta_layer = LayerEncoded::from_bytes(input)?;
-        let deltas = decode_layer(&delta_layer);
+        let deltas = decode_layer_threaded(&delta_layer, self.threads_for(device));
 
         let mut colors = vec![Rgb::BLACK; m];
         let mut delta_pos = 0usize;
@@ -263,32 +281,6 @@ impl InterCodec {
     pub fn encode_intra(&self, cloud: &VoxelizedCloud, device: &Device) -> pcc_intra::IntraFrame {
         IntraCodec::new(self.config.intra).encode(cloud, device)
     }
-}
-
-/// Per-voxel mean colors in Morton order (shared with the intra path).
-fn voxel_colors(cloud: &VoxelizedCloud, geo: &pcc_intra::geometry::GeometryEncoded) -> Vec<Rgb> {
-    let m = geo.unique_voxels;
-    let mut sums = vec![[0u32; 3]; m];
-    let mut counts = vec![0u32; m];
-    for (rank, &src) in geo.perm.iter().enumerate() {
-        let v = geo.point_to_voxel[rank] as usize;
-        let c = cloud.colors()[src as usize];
-        sums[v][0] += c.r as u32;
-        sums[v][1] += c.g as u32;
-        sums[v][2] += c.b as u32;
-        counts[v] += 1;
-    }
-    sums.iter()
-        .zip(&counts)
-        .map(|(s, &k)| {
-            let k = k.max(1);
-            Rgb::new(
-                ((s[0] + k / 2) / k) as u8,
-                ((s[1] + k / 2) / k) as u8,
-                ((s[2] + k / 2) / k) as u8,
-            )
-        })
-        .collect()
 }
 
 fn segment_starts(len: usize, segments: usize) -> Vec<u32> {

@@ -56,4 +56,4 @@ mod matching;
 
 pub use codec::{InterCodec, InterEncoded, InterError};
 pub use config::InterConfig;
-pub use matching::{match_blocks, BlockMatch, MatchOutcome, ReuseStats};
+pub use matching::{match_blocks, match_blocks_with, BlockMatch, MatchOutcome, ReuseStats};

@@ -1,6 +1,7 @@
 //! Block matching between Morton-ordered attribute sequences.
 
 use pcc_types::Rgb;
+use std::num::NonZeroUsize;
 
 /// How one P-block is coded after matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,11 +117,35 @@ pub fn match_blocks(
     candidates: usize,
     threshold: u32,
 ) -> (Vec<BlockMatch>, ReuseStats, MatchCharge) {
+    match_blocks_with(
+        p_colors,
+        i_colors,
+        p_starts,
+        i_starts,
+        candidates,
+        threshold,
+        pcc_parallel::resolve(None),
+    )
+}
+
+/// [`match_blocks`] with an explicit host thread count.
+///
+/// P-blocks are partitioned into contiguous index chunks, searched
+/// independently, and the per-chunk matches/stats/charges are merged in
+/// chunk order — so the result (and any stream derived from it) is
+/// byte-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn match_blocks_with(
+    p_colors: &[Rgb],
+    i_colors: &[Rgb],
+    p_starts: &[u32],
+    i_starts: &[u32],
+    candidates: usize,
+    threshold: u32,
+    threads: NonZeroUsize,
+) -> (Vec<BlockMatch>, ReuseStats, MatchCharge) {
     let p_blocks = p_starts.len();
     let i_blocks = i_starts.len();
-    let mut matches = Vec::with_capacity(p_blocks);
-    let mut stats = ReuseStats::default();
-    let mut charge = MatchCharge::default();
 
     let block_of = |starts: &[u32], colors: &[Rgb], idx: usize| -> std::ops::Range<usize> {
         let start = starts[idx] as usize;
@@ -128,34 +153,61 @@ pub fn match_blocks(
         start..end
     };
 
-    for p_idx in 0..p_blocks {
-        let p_range = block_of(p_starts, p_colors, p_idx);
-        let p_block = &p_colors[p_range];
-        let (w_start, w_end) = candidate_window(p_idx, p_blocks, i_blocks, candidates);
-        let mut best: Option<(usize, u64)> = None;
-        for i_idx in w_start..w_end {
-            let i_range = block_of(i_starts, i_colors, i_idx);
-            let diff = block_diff(p_block, &i_colors[i_range]);
-            charge.pair_items += p_block.len();
-            charge.block_pairs += 1;
-            if best.map_or(true, |(_, d)| diff < d) {
-                best = Some((i_idx, diff));
+    let match_range = |range: std::ops::Range<usize>| {
+        let mut matches = Vec::with_capacity(range.len());
+        let mut stats = ReuseStats::default();
+        let mut charge = MatchCharge::default();
+        for p_idx in range {
+            let p_range = block_of(p_starts, p_colors, p_idx);
+            let p_block = &p_colors[p_range];
+            let (w_start, w_end) = candidate_window(p_idx, p_blocks, i_blocks, candidates);
+            let mut best: Option<(usize, u64)> = None;
+            for i_idx in w_start..w_end {
+                let i_range = block_of(i_starts, i_colors, i_idx);
+                let diff = block_diff(p_block, &i_colors[i_range]);
+                charge.pair_items += p_block.len();
+                charge.block_pairs += 1;
+                if best.map_or(true, |(_, d)| diff < d) {
+                    best = Some((i_idx, diff));
+                }
             }
+            let (i_block, best_diff) = best.unwrap_or((0, u64::MAX));
+            let outcome = if best_diff <= threshold as u64 {
+                stats.reused += 1;
+                MatchOutcome::Reuse
+            } else {
+                stats.delta += 1;
+                MatchOutcome::Delta
+            };
+            matches.push(BlockMatch {
+                window_offset: (i_block - w_start) as u16,
+                i_block: i_block as u32,
+                best_diff,
+                outcome,
+            });
         }
-        let (i_block, best_diff) = best.unwrap_or((0, u64::MAX));
-        let outcome = if best_diff <= threshold as u64 {
-            stats.reused += 1;
-            MatchOutcome::Reuse
-        } else {
-            stats.delta += 1;
-            MatchOutcome::Delta
-        };
-        matches.push(BlockMatch {
-            window_offset: (i_block - w_start) as u16,
-            i_block: i_block as u32,
-            best_diff,
-            outcome,
-        });
+        (matches, stats, charge)
+    };
+
+    // Per-block work is ~candidates × block-size comparisons, so weight
+    // the fan-out decision by compared pairs rather than block count.
+    let weight = p_blocks.saturating_mul(candidates.min(i_blocks.max(1)));
+    let fan = pcc_parallel::effective_threads(threads, weight).min(p_blocks.max(1));
+    if fan <= 1 {
+        return match_range(0..p_blocks);
+    }
+    let ranges = pcc_parallel::chunk_ranges(p_blocks, fan);
+    let partials = pcc_parallel::scope_map(&ranges, |_, r| match_range(r));
+
+    let mut matches = Vec::with_capacity(p_blocks);
+    let mut stats = ReuseStats::default();
+    let mut charge = MatchCharge::default();
+    for (part_matches, part_stats, part_charge) in partials {
+        matches.extend(part_matches);
+        stats.reused += part_stats.reused;
+        stats.delta += part_stats.delta;
+        charge.pair_items += part_charge.pair_items;
+        charge.block_pairs += part_charge.block_pairs;
     }
     (matches, stats, charge)
 }
@@ -247,6 +299,23 @@ mod tests {
         assert_eq!(matches[0].best_diff, u64::MAX);
     }
 
+    #[test]
+    fn parallel_matching_identical_on_large_input() {
+        let p: Vec<Rgb> = (0..40_000).map(|i| Rgb::gray((i % 251) as u8)).collect();
+        let i: Vec<Rgb> = (0..36_000).map(|i| Rgb::gray((i % 247) as u8)).collect();
+        let p_starts: Vec<u32> = (0..p.len() as u32).step_by(20).collect();
+        let i_starts: Vec<u32> = (0..i.len() as u32).step_by(20).collect();
+        let baseline = match_blocks_with(
+            &p, &i, &p_starts, &i_starts, 16, 500, NonZeroUsize::new(1).unwrap(),
+        );
+        for t in [2usize, 3, 8] {
+            let got = match_blocks_with(
+                &p, &i, &p_starts, &i_starts, 16, 500, NonZeroUsize::new(t).unwrap(),
+            );
+            assert_eq!(got, baseline, "threads = {t}");
+        }
+    }
+
     proptest! {
         #[test]
         fn reuse_fraction_monotone_in_threshold(
@@ -263,6 +332,26 @@ mod tests {
                 let f = stats.reuse_fraction();
                 prop_assert!(f >= last, "reuse fraction decreased: {f} < {last}");
                 last = f;
+            }
+        }
+
+        #[test]
+        fn parallel_matching_identical_to_sequential(
+            p in prop::collection::vec(any::<u8>(), 16..256),
+            i in prop::collection::vec(any::<u8>(), 16..256),
+        ) {
+            let p = grays(&p);
+            let i = grays(&i);
+            let p_starts: Vec<u32> = (0..p.len() as u32).step_by(4).collect();
+            let i_starts: Vec<u32> = (0..i.len() as u32).step_by(4).collect();
+            let baseline = match_blocks_with(
+                &p, &i, &p_starts, &i_starts, 8, 500, NonZeroUsize::new(1).unwrap(),
+            );
+            for t in [2usize, 3, 7] {
+                let got = match_blocks_with(
+                    &p, &i, &p_starts, &i_starts, 8, 500, NonZeroUsize::new(t).unwrap(),
+                );
+                prop_assert_eq!(&got, &baseline, "threads = {}", t);
             }
         }
 

@@ -3,10 +3,11 @@
 
 use crate::config::IntraConfig;
 use crate::geometry::GeometryEncoded;
-use crate::layer::{decode_layer, encode_layer, LayerEncoded};
+use crate::layer::{decode_layer_threaded, encode_layer_threaded, LayerEncoded};
 use pcc_edge::{calib, Device};
 use pcc_entropy::{varint, ByteModel, RangeDecoder, RangeEncoder};
 use pcc_types::{Rgb, VoxelizedCloud};
+use std::num::NonZeroUsize;
 
 /// Stage label prefix used in device timelines.
 const STAGE: &str = "attribute";
@@ -24,17 +25,20 @@ pub fn encode(
     device: &Device,
 ) -> Vec<u8> {
     let n = cloud.len();
+    let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
 
     // 1. Gather colors into Morton order through the geometry permutation,
-    //    averaging duplicates per voxel.
-    let voxel_colors = gather_voxel_colors(cloud, geo);
+    //    averaging duplicates per voxel. Chunk boundaries are aligned to
+    //    voxel runs, so every thread count yields identical sums.
+    let voxel_colors = gather_voxel_colors_with(cloud, geo, threads);
     device.charge_gpu(&format!("{STAGE}/gather"), &calib::GATHER, n.max(1));
 
-    // 2-3. Segment + per-segment median (base).
+    // 2-3. Segment + per-segment median (base), chunk-parallel per
+    //       segment group.
     let m = voxel_colors.len();
     let segments = config.segments_for(m);
     let values: Vec<[i32; 3]> = voxel_colors.iter().map(|c| c.to_i32()).collect();
-    let layer1 = encode_layer(&values, segments, config.quant_step());
+    let layer1 = encode_layer_threaded(&values, segments, config.quant_step(), threads);
     device.charge_gpu(&format!("{STAGE}/median"), &calib::SEGMENT_MEDIAN, m.max(1));
     device.charge_gpu(&format!("{STAGE}/delta"), &calib::DELTA_QUANT, m.max(1));
 
@@ -43,7 +47,7 @@ pub fn encode(
     let mut payload = Vec::new();
     payload.push(config.two_layer as u8);
     if config.two_layer {
-        let layer2 = encode_layer(&layer1.residuals, segments, 1);
+        let layer2 = encode_layer_threaded(&layer1.residuals, segments, 1, threads);
         device.charge_gpu(&format!("{STAGE}/delta2"), &calib::DELTA_QUANT, m.max(1));
         let outer = LayerEncoded { residuals: Vec::new(), ..layer1 };
         let outer_bytes = outer.to_bytes();
@@ -79,6 +83,7 @@ pub fn decode(
         owned = entropy_unwrap(payload)?;
         input = &owned;
     }
+    let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
     let (&two_layer, mut rest) = input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
     let values = if two_layer != 0 {
         let outer_len = varint::read_u64(&mut rest)? as usize;
@@ -87,39 +92,81 @@ pub fn decode(
         }
         let mut outer = LayerEncoded::from_bytes(&rest[..outer_len])?;
         let layer2 = LayerEncoded::from_bytes(&rest[outer_len..])?;
-        outer.residuals = decode_layer(&layer2);
-        decode_layer(&outer)
+        outer.residuals = decode_layer_threaded(&layer2, threads);
+        decode_layer_threaded(&outer, threads)
     } else {
-        decode_layer(&LayerEncoded::from_bytes(rest)?)
+        decode_layer_threaded(&LayerEncoded::from_bytes(rest)?, threads)
     };
     device.charge_gpu("attribute_decode", &calib::ATTR_DECODE, values.len().max(1));
     Ok(values.into_iter().map(Rgb::from_i32_clamped).collect())
 }
 
 /// Gathers per-voxel mean colors in Morton order.
-fn gather_voxel_colors(cloud: &VoxelizedCloud, geo: &GeometryEncoded) -> Vec<Rgb> {
+pub fn gather_voxel_colors(cloud: &VoxelizedCloud, geo: &GeometryEncoded) -> Vec<Rgb> {
+    gather_voxel_colors_with(cloud, geo, pcc_parallel::resolve(None))
+}
+
+/// [`gather_voxel_colors`] with an explicit host thread count.
+///
+/// `geo.point_to_voxel` is non-decreasing over sorted rank, so chunks
+/// aligned to voxel boundaries accumulate into disjoint contiguous slices
+/// of the per-voxel sums — no atomics, and identical sums (hence bytes)
+/// at every thread count.
+pub fn gather_voxel_colors_with(
+    cloud: &VoxelizedCloud,
+    geo: &GeometryEncoded,
+    threads: NonZeroUsize,
+) -> Vec<Rgb> {
     let m = geo.unique_voxels;
+    let n = geo.perm.len();
     let mut sums = vec![[0u32; 3]; m];
     let mut counts = vec![0u32; m];
-    for (rank, &src) in geo.perm.iter().enumerate() {
-        let v = geo.point_to_voxel[rank] as usize;
-        let c = cloud.colors()[src as usize];
-        sums[v][0] += c.r as u32;
-        sums[v][1] += c.g as u32;
-        sums[v][2] += c.b as u32;
-        counts[v] += 1;
+    let p2v = &geo.point_to_voxel;
+    let colors = cloud.colors();
+
+    let accumulate = |rank_range: std::ops::Range<usize>,
+                      sums_part: &mut [[u32; 3]],
+                      counts_part: &mut [u32]| {
+        let voxel_base = p2v.get(rank_range.start).map_or(0, |&v| v as usize);
+        for rank in rank_range {
+            let v = p2v[rank] as usize - voxel_base;
+            let c = colors[geo.perm[rank] as usize];
+            sums_part[v][0] += c.r as u32;
+            sums_part[v][1] += c.g as u32;
+            sums_part[v][2] += c.b as u32;
+            counts_part[v] += 1;
+        }
+    };
+
+    let fan = pcc_parallel::effective_threads(threads, n);
+    if fan <= 1 {
+        accumulate(0..n, &mut sums, &mut counts);
+    } else {
+        let ranges = pcc_parallel::aligned_chunk_ranges(n, fan, |i| p2v[i] != p2v[i - 1]);
+        let voxel_cuts: Vec<usize> =
+            ranges[1..].iter().map(|r| p2v[r.start] as usize).collect();
+        let sums_parts = pcc_parallel::split_at_many(&mut sums, &voxel_cuts);
+        let counts_parts = pcc_parallel::split_at_many(&mut counts, &voxel_cuts);
+        let ctxs: Vec<_> = ranges.into_iter().zip(counts_parts).collect();
+        pcc_parallel::scope_run(sums_parts, ctxs, |_, (rank_range, counts_part), sums_part| {
+            accumulate(rank_range, sums_part, counts_part);
+        });
     }
-    sums.iter()
-        .zip(&counts)
-        .map(|(s, &k)| {
-            let k = k.max(1);
-            Rgb::new(
+
+    let mut out = vec![Rgb::BLACK; m];
+    let voxel_ranges = pcc_parallel::chunk_ranges(m, pcc_parallel::effective_threads(threads, m));
+    pcc_parallel::par_fill(&mut out, &voxel_ranges, |_, range, part| {
+        for (slot, v) in part.iter_mut().zip(range) {
+            let s = sums[v];
+            let k = counts[v].max(1);
+            *slot = Rgb::new(
                 ((s[0] + k / 2) / k) as u8,
                 ((s[1] + k / 2) / k) as u8,
                 ((s[2] + k / 2) / k) as u8,
-            )
-        })
-        .collect()
+            );
+        }
+    });
+    out
 }
 
 fn entropy_wrap(payload: &[u8]) -> Vec<u8> {

@@ -1,5 +1,7 @@
 //! Intra-codec configuration.
 
+use std::num::NonZeroUsize;
+
 /// Configuration of the intra-frame codec.
 ///
 /// Defaults follow the paper's evaluated operating point (Sec. VI-B):
@@ -17,12 +19,33 @@ pub struct IntraConfig {
     pub two_layer: bool,
     /// Entropy-code the packed geometry and attribute payloads.
     pub entropy: bool,
+    /// Host threads for the parallel hot path (`None` = `PCC_THREADS`
+    /// env var, then [`std::thread::available_parallelism`]). Encoded
+    /// streams are byte-identical at every thread count.
+    pub threads: Option<NonZeroUsize>,
 }
 
 impl IntraConfig {
     /// The paper's evaluated configuration.
     pub fn paper() -> Self {
-        IntraConfig { segments: 30_000, quant_shift: 2, two_layer: true, entropy: false }
+        IntraConfig {
+            segments: 30_000,
+            quant_shift: 2,
+            two_layer: true,
+            entropy: false,
+            threads: None,
+        }
+    }
+
+    /// This configuration with an explicit host thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        IntraConfig { threads: NonZeroUsize::new(threads), ..self }
+    }
+
+    /// The thread count after applying the resolution chain (explicit
+    /// config → `PCC_THREADS` → available parallelism).
+    pub fn resolved_threads(&self) -> NonZeroUsize {
+        pcc_parallel::resolve(self.threads)
     }
 
     /// A lossless-residual configuration (for tests and ablations).

@@ -98,9 +98,17 @@ impl IntraCodec {
         &self.config
     }
 
+    /// The host thread count this codec will use on `device`: the codec
+    /// config wins, then the device knob, then `PCC_THREADS`, then the
+    /// machine's available parallelism.
+    pub fn threads_for(&self, device: &Device) -> std::num::NonZeroUsize {
+        pcc_parallel::resolve(self.config.threads.or(device.configured_host_threads()))
+    }
+
     /// Encodes one voxelized frame, charging every stage to `device`.
     pub fn encode(&self, cloud: &VoxelizedCloud, device: &Device) -> IntraFrame {
-        let geo = geometry::encode(cloud, self.config.entropy, device);
+        let geo =
+            geometry::encode_with(cloud, self.config.entropy, device, self.threads_for(device));
         let attr = attribute::encode(cloud, &geo, &self.config, device);
         IntraFrame {
             geometry: geo.stream,
@@ -118,7 +126,8 @@ impl IntraCodec {
         cloud: &VoxelizedCloud,
         device: &Device,
     ) -> (IntraFrame, geometry::GeometryEncoded) {
-        let geo = geometry::encode(cloud, self.config.entropy, device);
+        let geo =
+            geometry::encode_with(cloud, self.config.entropy, device, self.threads_for(device));
         let attr = attribute::encode(cloud, &geo, &self.config, device);
         let frame = IntraFrame {
             geometry: geo.stream.clone(),

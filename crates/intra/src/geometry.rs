@@ -2,9 +2,10 @@
 
 use pcc_edge::{calib, Device};
 use pcc_entropy::{ByteModel, RangeDecoder, RangeEncoder};
-use pcc_morton::{sort_codes, MortonCode};
+use pcc_morton::{sort_codes_with, MortonCode, SortScratch};
 use pcc_octree::ParallelOctree;
 use pcc_types::{VoxelCoord, VoxelizedCloud};
+use std::num::NonZeroUsize;
 
 /// The outcome of geometry encoding: the compressed stream plus the
 /// intermediate results the attribute pipeline reuses for free.
@@ -33,37 +34,41 @@ const STAGE: &str = "geometry";
 /// `entropy` additionally range-codes the occupancy stream (the paper's
 /// discarded option).
 pub fn encode(cloud: &VoxelizedCloud, entropy: bool, device: &Device) -> GeometryEncoded {
+    encode_with(cloud, entropy, device, pcc_parallel::resolve(device.configured_host_threads()))
+}
+
+/// [`encode`] with an explicit host thread count for every stage of the
+/// pipeline. All parallel stages partition work by index ranges, so the
+/// stream is byte-identical at every thread count.
+pub fn encode_with(
+    cloud: &VoxelizedCloud,
+    entropy: bool,
+    device: &Device,
+    threads: NonZeroUsize,
+) -> GeometryEncoded {
     let n = cloud.len();
 
     // 1. Morton code generation — one independent item per point, run as
-    //    a data-parallel kernel launch.
-    let codes = device.launch_map(
-        &format!("{STAGE}/morton"),
-        &calib::MORTON_GEN,
-        cloud.coords(),
-        |&c| pcc_morton::encode(c),
-    );
+    //    a data-parallel kernel launch (chunked across host threads).
+    let codes = pcc_morton::codes_of_with(cloud, threads);
+    device.charge_gpu(&format!("{STAGE}/morton"), &calib::MORTON_GEN, n.max(1));
 
-    // 2. Radix sort of the codes.
-    let sorted = sort_codes(&codes);
+    // 2. Radix sort of the codes (parallel LSD passes, stable merge).
+    let sorted = sort_codes_with(&codes, threads, &mut SortScratch::new());
     device.charge_gpu(&format!("{STAGE}/sort"), &calib::RADIX_SORT, n);
 
-    // 3. Deduplicate to unique leaves, remembering each point's voxel.
-    let mut leaf_codes: Vec<MortonCode> = Vec::with_capacity(n);
-    let mut point_to_voxel: Vec<u32> = Vec::with_capacity(n);
-    for &code in &sorted.codes {
-        if leaf_codes.last() != Some(&code) {
-            leaf_codes.push(code);
-        }
-        point_to_voxel.push(leaf_codes.len() as u32 - 1);
-    }
+    // 3. Deduplicate to unique leaves, remembering each point's voxel —
+    //    a run compaction over the sorted codes, chunk-parallel with
+    //    run-aligned boundaries.
+    let (leaf_codes, point_to_voxel) =
+        pcc_parallel::compact_runs(&sorted.codes, |&c| c, threads);
 
     // 4. Parallel octree construction over the sorted unique codes.
-    let tree = ParallelOctree::from_sorted_codes(leaf_codes.clone(), cloud.depth());
+    let tree = ParallelOctree::from_sorted_codes_with(leaf_codes.clone(), cloud.depth(), threads);
     device.charge_gpu(&format!("{STAGE}/octree"), &calib::OCTREE_BUILD, tree.node_count().max(1));
 
     // 5. Occupancy-byte post-processing (Algorithm 1).
-    let occupancy = tree.occupancy();
+    let occupancy = tree.occupancy_with(threads);
     device.charge_gpu(&format!("{STAGE}/occupy"), &calib::OCCUPY_POST, tree.node_count().max(1));
 
     // 6. Stream packing (+ grid metadata so the decoder can restore world

@@ -2,6 +2,7 @@
 //! attribute codec (paper Sec. IV-A2).
 
 use pcc_entropy::varint;
+use std::num::NonZeroUsize;
 
 /// The output of one coding layer over a sequence of 3-channel values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +146,21 @@ pub fn encode_layer(values: &[[i32; 3]], segments: usize, quant_step: i32) -> La
     encode_layer_with_starts(values, segment_starts(values.len(), segments), quant_step)
 }
 
+/// [`encode_layer`] with an explicit host thread count.
+pub fn encode_layer_threaded(
+    values: &[[i32; 3]],
+    segments: usize,
+    quant_step: i32,
+    threads: NonZeroUsize,
+) -> LayerEncoded {
+    encode_layer_with_starts_threaded(
+        values,
+        segment_starts(values.len(), segments),
+        quant_step,
+        threads,
+    )
+}
+
 /// Like [`encode_layer`], but with caller-chosen segment boundaries —
 /// the inter-frame codec aligns segments with its matched blocks.
 ///
@@ -157,27 +173,68 @@ pub fn encode_layer_with_starts(
     starts: Vec<u32>,
     quant_step: i32,
 ) -> LayerEncoded {
+    encode_layer_with_starts_threaded(values, starts, quant_step, pcc_parallel::resolve(None))
+}
+
+/// [`encode_layer_with_starts`] with an explicit host thread count.
+///
+/// Segments are grouped into contiguous chunks; each chunk writes a
+/// disjoint slice of the base and residual arrays (every segment belongs
+/// to exactly one chunk), so the output is byte-identical at every thread
+/// count.
+pub fn encode_layer_with_starts_threaded(
+    values: &[[i32; 3]],
+    starts: Vec<u32>,
+    quant_step: i32,
+    threads: NonZeroUsize,
+) -> LayerEncoded {
     assert!(quant_step >= 1, "quantization step must be >= 1");
     assert!(!starts.is_empty() && starts[0] == 0, "segment starts must begin at 0");
     assert!(
         starts.windows(2).all(|w| w[0] <= w[1]) && *starts.last().expect("non-empty") as usize <= values.len(),
         "segment starts must ascend within the value range"
     );
-    let mut bases = Vec::with_capacity(starts.len());
+    let mut bases = vec![[0i32; 3]; starts.len()];
     let mut residuals = vec![[0i32; 3]; values.len()];
-    for (s, &start) in starts.iter().enumerate() {
-        let end = starts.get(s + 1).map_or(values.len(), |&e| e as usize);
-        let seg = &values[start as usize..end];
-        let base = median3(seg);
-        bases.push(base);
-        for (i, v) in seg.iter().enumerate() {
-            let r = [v[0] - base[0], v[1] - base[1], v[2] - base[2]];
-            residuals[start as usize + i] = [
-                div_round(r[0], quant_step),
-                div_round(r[1], quant_step),
-                div_round(r[2], quant_step),
-            ];
+
+    // One chunk handles segments seg_range = [s0, s1): it owns
+    // bases[s0..s1] and residuals[starts[s0]..starts[s1]] — disjoint
+    // contiguous slices across chunks.
+    let encode_group = |seg_range: std::ops::Range<usize>,
+                        bases_part: &mut [[i32; 3]],
+                        resid_part: &mut [[i32; 3]]| {
+        let value_base = starts[seg_range.start] as usize;
+        for (local_s, s) in seg_range.enumerate() {
+            let start = starts[s] as usize;
+            let end = starts.get(s + 1).map_or(values.len(), |&e| e as usize);
+            let seg = &values[start..end];
+            let base = median3(seg);
+            bases_part[local_s] = base;
+            for (i, v) in seg.iter().enumerate() {
+                let r = [v[0] - base[0], v[1] - base[1], v[2] - base[2]];
+                resid_part[start - value_base + i] = [
+                    div_round(r[0], quant_step),
+                    div_round(r[1], quant_step),
+                    div_round(r[2], quant_step),
+                ];
+            }
         }
+    };
+
+    let fan = pcc_parallel::effective_threads(threads, values.len()).min(starts.len());
+    if fan <= 1 {
+        encode_group(0..starts.len(), &mut bases, &mut residuals);
+    } else {
+        let seg_ranges = pcc_parallel::chunk_ranges(starts.len(), fan);
+        let seg_cuts: Vec<usize> = seg_ranges[1..].iter().map(|r| r.start).collect();
+        let value_cuts: Vec<usize> =
+            seg_ranges[1..].iter().map(|r| starts[r.start] as usize).collect();
+        let bases_parts = pcc_parallel::split_at_many(&mut bases, &seg_cuts);
+        let resid_parts = pcc_parallel::split_at_many(&mut residuals, &value_cuts);
+        let ctxs: Vec<_> = seg_ranges.into_iter().zip(bases_parts).collect();
+        pcc_parallel::scope_run(resid_parts, ctxs, |_, (seg_range, bases_part), resid_part| {
+            encode_group(seg_range, bases_part, resid_part);
+        });
     }
     LayerEncoded { bases, residuals, starts, quant_step }
 }
@@ -188,6 +245,50 @@ pub fn encode_layer_with_starts(
 /// the value range rather than panicking; affected values decode as
 /// zeros.
 pub fn decode_layer(layer: &LayerEncoded) -> Vec<[i32; 3]> {
+    decode_layer_threaded(layer, pcc_parallel::resolve(None))
+}
+
+/// [`decode_layer`] with an explicit host thread count.
+///
+/// Well-formed layers decode chunk-parallel over segment groups writing
+/// disjoint output slices (byte-identical at every thread count);
+/// malformed boundaries fall back to the clamping sequential path.
+pub fn decode_layer_threaded(layer: &LayerEncoded, threads: NonZeroUsize) -> Vec<[i32; 3]> {
+    let n = layer.residuals.len();
+    let starts = &layer.starts;
+    let well_formed = layer.bases.len() >= starts.len()
+        && starts.first() == Some(&0)
+        && starts.windows(2).all(|w| w[0] <= w[1])
+        && starts.last().is_none_or(|&s| (s as usize) <= n);
+    let fan = pcc_parallel::effective_threads(threads, n).min(starts.len().max(1));
+    if !well_formed || fan <= 1 {
+        return decode_layer_sequential(layer);
+    }
+    let mut out = vec![[0i32; 3]; n];
+    let seg_ranges = pcc_parallel::chunk_ranges(starts.len(), fan);
+    let value_cuts: Vec<usize> =
+        seg_ranges[1..].iter().map(|r| starts[r.start] as usize).collect();
+    let parts = pcc_parallel::split_at_many(&mut out, &value_cuts);
+    pcc_parallel::scope_run(parts, seg_ranges, |_, seg_range, part| {
+        let value_base = starts[seg_range.start] as usize;
+        for s in seg_range {
+            let start = starts[s] as usize;
+            let end = starts.get(s + 1).map_or(n, |&e| e as usize);
+            let base = layer.bases[s];
+            for i in start..end {
+                let r = layer.residuals[i];
+                part[i - value_base] = [
+                    base[0] + r[0] * layer.quant_step,
+                    base[1] + r[1] * layer.quant_step,
+                    base[2] + r[2] * layer.quant_step,
+                ];
+            }
+        }
+    });
+    out
+}
+
+fn decode_layer_sequential(layer: &LayerEncoded) -> Vec<[i32; 3]> {
     let n = layer.residuals.len();
     let mut out = vec![[0i32; 3]; n];
     for (s, &start) in layer.starts.iter().enumerate() {

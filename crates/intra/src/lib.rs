@@ -46,4 +46,7 @@ mod layer;
 
 pub use config::IntraConfig;
 pub use frame::{IntraCodec, IntraError, IntraFrame};
-pub use layer::{decode_layer, encode_layer, encode_layer_with_starts, LayerEncoded};
+pub use layer::{
+    decode_layer, decode_layer_threaded, encode_layer, encode_layer_threaded,
+    encode_layer_with_starts, encode_layer_with_starts_threaded, LayerEncoded,
+};

@@ -34,4 +34,7 @@ mod code;
 pub mod sort;
 
 pub use code::{decode, encode, MortonCode, MAX_BITS_PER_AXIS};
-pub use sort::{codes_of, sort_codes, sorted_permutation, SortedCodes};
+pub use sort::{
+    codes_of, codes_of_with, sort_codes, sort_codes_with, sorted_permutation, SortScratch,
+    SortedCodes,
+};

@@ -10,6 +10,9 @@
 
 use crate::{encode, MortonCode};
 use pcc_types::VoxelizedCloud;
+use std::num::NonZeroUsize;
+
+pub use pcc_parallel::SortScratch;
 
 /// The result of Morton-sorting a voxelized cloud.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +42,28 @@ impl SortedCodes {
 /// independent, so on the modeled GPU it is one embarrassingly parallel
 /// pass (≈0.5 ms for a full frame).
 pub fn codes_of(cloud: &VoxelizedCloud) -> Vec<MortonCode> {
-    cloud.coords().iter().map(|&c| encode(c)).collect()
+    codes_of_with(cloud, pcc_parallel::resolve(None))
+}
+
+/// [`codes_of`] with an explicit thread count: the coordinate array is cut
+/// into contiguous chunks and each chunk is encoded on its own scoped
+/// thread. Chunking is by index, so the output is byte-identical to the
+/// sequential pass at every thread count.
+pub fn codes_of_with(cloud: &VoxelizedCloud, threads: NonZeroUsize) -> Vec<MortonCode> {
+    let coords = cloud.coords();
+    let n = coords.len();
+    let fan = pcc_parallel::effective_threads(threads, n);
+    if fan <= 1 {
+        return coords.iter().map(|&c| encode(c)).collect();
+    }
+    let mut out = vec![MortonCode::from_raw(0); n];
+    let ranges = pcc_parallel::chunk_ranges(n, fan);
+    pcc_parallel::par_fill(&mut out, &ranges, |_, range, part| {
+        for (slot, &c) in part.iter_mut().zip(&coords[range]) {
+            *slot = encode(c);
+        }
+    });
+    out
 }
 
 /// Sorts `codes` ascending with an LSD radix sort, returning the sorted
@@ -49,42 +73,30 @@ pub fn codes_of(cloud: &VoxelizedCloud) -> Vec<MortonCode> {
 /// this keeps attribute handling deterministic when a voxel holds several
 /// captured points.
 pub fn sort_codes(codes: &[MortonCode]) -> SortedCodes {
+    sort_codes_with(codes, pcc_parallel::resolve(None), &mut SortScratch::new())
+}
+
+/// [`sort_codes`] with an explicit thread count and reusable scratch.
+///
+/// The sort runs as a parallel LSD radix sort ([`pcc_parallel::radix_sort_pairs`]):
+/// per-thread digit histograms over contiguous chunks are merged digit-major
+/// into global prefix offsets, reproducing the exact stable order of the
+/// sequential counting sort — the output is byte-identical at every thread
+/// count. `scratch` holds the ping-pong buffers and histogram matrix;
+/// passing the same scratch across frames avoids reallocating them
+/// (see `benches/morton.rs` for the measured effect).
+pub fn sort_codes_with(
+    codes: &[MortonCode],
+    threads: NonZeroUsize,
+    scratch: &mut SortScratch,
+) -> SortedCodes {
     let n = codes.len();
     let mut perm: Vec<u32> = (0..n as u32).collect();
     if n <= 1 {
         return SortedCodes { codes: codes.to_vec(), perm };
     }
-
-    // Only sort the bytes that are actually populated.
-    let max = codes.iter().map(|c| c.value()).max().unwrap_or(0);
-    let used_bytes = if max == 0 { 1 } else { (64 - max.leading_zeros()).div_ceil(8) as usize };
-
     let mut keys: Vec<u64> = codes.iter().map(|c| c.value()).collect();
-    let mut keys_tmp = vec![0u64; n];
-    let mut perm_tmp = vec![0u32; n];
-
-    for byte in 0..used_bytes {
-        let shift = 8 * byte as u32;
-        let mut counts = [0usize; 256];
-        for &k in &keys {
-            counts[((k >> shift) & 0xff) as usize] += 1;
-        }
-        let mut offsets = [0usize; 256];
-        let mut acc = 0;
-        for d in 0..256 {
-            offsets[d] = acc;
-            acc += counts[d];
-        }
-        for i in 0..n {
-            let d = ((keys[i] >> shift) & 0xff) as usize;
-            keys_tmp[offsets[d]] = keys[i];
-            perm_tmp[offsets[d]] = perm[i];
-            offsets[d] += 1;
-        }
-        std::mem::swap(&mut keys, &mut keys_tmp);
-        std::mem::swap(&mut perm, &mut perm_tmp);
-    }
-
+    pcc_parallel::radix_sort_pairs(&mut keys, &mut perm, scratch, threads);
     SortedCodes { codes: keys.into_iter().map(MortonCode::from_raw).collect(), perm }
 }
 
@@ -169,7 +181,57 @@ mod tests {
         assert_eq!(s.perm, vec![1, 2, 0]);
     }
 
+    #[test]
+    fn parallel_sort_is_byte_identical_to_sequential() {
+        // Large enough that effective_threads actually fans out (> 4096/thread).
+        let mut rng = SmallRng::seed_from_u64(99);
+        let codes: Vec<MortonCode> = (0..50_000)
+            .map(|_| MortonCode::from_raw(rng.random_range(0..1u64 << 48)))
+            .collect();
+        let base = sort_codes_with(&codes, NonZeroUsize::new(1).unwrap(), &mut SortScratch::new());
+        for threads in [2usize, 3, 7, 16] {
+            let mut scratch = SortScratch::new();
+            let s = sort_codes_with(&codes, NonZeroUsize::new(threads).unwrap(), &mut scratch);
+            assert_eq!(s.codes, base.codes, "threads={threads}");
+            assert_eq!(s.perm, base.perm, "threads={threads}");
+            // Scratch reuse must not change results either.
+            let again = sort_codes_with(&codes, NonZeroUsize::new(threads).unwrap(), &mut scratch);
+            assert_eq!(again.perm, base.perm, "threads={threads} (reused scratch)");
+        }
+    }
+
+    #[test]
+    fn parallel_codes_of_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let coords: Vec<VoxelCoord> = (0..20_000)
+            .map(|_| {
+                VoxelCoord::new(
+                    rng.random_range(0..1 << 10),
+                    rng.random_range(0..1 << 10),
+                    rng.random_range(0..1 << 10),
+                )
+            })
+            .collect();
+        let cloud = cloud_from(coords);
+        let seq = codes_of_with(&cloud, NonZeroUsize::new(1).unwrap());
+        for threads in [2usize, 5, 8] {
+            let par = codes_of_with(&cloud, NonZeroUsize::new(threads).unwrap());
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn parallel_sort_permutation_equals_sequential(values in prop::collection::vec(0u64..(1 << 63), 0..12_000)) {
+            let codes: Vec<MortonCode> = values.iter().map(|&v| MortonCode::from_raw(v)).collect();
+            let base = sort_codes_with(&codes, NonZeroUsize::new(1).unwrap(), &mut SortScratch::new());
+            for threads in [2usize, 7] {
+                let s = sort_codes_with(&codes, NonZeroUsize::new(threads).unwrap(), &mut SortScratch::new());
+                prop_assert_eq!(&s.codes, &base.codes);
+                prop_assert_eq!(&s.perm, &base.perm);
+            }
+        }
+
         #[test]
         fn radix_sort_is_a_sorted_permutation(values in prop::collection::vec(0u64..(1 << 63), 0..200)) {
             let codes: Vec<MortonCode> = values.iter().map(|&v| MortonCode::from_raw(v)).collect();

@@ -2,6 +2,7 @@
 
 use pcc_morton::{sort_codes, MortonCode};
 use pcc_types::VoxelCoord;
+use std::num::NonZeroUsize;
 
 /// The code/parent arrays of one octree level.
 ///
@@ -62,6 +63,24 @@ impl ParallelOctree {
     /// Panics if `depth` is outside `1..=21`, if the codes are not
     /// strictly ascending, or if any code exceeds the depth.
     pub fn from_sorted_codes(codes: Vec<MortonCode>, depth: u8) -> Self {
+        Self::from_sorted_codes_with(codes, depth, pcc_parallel::resolve(None))
+    }
+
+    /// [`from_sorted_codes`](Self::from_sorted_codes) with an explicit
+    /// thread count.
+    ///
+    /// Each level's compaction runs as a two-pass parallel scan
+    /// ([`pcc_parallel::compact_runs`]): chunks aligned to parent-run
+    /// boundaries count their unique parents, a prefix sum assigns each
+    /// chunk a contiguous output region, and the chunks then write parent
+    /// codes and parent links into disjoint slices. The resulting arrays
+    /// are byte-identical to the sequential compaction at every thread
+    /// count.
+    pub fn from_sorted_codes_with(
+        codes: Vec<MortonCode>,
+        depth: u8,
+        threads: NonZeroUsize,
+    ) -> Self {
         assert!((1..=21).contains(&depth), "octree depth {depth} outside 1..=21");
         assert!(
             codes.windows(2).all(|w| w[0] < w[1]),
@@ -89,21 +108,14 @@ impl ParallelOctree {
         let mut levels = Vec::with_capacity(depth as usize + 1);
         levels.push(LevelArrays { codes, parent: Vec::new() });
 
-        // Derive each shallower level by compacting `code >> 3`.
-        // (Data-parallel: a map producing parent codes, then a scan that
-        // keeps the first occurrence of each run — expressed here as the
-        // equivalent sequential compaction.)
+        // Derive each shallower level by compacting `code >> 3`: a map
+        // producing parent codes, then a run-compaction scan. The scan is
+        // chunk-parallel with chunks aligned to parent-run boundaries, so
+        // every thread count produces the identical arrays.
         for _ in 0..depth {
             let child = levels.last().expect("at least the leaf level exists");
-            let mut parent_codes: Vec<MortonCode> = Vec::with_capacity(child.codes.len());
-            let mut parent_index: Vec<u32> = Vec::with_capacity(child.codes.len());
-            for &code in &child.codes {
-                let p = code.parent();
-                if parent_codes.last() != Some(&p) {
-                    parent_codes.push(p);
-                }
-                parent_index.push(parent_codes.len() as u32 - 1);
-            }
+            let (parent_codes, parent_index) =
+                pcc_parallel::compact_runs(&child.codes, |c| c.parent(), threads);
             let child_level = levels.len() - 1;
             levels[child_level].parent = parent_index;
             levels.push(LevelArrays { codes: parent_codes, parent: Vec::new() });
@@ -175,12 +187,40 @@ impl ParallelOctree {
     /// [`SequentialOctree::occupancy`](crate::SequentialOctree::occupancy)
     /// for the same voxel set.
     pub fn occupancy(&self) -> Vec<u8> {
+        self.occupancy_with(pcc_parallel::resolve(None))
+    }
+
+    /// [`occupancy`](Self::occupancy) with an explicit thread count.
+    ///
+    /// Children are chunked with boundaries aligned to parent runs, so all
+    /// children of one parent land in the same chunk; each chunk then owns
+    /// a disjoint contiguous region of the level's bytes (safe
+    /// `split_at_mut` partition, no atomics) and the output is
+    /// byte-identical at every thread count.
+    pub fn occupancy_with(&self, threads: NonZeroUsize) -> Vec<u8> {
         let mut bytes = Vec::with_capacity(self.occupancy_len());
         for level in 0..self.depth as usize {
             let child = &self.levels[level + 1];
+            let n = child.codes.len();
             let mut level_bytes = vec![0u8; self.levels[level].codes.len()];
-            for (code, &parent) in child.codes.iter().zip(&child.parent) {
-                level_bytes[parent as usize] |= 1 << code.child_slot();
+            let fan = pcc_parallel::effective_threads(threads, n);
+            if fan <= 1 {
+                for (code, &parent) in child.codes.iter().zip(&child.parent) {
+                    level_bytes[parent as usize] |= 1 << code.child_slot();
+                }
+            } else {
+                let ranges = pcc_parallel::aligned_chunk_ranges(n, fan, |i| {
+                    child.parent[i] != child.parent[i - 1]
+                });
+                let cuts: Vec<usize> =
+                    ranges[1..].iter().map(|r| child.parent[r.start] as usize).collect();
+                let parts = pcc_parallel::split_at_many(&mut level_bytes, &cuts);
+                pcc_parallel::scope_run(parts, ranges, |_, range, part| {
+                    let base = child.parent[range.start] as usize;
+                    for i in range {
+                        part[child.parent[i] as usize - base] |= 1 << child.codes[i].child_slot();
+                    }
+                });
             }
             bytes.extend_from_slice(&level_bytes);
         }
@@ -322,6 +362,44 @@ mod tests {
                 raw.iter().map(|&v| MortonCode::from_raw(v)).collect();
             let tree = ParallelOctree::from_sorted_codes(codes.clone(), 5);
             prop_assert_eq!(tree.leaf_codes().to_vec(), codes);
+        }
+    }
+
+    proptest! {
+        /// Tentpole determinism invariant: building and serializing the
+        /// tree at thread counts 1, 2 and 7 yields identical bytes.
+        #[test]
+        fn occupancy_identical_across_thread_counts(
+            raw in prop::collection::btree_set(0u64..(1 << 18), 1..300)
+        ) {
+            let codes: Vec<MortonCode> =
+                raw.iter().map(|&v| MortonCode::from_raw(v)).collect();
+            let nz = |n| NonZeroUsize::new(n).unwrap();
+            let base = ParallelOctree::from_sorted_codes_with(codes.clone(), 6, nz(1));
+            let base_occ = base.occupancy_with(nz(1));
+            for threads in [2usize, 7] {
+                let tree = ParallelOctree::from_sorted_codes_with(codes.clone(), 6, nz(threads));
+                prop_assert_eq!(&tree, &base);
+                prop_assert_eq!(tree.occupancy_with(nz(threads)), base_occ.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn large_tree_identical_across_thread_counts() {
+        // Dense enough (> 4096 leaves) that the chunked paths really fan out.
+        // `i*4 + i%3` is strictly ascending (consecutive deltas are 2 or 5)
+        // and irregular enough to vary run lengths at every level.
+        let codes: Vec<MortonCode> =
+            (0..40_000u64).map(|i| MortonCode::from_raw(i * 4 + (i % 3))).collect();
+        let nz = |n| NonZeroUsize::new(n).unwrap();
+        let base = ParallelOctree::from_sorted_codes_with(codes.clone(), 7, nz(1));
+        let base_occ = base.occupancy_with(nz(1));
+        assert_eq!(base_occ, SequentialOctree::from_coords(&base.leaves(), 7).occupancy());
+        for threads in [2usize, 3, 8] {
+            let tree = ParallelOctree::from_sorted_codes_with(codes.clone(), 7, nz(threads));
+            assert_eq!(tree, base, "threads={threads}");
+            assert_eq!(tree.occupancy_with(nz(threads)), base_occ, "threads={threads}");
         }
     }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus a forced single-thread pass.
+#
+# The parallel execution layer promises byte-identical output at every
+# thread count; running the whole suite twice — once at the machine's
+# parallelism, once pinned to one thread via PCC_THREADS — exercises both
+# the fan-out and the inline paths of every stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: test suite (default threads) =="
+cargo test -q --offline
+
+echo "== single-thread pass (PCC_THREADS=1) =="
+PCC_THREADS=1 cargo test -q --offline
+
+echo "== bench targets compile =="
+cargo check -q --offline -p pcc-bench --benches
+
+echo "verify: all gates passed"

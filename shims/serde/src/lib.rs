@@ -1,0 +1,10 @@
+//! Offline shim for the slice of `serde` this workspace touches.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on public types
+//! (keeping them tagged for downstream users); nothing serializes through
+//! serde at runtime. The sandbox has no crates.io access, so this shim
+//! re-exports no-op derive macros from the sibling `serde_derive` shim.
+//! Swapping the workspace dependency back to real serde requires no
+//! source changes.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace derives `Serialize`/`Deserialize` to keep its public
+//! types serde-ready, but no code path actually serializes through serde
+//! (there is no `serde_json` or similar in the dependency set). In the
+//! offline build sandbox the real proc-macro stack (syn/quote) is
+//! unavailable, so these derives accept the input and emit no impls.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -48,5 +48,6 @@ pub use pcc_intra as intra;
 pub use pcc_metrics as metrics;
 pub use pcc_morton as morton;
 pub use pcc_octree as octree;
+pub use pcc_parallel as parallel;
 pub use pcc_raht as raht;
 pub use pcc_types as types;

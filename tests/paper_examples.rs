@@ -5,7 +5,6 @@
 use pcc::edge::{Device, PowerMode};
 use pcc::inter::{InterCodec, InterConfig};
 use pcc::intra::{IntraCodec, IntraConfig};
-use pcc::morton::MortonCode;
 use pcc::octree::{ParallelOctree, SequentialOctree};
 use pcc::types::{Point3, PointCloud, Rgb, VoxelizedCloud};
 
