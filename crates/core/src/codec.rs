@@ -6,7 +6,7 @@ use pcc_edge::{Device, Timeline};
 use pcc_inter::{InterCodec, InterConfig, InterEncoded, InterError};
 use pcc_intra::{IntraCodec, IntraError, IntraFrame};
 use pcc_metrics::CompressedSize;
-use pcc_types::{FrameKind, PointCloud, Rgb, Video, VoxelizedCloud};
+use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Rgb, Video, VoxelizedCloud};
 use std::fmt;
 
 /// One encoded frame of any design.
@@ -174,72 +174,72 @@ impl PccCodec {
     /// charging each frame's pipeline to `device` (its timeline is drained
     /// per frame into the result).
     ///
+    /// This is a thin loop over [`FrameEncoder`]; live pipelines that need
+    /// frames as they are produced drive [`frame_encoder`](Self::frame_encoder)
+    /// directly and get bit-identical output.
+    ///
     /// # Panics
     ///
     /// Panics if `depth` is outside `1..=21`.
     pub fn encode_video(&self, video: &Video, depth: u8, device: &Device) -> EncodedVideo {
-        let bb = video.bounding_box();
-        let gof = self.design.gof_pattern();
+        let mut encoder = self.frame_encoder(depth, device);
+        if let Some(bb) = video.bounding_box() {
+            encoder = encoder.with_bounding_box(bb);
+        }
         let mut frames = Vec::with_capacity(video.len());
         let mut timelines = Vec::with_capacity(video.len());
+        for frame in video.iter() {
+            let (encoded, timeline) = encoder.encode_frame(&frame.cloud);
+            frames.push(encoded);
+            timelines.push(timeline);
+        }
+        EncodedVideo { design: self.design, frames, encode_timelines: timelines, depth }
+    }
 
+    /// Creates a streaming frame-at-a-time encoder for this codec.
+    ///
+    /// The encoder owns the IPP reference state, so frames must be fed in
+    /// display order; each call returns the coded frame immediately instead
+    /// of buffering the whole video. Without an explicit bounding box
+    /// ([`FrameEncoder::with_bounding_box`]) every frame is voxelized in
+    /// its own box — a live capture cannot see the future; batch callers
+    /// ([`encode_video`](Self::encode_video)) pass the whole video's box.
+    pub fn frame_encoder<'d>(&self, depth: u8, device: &'d Device) -> FrameEncoder<'d> {
         // References held exactly as a real encoder would: the *decoded*
         // form of the last I-frame (reconstruction is a cheap by-product
         // of encoding; it is rebuilt here on an uncharged scratch device).
         let scratch = Device::new(device.spec().clone(), device.mode())
             .with_host_threads(device.configured_host_threads());
-        let mut reference_colors: Option<Vec<Rgb>> = None;
-        let mut reference_cloud: Option<VoxelizedCloud> = None;
-
-        for (i, frame) in video.iter().enumerate() {
-            let vox = match &bb {
-                Some(bb) => VoxelizedCloud::from_cloud_in_box(&frame.cloud, depth, bb),
-                None => VoxelizedCloud::from_cloud(&frame.cloud, depth),
-            };
-            let kind = gof.kind_of(i);
-            device.reset();
-            let encoded = match (self.design, kind) {
-                (Design::Tmc13, _) => EncodedFrame::Tmc13(Tmc13Codec::default().encode(&vox, device)),
-                (Design::Cwipc, FrameKind::Intra) => {
-                    let codec = CwipcCodec::default();
-                    let f = codec.encode_intra(&vox, device);
-                    scratch.reset();
-                    reference_cloud = codec.decode(&f, None, &scratch).ok();
-                    EncodedFrame::Cwipc(f)
-                }
-                (Design::Cwipc, FrameKind::Predicted) => {
-                    let codec = CwipcCodec::default();
-                    match &reference_cloud {
-                        Some(r) => EncodedFrame::Cwipc(codec.encode_predicted(&vox, r, device)),
-                        None => EncodedFrame::Cwipc(codec.encode_intra(&vox, device)),
-                    }
-                }
-                (Design::IntraOnly, _) => {
-                    EncodedFrame::Intra(IntraCodec::default().encode(&vox, device))
-                }
-                (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Intra) => {
-                    let cfg = self.inter_config.expect("inter designs carry a config");
-                    let intra = IntraCodec::new(cfg.intra);
-                    let f = intra.encode(&vox, device);
-                    scratch.reset();
-                    reference_colors =
-                        intra.decode(&f, &scratch).ok().map(|d| d.colors().to_vec());
-                    EncodedFrame::Intra(f)
-                }
-                (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Predicted) => {
-                    let cfg = self.inter_config.expect("inter designs carry a config");
-                    match &reference_colors {
-                        Some(r) => {
-                            EncodedFrame::Inter(InterCodec::new(cfg).encode(&vox, r, device))
-                        }
-                        None => EncodedFrame::Intra(IntraCodec::new(cfg.intra).encode(&vox, device)),
-                    }
-                }
-            };
-            timelines.push(device.take_timeline());
-            frames.push(encoded);
+        FrameEncoder {
+            design: self.design,
+            inter_config: self.inter_config,
+            depth,
+            device,
+            scratch,
+            gof: self.design.gof_pattern(),
+            bounding_box: None,
+            index: 0,
+            reference_colors: None,
+            reference_cloud: None,
         }
-        EncodedVideo { design: self.design, frames, encode_timelines: timelines, depth }
+    }
+
+    /// Creates a streaming frame-at-a-time decoder for this codec.
+    ///
+    /// The decoder owns the IPP reference state; feeding it every frame of
+    /// an [`EncodedVideo`] in order reproduces
+    /// [`decode_video`](Self::decode_video) exactly, while lossy transports
+    /// ([`FrameDecoder::skip_frames`], [`FrameDecoder::invalidate_reference`])
+    /// can drop frames and resynchronize at the next intra frame.
+    pub fn frame_decoder<'d>(&self, device: &'d Device) -> FrameDecoder<'d> {
+        device.reset();
+        FrameDecoder {
+            inter_config: self.inter_config,
+            device,
+            index: 0,
+            reference_colors: None,
+            reference_cloud: None,
+        }
     }
 
     /// Decodes an encoded video back to world-space point clouds,
@@ -268,47 +268,203 @@ impl PccCodec {
         encoded: &EncodedVideo,
         device: &Device,
     ) -> Result<(Vec<PointCloud>, Vec<Timeline>), CodecError> {
+        let mut decoder = self.frame_decoder(device);
         let mut timelines = Vec::with_capacity(encoded.frames.len());
         let mut out = Vec::with_capacity(encoded.frames.len());
-        let mut reference_colors: Option<Vec<Rgb>> = None;
-        let mut reference_cloud: Option<VoxelizedCloud> = None;
-        device.reset();
-        for (i, frame) in encoded.frames.iter().enumerate() {
-            let vox = match frame {
-                EncodedFrame::Tmc13(f) => Tmc13Codec::default().decode(f, device)?,
-                EncodedFrame::Cwipc(f) => {
-                    let codec = CwipcCodec::default();
-                    let dec = if f.predicted {
-                        let r = reference_cloud
-                            .as_ref()
-                            .ok_or(CodecError::MissingReference { frame: i })?;
-                        codec.decode(f, Some(r), device)?
-                    } else {
-                        codec.decode(f, None, device)?
-                    };
-                    if !f.predicted {
-                        reference_cloud = Some(dec.clone());
-                    }
-                    dec
-                }
-                EncodedFrame::Intra(f) => {
-                    let cfg = self.inter_config.map(|c| c.intra).unwrap_or_default();
-                    let dec = IntraCodec::new(cfg).decode(f, device)?;
-                    reference_colors = Some(dec.colors().to_vec());
-                    dec
-                }
-                EncodedFrame::Inter(f) => {
-                    let cfg = self.inter_config.expect("inter frames imply an inter design");
-                    let r = reference_colors
-                        .as_ref()
-                        .ok_or(CodecError::MissingReference { frame: i })?;
-                    InterCodec::new(cfg).decode(f, r, device)?
-                }
-            };
-            out.push(vox.to_cloud());
-            timelines.push(device.take_timeline());
+        for frame in &encoded.frames {
+            let (cloud, timeline) = decoder.decode_frame(frame)?;
+            out.push(cloud);
+            timelines.push(timeline);
         }
         Ok((out, timelines))
+    }
+}
+
+/// Streaming frame-at-a-time encoder: the IPP session state machine behind
+/// [`PccCodec::encode_video`].
+///
+/// Holds the design's group-of-frames cadence and the decoded reference of
+/// the last I-frame, so a live source can push clouds one by one and emit
+/// each coded frame as soon as it exists.
+#[derive(Debug)]
+pub struct FrameEncoder<'d> {
+    design: Design,
+    inter_config: Option<InterConfig>,
+    depth: u8,
+    device: &'d Device,
+    scratch: Device,
+    gof: GofPattern,
+    bounding_box: Option<Aabb>,
+    index: usize,
+    reference_colors: Option<Vec<Rgb>>,
+    reference_cloud: Option<VoxelizedCloud>,
+}
+
+impl<'d> FrameEncoder<'d> {
+    /// Voxelizes every frame in this common bounding box instead of each
+    /// frame's own box (what batch encoding does with the whole video's
+    /// box).
+    pub fn with_bounding_box(mut self, bb: Aabb) -> Self {
+        self.bounding_box = Some(bb);
+        self
+    }
+
+    /// Index of the next frame to encode.
+    pub fn frame_index(&self) -> usize {
+        self.index
+    }
+
+    /// The kind ([`FrameKind::Intra`] / [`FrameKind::Predicted`]) the next
+    /// frame will be coded as.
+    pub fn next_kind(&self) -> FrameKind {
+        self.gof.kind_of(self.index)
+    }
+
+    /// The design's group-of-frames cadence.
+    pub fn gof_pattern(&self) -> GofPattern {
+        self.gof
+    }
+
+    /// Encodes the next frame of the session, returning the coded frame
+    /// and its modeled encode timeline (the device is drained per frame).
+    pub fn encode_frame(&mut self, cloud: &PointCloud) -> (EncodedFrame, Timeline) {
+        let vox = match &self.bounding_box {
+            Some(bb) => VoxelizedCloud::from_cloud_in_box(cloud, self.depth, bb),
+            None => VoxelizedCloud::from_cloud(cloud, self.depth),
+        };
+        let kind = self.gof.kind_of(self.index);
+        let device = self.device;
+        device.reset();
+        let encoded = match (self.design, kind) {
+            (Design::Tmc13, _) => EncodedFrame::Tmc13(Tmc13Codec::default().encode(&vox, device)),
+            (Design::Cwipc, FrameKind::Intra) => {
+                let codec = CwipcCodec::default();
+                let f = codec.encode_intra(&vox, device);
+                self.scratch.reset();
+                self.reference_cloud = codec.decode(&f, None, &self.scratch).ok();
+                EncodedFrame::Cwipc(f)
+            }
+            (Design::Cwipc, FrameKind::Predicted) => {
+                let codec = CwipcCodec::default();
+                match &self.reference_cloud {
+                    Some(r) => EncodedFrame::Cwipc(codec.encode_predicted(&vox, r, device)),
+                    None => EncodedFrame::Cwipc(codec.encode_intra(&vox, device)),
+                }
+            }
+            (Design::IntraOnly, _) => {
+                EncodedFrame::Intra(IntraCodec::default().encode(&vox, device))
+            }
+            (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Intra) => {
+                let cfg = self.inter_config.expect("inter designs carry a config");
+                let intra = IntraCodec::new(cfg.intra);
+                let f = intra.encode(&vox, device);
+                self.scratch.reset();
+                self.reference_colors =
+                    intra.decode(&f, &self.scratch).ok().map(|d| d.colors().to_vec());
+                EncodedFrame::Intra(f)
+            }
+            (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Predicted) => {
+                let cfg = self.inter_config.expect("inter designs carry a config");
+                match &self.reference_colors {
+                    Some(r) => EncodedFrame::Inter(InterCodec::new(cfg).encode(&vox, r, device)),
+                    None => EncodedFrame::Intra(IntraCodec::new(cfg.intra).encode(&vox, device)),
+                }
+            }
+        };
+        self.index += 1;
+        (encoded, device.take_timeline())
+    }
+}
+
+/// Streaming frame-at-a-time decoder: the IPP session state machine behind
+/// [`PccCodec::decode_video`], with the loss-handling hooks a lossy
+/// transport needs.
+///
+/// P-frames reference the decoded form of their GOF's I-frame only, so a
+/// receiver that loses a P-frame keeps decoding the rest of the GOF; one
+/// that loses an I-frame must [`invalidate_reference`](Self::invalidate_reference)
+/// and drop P-frames until the next I-frame arrives.
+#[derive(Debug)]
+pub struct FrameDecoder<'d> {
+    inter_config: Option<InterConfig>,
+    device: &'d Device,
+    index: usize,
+    reference_colors: Option<Vec<Rgb>>,
+    reference_cloud: Option<VoxelizedCloud>,
+}
+
+impl<'d> FrameDecoder<'d> {
+    /// Index of the next frame this decoder expects (used in
+    /// [`CodecError::MissingReference`] reports).
+    pub fn next_index(&self) -> usize {
+        self.index
+    }
+
+    /// Records `n` frames skipped by the transport so subsequent error
+    /// reports keep absolute frame indices.
+    pub fn skip_frames(&mut self, n: usize) {
+        self.index += n;
+    }
+
+    /// Forgets the decoded reference state. A lossy receiver calls this
+    /// when it detects that an I-frame was lost, so later P-frames of the
+    /// broken group can never silently decode against a stale reference.
+    pub fn invalidate_reference(&mut self) {
+        self.reference_colors = None;
+        self.reference_cloud = None;
+    }
+
+    /// Whether a decoded reference is currently held.
+    pub fn has_reference(&self) -> bool {
+        self.reference_colors.is_some() || self.reference_cloud.is_some()
+    }
+
+    /// Decodes the next frame of the session, returning the world-space
+    /// cloud and its modeled decode timeline (the device is drained per
+    /// frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on malformed frames or when a predicted
+    /// frame arrives without a decodable reference.
+    pub fn decode_frame(&mut self, frame: &EncodedFrame) -> Result<(PointCloud, Timeline), CodecError> {
+        let i = self.index;
+        self.index += 1;
+        let device = self.device;
+        let vox = match frame {
+            EncodedFrame::Tmc13(f) => Tmc13Codec::default().decode(f, device)?,
+            EncodedFrame::Cwipc(f) => {
+                let codec = CwipcCodec::default();
+                let dec = if f.predicted {
+                    let r = self
+                        .reference_cloud
+                        .as_ref()
+                        .ok_or(CodecError::MissingReference { frame: i })?;
+                    codec.decode(f, Some(r), device)?
+                } else {
+                    codec.decode(f, None, device)?
+                };
+                if !f.predicted {
+                    self.reference_cloud = Some(dec.clone());
+                }
+                dec
+            }
+            EncodedFrame::Intra(f) => {
+                let cfg = self.inter_config.map(|c| c.intra).unwrap_or_default();
+                let dec = IntraCodec::new(cfg).decode(f, device)?;
+                self.reference_colors = Some(dec.colors().to_vec());
+                dec
+            }
+            EncodedFrame::Inter(f) => {
+                let cfg = self.inter_config.expect("inter frames imply an inter design");
+                let r = self
+                    .reference_colors
+                    .as_ref()
+                    .ok_or(CodecError::MissingReference { frame: i })?;
+                InterCodec::new(cfg).decode(f, r, device)?
+            }
+        };
+        Ok((vox.to_cloud(), device.take_timeline()))
     }
 }
 
@@ -402,6 +558,70 @@ mod tests {
         enc.frames.remove(0); // drop the I-frame
         let err = codec.decode_video(&enc, &d).unwrap_err();
         assert!(matches!(err, CodecError::MissingReference { frame: 0 }), "got {err}");
+    }
+
+    #[test]
+    fn streaming_encoder_matches_batch_encoding() {
+        let video = tiny_video();
+        let d = device();
+        for design in [Design::IntraOnly, Design::IntraInterV1, Design::Cwipc] {
+            let codec = PccCodec::new(design);
+            let batch = codec.encode_video(&video, 7, &d);
+            let mut enc = codec
+                .frame_encoder(7, &d)
+                .with_bounding_box(video.bounding_box().unwrap());
+            for (i, frame) in video.iter().enumerate() {
+                assert_eq!(enc.frame_index(), i);
+                assert_eq!(enc.next_kind(), design.gof_pattern().kind_of(i), "{design} frame {i}");
+                let (encoded, _) = enc.encode_frame(&frame.cloud);
+                let want = crate::container::mux(&EncodedVideo {
+                    design,
+                    frames: vec![batch.frames[i].clone()],
+                    encode_timelines: vec![pcc_edge::Timeline::default()],
+                    depth: 7,
+                });
+                let got = crate::container::mux(&EncodedVideo {
+                    design,
+                    frames: vec![encoded],
+                    encode_timelines: vec![pcc_edge::Timeline::default()],
+                    depth: 7,
+                });
+                assert_eq!(got, want, "{design} frame {i} bitstream diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_matches_batch_decoding() {
+        let video = tiny_video();
+        let d = device();
+        let codec = PccCodec::new(Design::IntraInterV2);
+        let enc = codec.encode_video(&video, 7, &d);
+        let batch = codec.decode_video(&enc, &d).unwrap();
+        let mut dec = codec.frame_decoder(&d);
+        for (i, frame) in enc.frames.iter().enumerate() {
+            let (cloud, _) = dec.decode_frame(frame).unwrap();
+            assert_eq!(cloud, batch[i], "frame {i} diverged");
+        }
+    }
+
+    #[test]
+    fn invalidated_reference_rejects_predicted_frames() {
+        let video = catalog::by_name("Redandblack").unwrap().generate_scaled(6, 1_200);
+        let d = device();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let enc = codec.encode_video(&video, 7, &d);
+        let mut dec = codec.frame_decoder(&d);
+        dec.decode_frame(&enc.frames[0]).unwrap();
+        assert!(dec.has_reference());
+        // Transport lost the next GOF's I-frame: frames 1..3 of this GOF
+        // would still decode, but after invalidation P-frames must fail
+        // loudly instead of using a stale reference.
+        dec.invalidate_reference();
+        dec.skip_frames(2); // pretend frames 1 and 2 were dropped
+        assert_eq!(dec.next_index(), 3);
+        let err = dec.decode_frame(&enc.frames[4]).unwrap_err();
+        assert!(matches!(err, CodecError::MissingReference { frame: 3 }), "got {err}");
     }
 
     #[test]

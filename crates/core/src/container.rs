@@ -10,6 +10,12 @@
 //!                   | frame metadata (per tag)
 //! ```
 //!
+//! The per-frame record is exposed on its own through [`mux_frame`] /
+//! [`demux_frame`], so transports that frame each coded picture
+//! separately (the `pcc-stream` chunked wire format) share one byte
+//! layout with the monolithic `.pccv` file: a frame extracted from a
+//! live chunk is bit-identical to the same frame inside a container.
+//!
 //! Timelines are measurement artifacts and are deliberately *not* stored;
 //! a demuxed video carries empty timelines.
 
@@ -25,6 +31,10 @@ const MAGIC: &[u8; 4] = b"PCCV";
 const VERSION: u8 = 1;
 
 /// Errors produced while demuxing a container.
+///
+/// Parse failures carry the byte offset (relative to the start of the
+/// stream handed to the demuxer) at which the field that broke begins,
+/// so corruption reports say *where* the stream went bad.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ContainerError {
@@ -33,9 +43,17 @@ pub enum ContainerError {
     /// Unsupported container version.
     BadVersion(u8),
     /// Unknown design or frame tag byte.
-    BadTag(u8),
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// Byte offset of the tag within the stream.
+        offset: usize,
+    },
     /// The stream ended prematurely.
-    Truncated,
+    Truncated {
+        /// Byte offset of the field the stream ended inside of.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for ContainerError {
@@ -43,17 +61,56 @@ impl fmt::Display for ContainerError {
         match self {
             ContainerError::BadMagic => write!(f, "not a pcc container (bad magic)"),
             ContainerError::BadVersion(v) => write!(f, "unsupported container version {v}"),
-            ContainerError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
-            ContainerError::Truncated => write!(f, "container ended prematurely"),
+            ContainerError::BadTag { tag, offset } => {
+                write!(f, "unknown tag byte {tag:#04x} at offset {offset}")
+            }
+            ContainerError::Truncated { offset } => {
+                write!(f, "container ended prematurely at offset {offset}")
+            }
         }
     }
 }
 
 impl std::error::Error for ContainerError {}
 
-impl From<pcc_entropy::Error> for ContainerError {
-    fn from(_: pcc_entropy::Error) -> Self {
-        ContainerError::Truncated
+/// A byte cursor that remembers its absolute position in the enclosing
+/// stream, so every parse error reports where the stream broke.
+struct Cursor<'a> {
+    input: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a [u8], offset: usize) -> Self {
+        Cursor { input, offset }
+    }
+
+    fn take_byte(&mut self) -> Result<u8, ContainerError> {
+        let (&b, rest) = self
+            .input
+            .split_first()
+            .ok_or(ContainerError::Truncated { offset: self.offset })?;
+        self.input = rest;
+        self.offset += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ContainerError> {
+        let (head, rest) = self
+            .input
+            .split_at_checked(n)
+            .ok_or(ContainerError::Truncated { offset: self.offset })?;
+        self.input = rest;
+        self.offset += n;
+        Ok(head)
+    }
+
+    fn read_varint(&mut self) -> Result<u64, ContainerError> {
+        let before = self.input.len();
+        let v = varint::read_u64(&mut self.input)
+            .map_err(|_| ContainerError::Truncated { offset: self.offset })?;
+        self.offset += before - self.input.len();
+        Ok(v)
     }
 }
 
@@ -85,38 +142,112 @@ pub fn mux(video: &EncodedVideo) -> Vec<u8> {
     out.push(video.depth);
     varint::write_u64(&mut out, video.frames.len() as u64);
     for frame in &video.frames {
-        match frame {
-            EncodedFrame::Tmc13(f) => {
-                out.push(0x01);
-                write_payloads(&mut out, &f.geometry, &f.attribute);
-                varint::write_u64(&mut out, f.unique_voxels as u64);
-                varint::write_u64(&mut out, f.raw_points as u64);
-            }
-            EncodedFrame::Cwipc(f) => {
-                out.push(if f.predicted { 0x03 } else { 0x02 });
-                write_payloads(&mut out, &f.geometry, &f.attribute);
-                varint::write_u64(&mut out, f.unique_voxels as u64);
-                varint::write_u64(&mut out, f.raw_points as u64);
-                varint::write_u64(&mut out, f.matched_blocks as u64);
-                varint::write_u64(&mut out, f.total_blocks as u64);
-            }
-            EncodedFrame::Intra(f) => {
-                out.push(0x04);
-                write_payloads(&mut out, &f.geometry, &f.attribute);
-                varint::write_u64(&mut out, f.unique_voxels as u64);
-                varint::write_u64(&mut out, f.raw_points as u64);
-            }
-            EncodedFrame::Inter(f) => {
-                out.push(0x05);
-                write_payloads(&mut out, &f.frame.geometry, &f.frame.attribute);
-                varint::write_u64(&mut out, f.frame.unique_voxels as u64);
-                varint::write_u64(&mut out, f.frame.raw_points as u64);
-                varint::write_u64(&mut out, f.stats.reused as u64);
-                varint::write_u64(&mut out, f.stats.delta as u64);
-            }
-        }
+        mux_frame(&mut out, frame);
     }
     out
+}
+
+/// Appends one frame record (tag, payloads, metadata) to `out`.
+///
+/// This is exactly the per-frame byte layout of [`mux`]; a container is
+/// the header followed by `mux_frame` records back to back. Transports
+/// that deliver frames individually (chunked streaming) use this
+/// directly.
+pub fn mux_frame(out: &mut Vec<u8>, frame: &EncodedFrame) {
+    match frame {
+        EncodedFrame::Tmc13(f) => {
+            out.push(0x01);
+            write_payloads(out, &f.geometry, &f.attribute);
+            varint::write_u64(out, f.unique_voxels as u64);
+            varint::write_u64(out, f.raw_points as u64);
+        }
+        EncodedFrame::Cwipc(f) => {
+            out.push(if f.predicted { 0x03 } else { 0x02 });
+            write_payloads(out, &f.geometry, &f.attribute);
+            varint::write_u64(out, f.unique_voxels as u64);
+            varint::write_u64(out, f.raw_points as u64);
+            varint::write_u64(out, f.matched_blocks as u64);
+            varint::write_u64(out, f.total_blocks as u64);
+        }
+        EncodedFrame::Intra(f) => {
+            out.push(0x04);
+            write_payloads(out, &f.geometry, &f.attribute);
+            varint::write_u64(out, f.unique_voxels as u64);
+            varint::write_u64(out, f.raw_points as u64);
+        }
+        EncodedFrame::Inter(f) => {
+            out.push(0x05);
+            write_payloads(out, &f.frame.geometry, &f.frame.attribute);
+            varint::write_u64(out, f.frame.unique_voxels as u64);
+            varint::write_u64(out, f.frame.raw_points as u64);
+            varint::write_u64(out, f.stats.reused as u64);
+            varint::write_u64(out, f.stats.delta as u64);
+        }
+    }
+}
+
+/// Parses one frame record produced by [`mux_frame`], advancing `input`
+/// past it.
+///
+/// `stream_offset` is the absolute position of `input[0]` in the
+/// enclosing stream; it only affects the offsets reported in errors
+/// (pass 0 when the slice holds a standalone frame).
+///
+/// # Errors
+///
+/// Returns a [`ContainerError`] on malformed input.
+pub fn demux_frame(
+    input: &mut &[u8],
+    stream_offset: usize,
+) -> Result<EncodedFrame, ContainerError> {
+    let mut cursor = Cursor::new(input, stream_offset);
+    let frame = demux_frame_at(&mut cursor)?;
+    *input = cursor.input;
+    Ok(frame)
+}
+
+fn demux_frame_at(cursor: &mut Cursor<'_>) -> Result<EncodedFrame, ContainerError> {
+    let tag_offset = cursor.offset;
+    let tag = cursor.take_byte()?;
+    let (geometry, attribute) = read_payloads(cursor)?;
+    let unique_voxels = cursor.read_varint()? as usize;
+    let raw_points = cursor.read_varint()? as usize;
+    Ok(match tag {
+        0x01 => EncodedFrame::Tmc13(Tmc13Frame {
+            geometry,
+            attribute,
+            unique_voxels,
+            raw_points,
+        }),
+        0x02 | 0x03 => {
+            let matched_blocks = cursor.read_varint()? as usize;
+            let total_blocks = cursor.read_varint()? as usize;
+            EncodedFrame::Cwipc(CwipcFrame {
+                geometry,
+                attribute,
+                predicted: tag == 0x03,
+                unique_voxels,
+                raw_points,
+                matched_blocks,
+                total_blocks,
+            })
+        }
+        0x04 => EncodedFrame::Intra(IntraFrame {
+            geometry,
+            attribute,
+            unique_voxels,
+            raw_points,
+        }),
+        0x05 => {
+            let reused = cursor.read_varint()? as usize;
+            let delta = cursor.read_varint()? as usize;
+            EncodedFrame::Inter(InterEncoded {
+                frame: IntraFrame { geometry, attribute, unique_voxels, raw_points },
+                stats: ReuseStats { reused, delta },
+            })
+        }
+        other => return Err(ContainerError::BadTag { tag: other, offset: tag_offset }),
+    })
 }
 
 /// Parses a container produced by [`mux`].
@@ -125,68 +256,33 @@ pub fn mux(video: &EncodedVideo) -> Vec<u8> {
 ///
 /// Returns a [`ContainerError`] on malformed input.
 pub fn demux(bytes: &[u8]) -> Result<EncodedVideo, ContainerError> {
-    let (magic, rest) = bytes.split_at_checked(4).ok_or(ContainerError::Truncated)?;
+    let mut cursor = Cursor::new(bytes, 0);
+    let magic = cursor.take(4)?;
     if magic != MAGIC {
         return Err(ContainerError::BadMagic);
     }
-    let mut input = rest;
-    let version = take_byte(&mut input)?;
+    let version = cursor.take_byte()?;
     if version != VERSION {
         return Err(ContainerError::BadVersion(version));
     }
-    let design = design_from_tag(take_byte(&mut input)?)?;
-    let depth = take_byte(&mut input)?;
-    let count = varint::read_u64(&mut input)? as usize;
+    let design_offset = cursor.offset;
+    let design_byte = cursor.take_byte()?;
+    let design = design_from_tag(design_byte)
+        .ok_or(ContainerError::BadTag { tag: design_byte, offset: design_offset })?;
+    let depth = cursor.take_byte()?;
+    let count = cursor.read_varint()? as usize;
 
-    let mut frames = Vec::with_capacity(count);
+    let mut frames = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
-        let tag = take_byte(&mut input)?;
-        let (geometry, attribute) = read_payloads(&mut input)?;
-        let unique_voxels = varint::read_u64(&mut input)? as usize;
-        let raw_points = varint::read_u64(&mut input)? as usize;
-        let frame = match tag {
-            0x01 => EncodedFrame::Tmc13(Tmc13Frame {
-                geometry,
-                attribute,
-                unique_voxels,
-                raw_points,
-            }),
-            0x02 | 0x03 => {
-                let matched_blocks = varint::read_u64(&mut input)? as usize;
-                let total_blocks = varint::read_u64(&mut input)? as usize;
-                EncodedFrame::Cwipc(CwipcFrame {
-                    geometry,
-                    attribute,
-                    predicted: tag == 0x03,
-                    unique_voxels,
-                    raw_points,
-                    matched_blocks,
-                    total_blocks,
-                })
-            }
-            0x04 => EncodedFrame::Intra(IntraFrame {
-                geometry,
-                attribute,
-                unique_voxels,
-                raw_points,
-            }),
-            0x05 => {
-                let reused = varint::read_u64(&mut input)? as usize;
-                let delta = varint::read_u64(&mut input)? as usize;
-                EncodedFrame::Inter(InterEncoded {
-                    frame: IntraFrame { geometry, attribute, unique_voxels, raw_points },
-                    stats: ReuseStats { reused, delta },
-                })
-            }
-            other => return Err(ContainerError::BadTag(other)),
-        };
-        frames.push(frame);
+        frames.push(demux_frame_at(&mut cursor)?);
     }
     let timelines = vec![pcc_edge::Timeline::default(); frames.len()];
     Ok(EncodedVideo { design, frames, encode_timelines: timelines, depth })
 }
 
-fn design_tag(design: Design) -> u8 {
+/// The wire tag byte for a design (shared by the container header and
+/// the `pcc-stream` stream-header chunk).
+pub fn design_tag(design: Design) -> u8 {
     match design {
         Design::Tmc13 => 0x10,
         Design::Cwipc => 0x11,
@@ -196,14 +292,15 @@ fn design_tag(design: Design) -> u8 {
     }
 }
 
-fn design_from_tag(tag: u8) -> Result<Design, ContainerError> {
-    Ok(match tag {
+/// The design a wire tag byte names, or `None` for unknown tags.
+pub fn design_from_tag(tag: u8) -> Option<Design> {
+    Some(match tag {
         0x10 => Design::Tmc13,
         0x11 => Design::Cwipc,
         0x12 => Design::IntraOnly,
         0x13 => Design::IntraInterV1,
         0x14 => Design::IntraInterV2,
-        other => return Err(ContainerError::BadTag(other)),
+        _ => return None,
     })
 }
 
@@ -214,20 +311,12 @@ fn write_payloads(out: &mut Vec<u8>, geometry: &[u8], attribute: &[u8]) {
     out.extend_from_slice(attribute);
 }
 
-fn read_payloads(input: &mut &[u8]) -> Result<(Vec<u8>, Vec<u8>), ContainerError> {
-    let g_len = varint::read_u64(input)? as usize;
-    let (g, rest) = input.split_at_checked(g_len).ok_or(ContainerError::Truncated)?;
-    *input = rest;
-    let a_len = varint::read_u64(input)? as usize;
-    let (a, rest) = input.split_at_checked(a_len).ok_or(ContainerError::Truncated)?;
-    *input = rest;
+fn read_payloads(cursor: &mut Cursor<'_>) -> Result<(Vec<u8>, Vec<u8>), ContainerError> {
+    let g_len = cursor.read_varint()? as usize;
+    let g = cursor.take(g_len)?;
+    let a_len = cursor.read_varint()? as usize;
+    let a = cursor.take(a_len)?;
     Ok((g.to_vec(), a.to_vec()))
-}
-
-fn take_byte(input: &mut &[u8]) -> Result<u8, ContainerError> {
-    let (&b, rest) = input.split_first().ok_or(ContainerError::Truncated)?;
-    *input = rest;
-    Ok(b)
 }
 
 #[cfg(test)]
@@ -263,6 +352,30 @@ mod tests {
     }
 
     #[test]
+    fn per_frame_records_match_container_layout() {
+        // A container is the header followed by `mux_frame` records, so
+        // chaining demux_frame over the body must reproduce every frame.
+        let original = encode(Design::IntraInterV1);
+        let bytes = mux(&original);
+        let mut standalone = Vec::new();
+        for frame in &original.frames {
+            mux_frame(&mut standalone, frame);
+        }
+        assert!(bytes.ends_with(&standalone), "frame records diverge from container body");
+
+        let body_start = bytes.len() - standalone.len();
+        let mut input = &bytes[body_start..];
+        for (i, frame) in original.frames.iter().enumerate() {
+            let offset = body_start + (standalone.len() - input.len());
+            let parsed = demux_frame(&mut input, offset)
+                .unwrap_or_else(|e| panic!("frame {i}: {e}"));
+            assert_eq!(parsed.size().total_bytes(), frame.size().total_bytes(), "frame {i}");
+            assert_eq!(parsed.kind(), frame.kind(), "frame {i}");
+        }
+        assert!(input.is_empty());
+    }
+
+    #[test]
     fn bad_magic_and_version_rejected() {
         let original = encode(Design::IntraOnly);
         let mut bytes = mux(&original);
@@ -274,19 +387,53 @@ mod tests {
     }
 
     #[test]
-    fn truncations_never_panic() {
+    fn truncations_never_panic_and_report_an_offset() {
         let bytes = mux(&encode(Design::IntraInterV1));
         for cut in (0..bytes.len()).step_by(37) {
-            assert!(demux(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+            match demux(&bytes[..cut]) {
+                Err(ContainerError::Truncated { offset }) => {
+                    assert!(offset <= cut, "offset {offset} past cut {cut}");
+                }
+                Err(other) => panic!("prefix {cut}: unexpected error {other}"),
+                Ok(_) => panic!("prefix {cut} accepted"),
+            }
         }
     }
 
     #[test]
-    fn bad_tags_rejected() {
+    fn bad_tags_rejected_with_offset() {
         let original = encode(Design::IntraOnly);
         let mut bytes = mux(&original);
-        bytes[5] = 0x7f; // design tag
-        assert_eq!(demux(&bytes).unwrap_err(), ContainerError::BadTag(0x7f));
+        bytes[5] = 0x7f; // design tag lives at offset 5
+        assert_eq!(
+            demux(&bytes).unwrap_err(),
+            ContainerError::BadTag { tag: 0x7f, offset: 5 }
+        );
+    }
+
+    #[test]
+    fn frame_tag_errors_point_at_the_frame() {
+        let original = encode(Design::IntraOnly);
+        let bytes = mux(&original);
+        // First frame tag sits right after the header: 4 magic + version +
+        // design + depth + varint count (1 byte for 3 frames).
+        let tag_at = 8;
+        let mut bad = bytes.clone();
+        assert_eq!(bad[tag_at], 0x04, "layout drifted; fix the offset");
+        bad[tag_at] = 0x6e;
+        assert_eq!(
+            demux(&bad).unwrap_err(),
+            ContainerError::BadTag { tag: 0x6e, offset: tag_at }
+        );
+    }
+
+    #[test]
+    fn design_tags_round_trip() {
+        for design in Design::ALL {
+            assert_eq!(design_from_tag(design_tag(design)), Some(design));
+        }
+        assert_eq!(design_from_tag(0x00), None);
+        assert_eq!(design_from_tag(0x7f), None);
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod eval;
 pub mod rate;
 mod report;
 
-pub use codec::{CodecError, EncodedFrame, EncodedVideo, PccCodec};
+pub use codec::{CodecError, EncodedFrame, EncodedVideo, FrameDecoder, FrameEncoder, PccCodec};
 pub use design::Design;
 pub use eval::{evaluate, EvalOptions};
 pub use report::{DesignReport, FrameReport};

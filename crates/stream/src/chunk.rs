@@ -1,0 +1,528 @@
+//! The chunked wire format: CRC-framed records over any byte transport.
+//!
+//! Every chunk is self-delimiting and independently checksummed, so a
+//! receiver can verify, skip, or re-synchronize without trusting any
+//! earlier byte of the stream:
+//!
+//! ```text
+//! sync  "PCS1"                      4 B   resynchronization marker
+//! kind  u8                          1 B   0 = stream header, 1 = frame, 2 = end
+//! fkind u8                          1 B   0 = I, 1 = P, 0xFF = not a frame
+//! stream id       u32 LE            4 B   session identity
+//! sequence number u32 LE            4 B   position of this chunk on the wire
+//! frame index     u32 LE            4 B   display index (frames; 0 otherwise)
+//! payload length  u32 LE            4 B
+//! header CRC32    u32 LE            4 B   over the 22 bytes above
+//! payload         len B                   frame record / header / end record
+//! payload CRC32   u32 LE            4 B
+//! ```
+//!
+//! The header carries its own CRC so a corrupted length field can never
+//! send the parser off into the weeds: a reader that fails the header
+//! check scans forward byte-by-byte for the next `PCS1` marker. A failed
+//! *payload* check trusts the (verified) length and skips the whole
+//! chunk, keeping framing alignment. Frame payloads are exactly the
+//! per-frame records of [`pcc_core::container::mux_frame`], so the
+//! chunked stream and the monolithic `.pccv` container share one frame
+//! byte layout.
+
+use crate::crc::{crc32, Crc32};
+use pcc_types::FrameKind;
+use std::io::{self, Read, Write};
+
+/// The four-byte chunk synchronization marker.
+pub const SYNC: [u8; 4] = *b"PCS1";
+
+/// Bytes in a chunk header, from the sync marker through the header CRC.
+pub const HEADER_LEN: usize = 26;
+
+/// Payloads larger than this are treated as corruption even when the
+/// header CRC matches (a 2^-32 fluke must not allocate unbounded memory).
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// What a chunk carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Session metadata (design, depth); always the first chunk sent.
+    StreamHeader,
+    /// One coded frame.
+    Frame,
+    /// Clean end of stream; the payload records the total frame count.
+    End,
+}
+
+impl ChunkKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            ChunkKind::StreamHeader => 0,
+            ChunkKind::Frame => 1,
+            ChunkKind::End => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => ChunkKind::StreamHeader,
+            1 => ChunkKind::Frame,
+            2 => ChunkKind::End,
+            _ => return None,
+        })
+    }
+}
+
+fn frame_kind_byte(kind: Option<FrameKind>) -> u8 {
+    match kind {
+        Some(FrameKind::Intra) => 0,
+        Some(FrameKind::Predicted) => 1,
+        None => 0xFF,
+    }
+}
+
+fn frame_kind_from_byte(b: u8) -> Option<Option<FrameKind>> {
+    Some(match b {
+        0 => Some(FrameKind::Intra),
+        1 => Some(FrameKind::Predicted),
+        0xFF => None,
+        _ => return None,
+    })
+}
+
+/// One wire chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// What the payload carries.
+    pub kind: ChunkKind,
+    /// The coded kind of a frame chunk (`None` for non-frame chunks).
+    pub frame_kind: Option<FrameKind>,
+    /// Session identity; receivers drop chunks from foreign streams.
+    pub stream_id: u32,
+    /// Monotonic position of this chunk on the wire.
+    pub seq: u32,
+    /// Display index of a frame chunk (0 for non-frame chunks).
+    pub frame_index: u32,
+    /// The chunk body.
+    pub payload: Vec<u8>,
+}
+
+/// Serializes a chunk to its wire bytes.
+pub fn encode_chunk(chunk: &Chunk) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + chunk.payload.len() + 4);
+    out.extend_from_slice(&SYNC);
+    out.push(chunk.kind.to_byte());
+    out.push(frame_kind_byte(chunk.frame_kind));
+    out.extend_from_slice(&chunk.stream_id.to_le_bytes());
+    out.extend_from_slice(&chunk.seq.to_le_bytes());
+    out.extend_from_slice(&chunk.frame_index.to_le_bytes());
+    out.extend_from_slice(&(chunk.payload.len() as u32).to_le_bytes());
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&chunk.payload);
+    out.extend_from_slice(&crc32(&chunk.payload).to_le_bytes());
+    out
+}
+
+/// Parses the fixed-size header fields from `buf` (which must hold at
+/// least [`HEADER_LEN`] bytes). Returns `None` when the sync marker,
+/// header CRC, field encodings, or payload-length bound are invalid.
+fn parse_header(buf: &[u8]) -> Option<(ChunkKind, Option<FrameKind>, u32, u32, u32, usize)> {
+    debug_assert!(buf.len() >= HEADER_LEN);
+    if buf[..4] != SYNC {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(buf[22..26].try_into().unwrap());
+    if crc32(&buf[..22]) != stored_crc {
+        return None;
+    }
+    let kind = ChunkKind::from_byte(buf[4])?;
+    let frame_kind = frame_kind_from_byte(buf[5])?;
+    let stream_id = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+    let seq = u32::from_le_bytes(buf[10..14].try_into().unwrap());
+    let frame_index = u32::from_le_bytes(buf[14..18].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return None;
+    }
+    Some((kind, frame_kind, stream_id, seq, frame_index, payload_len))
+}
+
+/// Writes chunks to any [`Write`] transport, tracking wire bytes.
+#[derive(Debug)]
+pub struct ChunkWriter<W: Write> {
+    inner: W,
+    bytes_written: u64,
+    chunks_written: u64,
+}
+
+impl<W: Write> ChunkWriter<W> {
+    /// Wraps a transport.
+    pub fn new(inner: W) -> Self {
+        ChunkWriter { inner, bytes_written: 0, chunks_written: 0 }
+    }
+
+    /// Writes one chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_chunk(&mut self, chunk: &Chunk) -> io::Result<()> {
+        let bytes = encode_chunk(chunk);
+        self.inner.write_all(&bytes)?;
+        self.bytes_written += bytes.len() as u64;
+        self.chunks_written += 1;
+        Ok(())
+    }
+
+    /// Flushes the transport (the sender calls this at I-frame
+    /// boundaries so resync points hit the wire immediately).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Total wire bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total chunks written so far.
+    pub fn chunks_written(&self) -> u64 {
+        self.chunks_written
+    }
+
+    /// Unwraps the transport.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Reads chunks from any [`Read`] transport, scanning past corruption.
+///
+/// Structurally broken bytes (failed sync, bad header CRC, truncated
+/// tail) are consumed byte-by-byte in search of the next marker; chunks
+/// whose payload fails its CRC are skipped whole. Both are counted in
+/// [`corrupt_events`](Self::corrupt_events) — the reader itself never
+/// fails on corruption, only on transport errors.
+#[derive(Debug)]
+pub struct ChunkReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    eof: bool,
+    bytes_read: u64,
+    corrupt_events: u64,
+}
+
+const READ_CHUNK: usize = 64 * 1024;
+
+impl<R: Read> ChunkReader<R> {
+    /// Wraps a transport.
+    pub fn new(inner: R) -> Self {
+        ChunkReader {
+            inner,
+            buf: Vec::with_capacity(READ_CHUNK),
+            start: 0,
+            eof: false,
+            bytes_read: 0,
+            corrupt_events: 0,
+        }
+    }
+
+    /// Total bytes consumed from the transport so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Corruption events survived: failed header scans and payload CRC
+    /// mismatches.
+    pub fn corrupt_events(&self) -> u64 {
+        self.corrupt_events
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Ensures at least `n` bytes are buffered past `self.start`, or hits
+    /// EOF trying. Returns whether `n` bytes are available.
+    fn fill_to(&mut self, n: usize) -> io::Result<bool> {
+        while self.available() < n && !self.eof {
+            // Compact before growing so corrupt prefixes cannot pin the
+            // buffer forever.
+            if self.start > READ_CHUNK {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let old_len = self.buf.len();
+            self.buf.resize(old_len + READ_CHUNK, 0);
+            let got = self.inner.read(&mut self.buf[old_len..])?;
+            self.buf.truncate(old_len + got);
+            if got == 0 {
+                self.eof = true;
+            }
+            self.bytes_read += got as u64;
+        }
+        Ok(self.available() >= n)
+    }
+
+    /// Position of the next sync marker at or after `self.start`, if one
+    /// is currently buffered.
+    fn find_sync(&self) -> Option<usize> {
+        let window = &self.buf[self.start..];
+        window
+            .windows(SYNC.len())
+            .position(|w| w == SYNC)
+            .map(|p| self.start + p)
+    }
+
+    /// Returns the next structurally intact chunk, or `None` at end of
+    /// stream. Corruption is skipped, counted, and never returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn next_chunk(&mut self) -> io::Result<Option<Chunk>> {
+        loop {
+            // Locate a sync marker, pulling more data as needed.
+            let sync_at = loop {
+                if let Some(p) = self.find_sync() {
+                    break p;
+                }
+                // No marker in the buffer: all but the last 3 bytes can
+                // be discarded (a marker could straddle the boundary).
+                let keep = self.available().min(SYNC.len() - 1);
+                let discard = self.available() - keep;
+                if discard > 0 {
+                    self.corrupt_events += 1;
+                    self.start += discard;
+                }
+                if self.eof {
+                    return Ok(None);
+                }
+                let want = self.available() + 1;
+                if !self.fill_to(want)? {
+                    return Ok(None);
+                }
+            };
+            if sync_at > self.start {
+                // Garbage before the marker.
+                self.corrupt_events += 1;
+                self.start = sync_at;
+            }
+
+            if !self.fill_to(HEADER_LEN)? {
+                // Not enough bytes left for any chunk at this marker.
+                self.corrupt_events += 1;
+                return Ok(None);
+            }
+            let header = &self.buf[self.start..self.start + HEADER_LEN];
+            let Some((kind, frame_kind, stream_id, seq, frame_index, payload_len)) =
+                parse_header(header)
+            else {
+                // Broken header: resume scanning one byte later.
+                self.corrupt_events += 1;
+                self.start += 1;
+                continue;
+            };
+
+            let total = HEADER_LEN + payload_len + 4;
+            if !self.fill_to(total)? {
+                // The stream ends inside this chunk; a later marker may
+                // still be buffered, so scan on.
+                self.corrupt_events += 1;
+                self.start += 1;
+                continue;
+            }
+            let payload_start = self.start + HEADER_LEN;
+            let payload = &self.buf[payload_start..payload_start + payload_len];
+            let stored = u32::from_le_bytes(
+                self.buf[payload_start + payload_len..payload_start + payload_len + 4]
+                    .try_into()
+                    .unwrap(),
+            );
+            if crc32(payload) != stored {
+                // The header CRC vouched for the length, so skipping the
+                // whole chunk keeps framing alignment (and avoids finding
+                // false markers inside the bad payload).
+                self.corrupt_events += 1;
+                self.start += total;
+                continue;
+            }
+            let chunk = Chunk {
+                kind,
+                frame_kind,
+                stream_id,
+                seq,
+                frame_index,
+                payload: payload.to_vec(),
+            };
+            self.start += total;
+            return Ok(Some(chunk));
+        }
+    }
+}
+
+/// Incremental CRC over header fields, used by tests to cross-check the
+/// layout documented above.
+#[allow(dead_code)]
+fn header_crc_of(fields: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(fields);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_chunk(seq: u32, frame_index: u32, kind: FrameKind, payload: Vec<u8>) -> Chunk {
+        Chunk {
+            kind: ChunkKind::Frame,
+            frame_kind: Some(kind),
+            stream_id: 7,
+            seq,
+            frame_index,
+            payload,
+        }
+    }
+
+    fn sample_chunks() -> Vec<Chunk> {
+        (0..5u32)
+            .map(|i| {
+                let kind = if i % 3 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+                let payload: Vec<u8> = (0..50 + i as u8).map(|b| b.wrapping_mul(31) ^ i as u8).collect();
+                frame_chunk(i + 1, i, kind, payload)
+            })
+            .collect()
+    }
+
+    fn wire(chunks: &[Chunk]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for c in chunks {
+            out.extend(encode_chunk(c));
+        }
+        out
+    }
+
+    fn read_all(bytes: &[u8]) -> (Vec<Chunk>, u64) {
+        let mut reader = ChunkReader::new(bytes);
+        let mut got = Vec::new();
+        while let Some(c) = reader.next_chunk().unwrap() {
+            got.push(c);
+        }
+        (got, reader.corrupt_events())
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let chunks = sample_chunks();
+        let (got, corrupt) = read_all(&wire(&chunks));
+        assert_eq!(got, chunks);
+        assert_eq!(corrupt, 0);
+    }
+
+    #[test]
+    fn writer_accounts_bytes() {
+        let chunks = sample_chunks();
+        let mut w = ChunkWriter::new(Vec::new());
+        for c in &chunks {
+            w.write_chunk(c).unwrap();
+        }
+        assert_eq!(w.chunks_written(), chunks.len() as u64);
+        assert_eq!(w.bytes_written(), wire(&chunks).len() as u64);
+        assert_eq!(w.into_inner(), wire(&chunks));
+    }
+
+    #[test]
+    fn payload_corruption_drops_only_that_chunk() {
+        let chunks = sample_chunks();
+        let mut bytes = wire(&chunks);
+        // Flip a byte inside chunk 2's payload.
+        let offset: usize = chunks[..2].iter().map(|c| encode_chunk(c).len()).sum();
+        bytes[offset + HEADER_LEN + 10] ^= 0x40;
+        let (got, corrupt) = read_all(&bytes);
+        assert_eq!(got.len(), 4);
+        assert!(corrupt >= 1);
+        assert!(got.iter().all(|c| c.frame_index != 2));
+    }
+
+    #[test]
+    fn header_corruption_resyncs_at_next_marker() {
+        let chunks = sample_chunks();
+        let mut bytes = wire(&chunks);
+        let offset: usize = chunks[..1].iter().map(|c| encode_chunk(c).len()).sum();
+        // Smash the length field of chunk 1 — without the header CRC this
+        // would desynchronize the whole rest of the stream.
+        bytes[offset + 18] = 0xFF;
+        bytes[offset + 19] = 0xFF;
+        let (got, corrupt) = read_all(&bytes);
+        let indices: Vec<u32> = got.iter().map(|c| c.frame_index).collect();
+        assert_eq!(indices, vec![0, 2, 3, 4]);
+        assert!(corrupt >= 1);
+    }
+
+    #[test]
+    fn garbage_between_chunks_is_skipped() {
+        let chunks = sample_chunks();
+        let mut bytes = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            bytes.extend(std::iter::repeat(0xA5u8).take(i * 3));
+            bytes.extend(encode_chunk(c));
+        }
+        let (got, _) = read_all(&bytes);
+        assert_eq!(got, chunks);
+    }
+
+    #[test]
+    fn truncated_tail_never_hangs_or_panics() {
+        let chunks = sample_chunks();
+        let bytes = wire(&chunks);
+        for cut in 0..bytes.len() {
+            let (got, _) = read_all(&bytes[..cut]);
+            assert!(got.len() <= chunks.len());
+            for c in &got {
+                assert_eq!(c, &chunks[c.frame_index as usize], "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_marker_inside_payload_is_harmless() {
+        // A payload that contains the sync marker must not confuse the
+        // reader (alignment comes from lengths, not markers) — and must
+        // still be recoverable as a scan target after corruption.
+        let mut payload = b"xxPCS1yy".to_vec();
+        payload.extend_from_slice(&SYNC);
+        let chunks = vec![
+            frame_chunk(1, 0, FrameKind::Intra, payload),
+            frame_chunk(2, 1, FrameKind::Predicted, vec![9; 20]),
+        ];
+        let (got, corrupt) = read_all(&wire(&chunks));
+        assert_eq!(got, chunks);
+        assert_eq!(corrupt, 0);
+    }
+
+    #[test]
+    fn oversized_payload_length_rejected() {
+        let chunk = frame_chunk(1, 0, FrameKind::Intra, vec![1, 2, 3]);
+        let mut bytes = encode_chunk(&chunk);
+        // Claim a > MAX_PAYLOAD length and fix up the header CRC so only
+        // the sanity bound can reject it.
+        let huge = (MAX_PAYLOAD as u32) + 1;
+        bytes[18..22].copy_from_slice(&huge.to_le_bytes());
+        let crc = crate::crc::crc32(&bytes[..22]);
+        bytes[22..26].copy_from_slice(&crc.to_le_bytes());
+        let (got, corrupt) = read_all(&bytes);
+        assert!(got.is_empty());
+        assert!(corrupt >= 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(read_all(&[]).0, Vec::<Chunk>::new());
+        assert_eq!(read_all(b"PC").0, Vec::<Chunk>::new());
+        assert_eq!(read_all(&SYNC).0, Vec::<Chunk>::new());
+    }
+}

@@ -1,0 +1,63 @@
+//! Loss-resilient streaming transport for live point-cloud video.
+//!
+//! The offline pipeline ([`pcc_core::PccCodec`]) produces a whole-video
+//! PCCV container; edge deployments need the opposite shape — frames
+//! leaving the device as they are captured, over links that drop and
+//! corrupt bytes. This crate layers a chunked wire format on the PCCV
+//! frame records and runs sessions over any `std::io` byte transport:
+//!
+//! * [`chunk`] — the wire format: self-delimiting chunks with a sync
+//!   marker, CRC-protected header, and CRC-protected payload, plus a
+//!   [`ChunkReader`] that scans back to the next sync marker after
+//!   corruption.
+//! * [`session`] — [`Sender`] / [`Receiver`] state machines. The sender
+//!   encodes incrementally and flushes the transport at I-frame (GOF)
+//!   boundaries; [`stream_video`] overlaps encode and transmit threads
+//!   through a bounded queue. The receiver decodes incrementally,
+//!   drops frames it cannot trust (CRC failures, gaps, P-frames whose
+//!   I-frame was lost), and resynchronizes at the next intact I-frame.
+//! * [`plan`] — pre-flight fitting of a session to a link rate and
+//!   frame-rate budget via the rate controller.
+//! * [`StreamStats`] — delivery accounting: frames sent / delivered /
+//!   dropped, resyncs, wire bytes, corruption events.
+//!
+//! Everything is `std`-only — the loopback TCP example
+//! (`examples/live_stream.rs`) runs in an offline sandbox.
+//!
+//! ```
+//! use pcc_core::{Design, PccCodec};
+//! use pcc_datasets::catalog;
+//! use pcc_edge::{Device, PowerMode};
+//! use pcc_stream::{stream_video, Receiver, StreamConfig};
+//!
+//! let video = catalog::by_name("Loot").unwrap().generate_scaled(6, 1_500);
+//! let codec = PccCodec::new(Design::IntraInterV1);
+//! let device = Device::jetson_agx_xavier(PowerMode::W15);
+//!
+//! let (wire, tx) =
+//!     stream_video(&codec, &video, 7, &device, Vec::new(), &StreamConfig::default()).unwrap();
+//!
+//! let mut rx = Receiver::new(wire.as_slice(), &device);
+//! let mut delivered = 0;
+//! while let Some(frame) = rx.recv_frame().unwrap() {
+//!     assert_eq!(frame.frame_index, delivered);
+//!     delivered += 1;
+//! }
+//! assert_eq!(delivered, tx.frames_sent);
+//! assert!(rx.stats().clean_shutdown);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod crc;
+pub mod plan;
+pub mod session;
+pub mod stats;
+
+pub use chunk::{encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
+pub use crc::crc32;
+pub use plan::{plan_session, SessionPlan};
+pub use session::{stream_video, Delivered, Receiver, Sender, StreamConfig, STREAM_VERSION};
+pub use stats::StreamStats;

@@ -1,0 +1,171 @@
+//! Pre-flight session planning: fit a stream to a link and a frame rate.
+//!
+//! Before going live, a sender can probe a short prefix of its capture
+//! against the link budget: [`plan_session`] turns a link rate (kbit/s)
+//! and frame rate into a target compression ratio, drives the rate
+//! controller ([`pcc_core::rate::threshold_for_ratio`]) to pick the
+//! direct-reuse threshold, and then re-encodes the probe at that
+//! operating point to report the bytes-per-frame and modeled edge
+//! latency the session should expect.
+
+use pcc_core::{container, rate, PccCodec};
+use pcc_edge::Device;
+use pcc_inter::InterConfig;
+use pcc_types::Video;
+
+use crate::StreamConfig;
+
+/// The operating point chosen for a streaming session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionPlan {
+    /// Inter-frame settings to stream with (base config plus the chosen
+    /// reuse threshold).
+    pub config: InterConfig,
+    /// Compression ratio the link requires (raw bytes / link bytes).
+    pub target_ratio: f64,
+    /// Ratio the chosen threshold achieved on the probe.
+    pub achieved_ratio: f64,
+    /// Mean coded wire bytes per frame measured on the probe.
+    pub bytes_per_frame: f64,
+    /// Bytes per frame the link affords at the given frame rate.
+    pub link_bytes_per_frame: f64,
+    /// Mean modeled edge encode latency per probe frame (ms).
+    pub modeled_encode_ms_per_frame: f64,
+    /// The frame period (ms) — the latency budget at the given rate.
+    pub frame_budget_ms: f64,
+    /// Encode probes the rate search spent.
+    pub rate_probes: u32,
+}
+
+impl SessionPlan {
+    /// Whether the probe's coded size fits the link budget.
+    pub fn fits_bandwidth(&self) -> bool {
+        self.bytes_per_frame <= self.link_bytes_per_frame
+    }
+
+    /// Whether the modeled encode latency keeps up with the frame rate.
+    pub fn fits_latency(&self) -> bool {
+        self.modeled_encode_ms_per_frame <= self.frame_budget_ms
+    }
+
+    /// A codec at the planned operating point.
+    pub fn codec(&self) -> PccCodec {
+        PccCodec::with_inter_config(self.config)
+    }
+
+    /// A [`StreamConfig`] carrying the plan's latency budget.
+    pub fn stream_config(&self) -> StreamConfig {
+        StreamConfig { frame_budget_ms: Some(self.frame_budget_ms), ..StreamConfig::default() }
+    }
+}
+
+/// Plans a session: picks the reuse threshold that squeezes `probe`
+/// into `link_kbps` at `fps`, then measures the probe at that point.
+///
+/// The target ratio is raw bytes per frame over link bytes per frame; a
+/// generous link yields a target below the intra-only floor and the
+/// search settles on threshold 0 (maximum quality). An impossible link
+/// saturates the threshold — check [`SessionPlan::fits_bandwidth`].
+///
+/// Probe cost is `O(log threshold_range)` encodes of `probe`, so pass a
+/// short prefix (2–6 frames) of the capture, not the whole stream.
+pub fn plan_session(
+    probe: &Video,
+    depth: u8,
+    base: InterConfig,
+    fps: f64,
+    link_kbps: f64,
+    device: &Device,
+) -> SessionPlan {
+    assert!(fps > 0.0, "frame rate must be positive");
+    assert!(link_kbps > 0.0, "link rate must be positive");
+    let frame_budget_ms = 1000.0 / fps;
+    let link_bytes_per_frame = link_kbps * 1000.0 / 8.0 / fps;
+    let raw_bytes_per_frame =
+        (probe.mean_points_per_frame() * pcc_types::RAW_BYTES_PER_POINT) as f64;
+    let target_ratio = raw_bytes_per_frame / link_bytes_per_frame;
+
+    let choice = rate::threshold_for_ratio(probe, depth, base, target_ratio, device);
+    let config = base.with_threshold(choice.threshold);
+
+    // Measure the chosen operating point on the probe: actual wire bytes
+    // (muxed frame records, exactly what the chunk layer carries) and
+    // modeled per-frame edge latency.
+    let codec = PccCodec::with_inter_config(config);
+    let mut encoder = codec.frame_encoder(depth, device);
+    if let Some(bb) = probe.bounding_box() {
+        encoder = encoder.with_bounding_box(bb);
+    }
+    let mut wire_bytes = 0usize;
+    let mut modeled_ms = 0.0f64;
+    for frame in probe.iter() {
+        let (encoded, timeline) = encoder.encode_frame(&frame.cloud);
+        let mut record = Vec::new();
+        container::mux_frame(&mut record, &encoded);
+        wire_bytes += record.len();
+        modeled_ms += timeline.total_modeled_ms().as_f64();
+    }
+    let frames = probe.len().max(1) as f64;
+
+    SessionPlan {
+        config,
+        target_ratio,
+        achieved_ratio: choice.achieved_ratio,
+        bytes_per_frame: wire_bytes as f64 / frames,
+        link_bytes_per_frame,
+        modeled_encode_ms_per_frame: modeled_ms / frames,
+        frame_budget_ms,
+        rate_probes: choice.probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc_datasets::catalog;
+    use pcc_edge::PowerMode;
+
+    fn probe() -> Video {
+        catalog::by_name("Loot").unwrap().generate_scaled(3, 2_000)
+    }
+
+    #[test]
+    fn generous_links_plan_for_maximum_quality() {
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        // A link that could carry the raw points needs no reuse at all.
+        let plan = plan_session(&probe(), 7, InterConfig::v1(), 30.0, 1e9, &device);
+        assert_eq!(plan.config.reuse_threshold, 0);
+        assert!(plan.fits_bandwidth(), "plan: {plan:?}");
+        assert!(plan.frame_budget_ms > 33.0 && plan.frame_budget_ms < 34.0);
+    }
+
+    #[test]
+    fn tight_links_raise_the_threshold() {
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let video = probe();
+        let generous = plan_session(&video, 7, InterConfig::v1(), 30.0, 1e9, &device);
+        // Demand a ratio in the reachable band (~3.6) so the search has
+        // to spend reuse to get there.
+        let raw_bpf = (video.mean_points_per_frame() * pcc_types::RAW_BYTES_PER_POINT) as f64;
+        let kbps = raw_bpf * 8.0 * 30.0 / 1000.0 / 3.6;
+        let tight = plan_session(&video, 7, InterConfig::v1(), 30.0, kbps, &device);
+        assert!(tight.config.reuse_threshold > generous.config.reuse_threshold);
+        assert!(tight.achieved_ratio >= 3.6, "achieved {:.2}", tight.achieved_ratio);
+        assert!(tight.bytes_per_frame < generous.bytes_per_frame);
+    }
+
+    #[test]
+    fn measured_bytes_track_the_rate_search() {
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let video = probe();
+        let plan = plan_session(&video, 7, InterConfig::v1(), 30.0, 1e9, &device);
+        // The probe re-measure and the planned codec agree on coded size.
+        let encoded = plan.codec().encode_video(&video, 7, &device);
+        let per_frame = encoded.total_size().total_bytes() as f64 / video.len() as f64;
+        // Wire records add a tag byte and varint lengths per frame.
+        assert!(plan.bytes_per_frame >= per_frame, "{} < {}", plan.bytes_per_frame, per_frame);
+        assert!(plan.bytes_per_frame < per_frame + 64.0);
+        let sc = plan.stream_config();
+        assert_eq!(sc.frame_budget_ms, Some(plan.frame_budget_ms));
+    }
+}

@@ -1,0 +1,552 @@
+//! Sender/receiver session state machines over the chunk layer.
+//!
+//! A session is one coded video in flight: the sender emits a
+//! stream-header chunk (design + depth), then one frame chunk per coded
+//! picture, then an end chunk carrying the total frame count. The
+//! receiver decodes incrementally — it never buffers the whole video —
+//! and treats every chunk as untrusted: CRC failures, gaps, duplicates,
+//! and reordering all degrade to dropped frames, never to a panic or a
+//! wrongly-referenced picture.
+//!
+//! Loss handling follows the IPP dependency structure: P-frames
+//! reference only their group's I-frame, so a lost P-frame costs exactly
+//! itself, while a lost I-frame orphans the rest of its group — the
+//! receiver invalidates the decoded reference and waits for the next
+//! intact I-frame (a *resync*).
+
+use crate::chunk::{Chunk, ChunkKind, ChunkReader, ChunkWriter};
+use crate::stats::StreamStats;
+use pcc_core::{container, Design, FrameDecoder, FrameEncoder, PccCodec};
+use pcc_edge::Device;
+use pcc_parallel::queue;
+use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Video};
+use std::io::{self, Read, Write};
+
+/// Version byte of the stream-header chunk payload.
+pub const STREAM_VERSION: u8 = 1;
+
+/// Session knobs for a sender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Session identity stamped on every chunk; receivers drop chunks
+    /// from foreign streams.
+    pub stream_id: u32,
+    /// Coded frames buffered between the encode and transmit threads of
+    /// [`stream_video`] — the backpressure bound.
+    pub queue_depth: usize,
+    /// Per-frame modeled encode latency budget in milliseconds; frames
+    /// that exceed it are counted in
+    /// [`StreamStats::frames_over_budget`]. [`stream_video`] defaults to
+    /// the video's frame period (1000 / fps) when unset.
+    pub frame_budget_ms: Option<f64>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { stream_id: 1, queue_depth: 3, frame_budget_ms: None }
+    }
+}
+
+fn header_chunk(stream_id: u32, design: Design, depth: u8) -> Chunk {
+    Chunk {
+        kind: ChunkKind::StreamHeader,
+        frame_kind: None,
+        stream_id,
+        seq: 0,
+        frame_index: 0,
+        payload: vec![STREAM_VERSION, container::design_tag(design), depth],
+    }
+}
+
+fn end_chunk(stream_id: u32, seq: u32, total_frames: u32) -> Chunk {
+    Chunk {
+        kind: ChunkKind::End,
+        frame_kind: None,
+        stream_id,
+        seq,
+        frame_index: total_frames,
+        payload: total_frames.to_le_bytes().to_vec(),
+    }
+}
+
+/// Push-style sending session: encode and emit one frame per call.
+///
+/// Wraps a [`FrameEncoder`] and a [`ChunkWriter`]; the stream header is
+/// written on construction, each [`send_frame`](Self::send_frame) emits
+/// one frame chunk (flushing the transport at I-frames so resync points
+/// hit the wire immediately), and [`finish`](Self::finish) seals the
+/// stream with an end chunk.
+///
+/// For whole-video sending with encode/transmit overlap, use
+/// [`stream_video`].
+#[derive(Debug)]
+pub struct Sender<'d, W: Write> {
+    encoder: FrameEncoder<'d>,
+    writer: ChunkWriter<W>,
+    stream_id: u32,
+    seq: u32,
+    frame_budget_ms: Option<f64>,
+    stats: StreamStats,
+}
+
+impl<'d, W: Write> Sender<'d, W> {
+    /// Opens a session: writes and flushes the stream-header chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn new(
+        codec: &PccCodec,
+        depth: u8,
+        device: &'d Device,
+        writer: W,
+        config: &StreamConfig,
+    ) -> io::Result<Self> {
+        let mut writer = ChunkWriter::new(writer);
+        writer.write_chunk(&header_chunk(config.stream_id, codec.design(), depth))?;
+        writer.flush()?;
+        let mut stats = StreamStats::default();
+        stats.chunks_sent = 1;
+        stats.bytes_sent = writer.bytes_written();
+        Ok(Sender {
+            encoder: codec.frame_encoder(depth, device),
+            writer,
+            stream_id: config.stream_id,
+            seq: 1,
+            frame_budget_ms: config.frame_budget_ms,
+            stats,
+        })
+    }
+
+    /// Voxelizes every frame in a common bounding box (see
+    /// [`FrameEncoder::with_bounding_box`]).
+    pub fn with_bounding_box(mut self, bb: Aabb) -> Self {
+        self.encoder = self.encoder.with_bounding_box(bb);
+        self
+    }
+
+    /// Encodes and transmits the next frame, returning its coded kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send_frame(&mut self, cloud: &PointCloud) -> io::Result<FrameKind> {
+        let frame_index = self.encoder.frame_index() as u32;
+        let (encoded, timeline) = self.encoder.encode_frame(cloud);
+        let modeled_ms = timeline.total_modeled_ms().as_f64();
+        if self.frame_budget_ms.is_some_and(|b| modeled_ms > b) {
+            self.stats.frames_over_budget += 1;
+        }
+        let kind = encoded.kind();
+        let mut payload = Vec::new();
+        container::mux_frame(&mut payload, &encoded);
+        self.writer.write_chunk(&Chunk {
+            kind: ChunkKind::Frame,
+            frame_kind: Some(kind),
+            stream_id: self.stream_id,
+            seq: self.seq,
+            frame_index,
+            payload,
+        })?;
+        self.seq += 1;
+        if kind == FrameKind::Intra {
+            // GOF boundary: the resync anchor must not sit in a buffer
+            // while its group streams out behind it.
+            self.writer.flush()?;
+        }
+        self.stats.frames_sent += 1;
+        self.stats.chunks_sent += 1;
+        self.stats.bytes_sent = self.writer.bytes_written();
+        Ok(kind)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Seals the stream with an end chunk and returns the transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(mut self) -> io::Result<(W, StreamStats)> {
+        self.writer
+            .write_chunk(&end_chunk(self.stream_id, self.seq, self.stats.frames_sent as u32))?;
+        self.writer.flush()?;
+        self.stats.chunks_sent += 1;
+        self.stats.bytes_sent = self.writer.bytes_written();
+        self.stats.clean_shutdown = true;
+        Ok((self.writer.into_inner(), self.stats))
+    }
+}
+
+/// Streams a whole video with the encode and transmit stages overlapped.
+///
+/// The encode thread drives a [`FrameEncoder`] (whose hot path fans out
+/// across `pcc-parallel` threads) and hands coded frames through a
+/// bounded [`queue`](pcc_parallel::queue) of `config.queue_depth` frames
+/// to the transmit loop — when the wire is slower than the encoder, the
+/// queue fills and encoding blocks instead of buffering the video. The
+/// transport is flushed at every I-frame boundary.
+///
+/// The per-frame latency budget defaults to the video's frame period
+/// (1000 / fps); frames whose modeled edge encode time exceeds it are
+/// counted in [`StreamStats::frames_over_budget`].
+///
+/// # Errors
+///
+/// Propagates transport errors (encoding stops early when the transport
+/// dies).
+pub fn stream_video<W: Write>(
+    codec: &PccCodec,
+    video: &Video,
+    depth: u8,
+    device: &Device,
+    writer: W,
+    config: &StreamConfig,
+) -> io::Result<(W, StreamStats)> {
+    let budget = config.frame_budget_ms.or_else(|| {
+        let fps = f64::from(video.fps());
+        (fps > 0.0).then_some(1000.0 / fps)
+    });
+    let (tx, rx) = queue::bounded::<(u32, FrameKind, Vec<u8>)>(config.queue_depth.max(1));
+
+    let mut writer = ChunkWriter::new(writer);
+    let mut stats = StreamStats::default();
+    let stream_id = config.stream_id;
+
+    let io_result: io::Result<()> = std::thread::scope(|s| {
+        let encode = s.spawn(move || {
+            let mut encoder = codec.frame_encoder(depth, device);
+            if let Some(bb) = video.bounding_box() {
+                encoder = encoder.with_bounding_box(bb);
+            }
+            let mut sent = 0usize;
+            let mut over_budget = 0usize;
+            for frame in video.iter() {
+                let frame_index = encoder.frame_index() as u32;
+                let (encoded, timeline) = encoder.encode_frame(&frame.cloud);
+                if budget.is_some_and(|b| timeline.total_modeled_ms().as_f64() > b) {
+                    over_budget += 1;
+                }
+                let kind = encoded.kind();
+                let mut payload = Vec::new();
+                container::mux_frame(&mut payload, &encoded);
+                if tx.send((frame_index, kind, payload)).is_err() {
+                    // The transmit side died; encoding on would be wasted work.
+                    break;
+                }
+                sent += 1;
+            }
+            (sent, over_budget)
+        });
+
+        let mut transmit = || -> io::Result<()> {
+            writer.write_chunk(&header_chunk(stream_id, codec.design(), depth))?;
+            writer.flush()?;
+            let mut seq = 1u32;
+            while let Some((frame_index, kind, payload)) = rx.recv() {
+                writer.write_chunk(&Chunk {
+                    kind: ChunkKind::Frame,
+                    frame_kind: Some(kind),
+                    stream_id,
+                    seq,
+                    frame_index,
+                    payload,
+                })?;
+                seq += 1;
+                if kind == FrameKind::Intra {
+                    writer.flush()?;
+                }
+            }
+            writer.write_chunk(&end_chunk(stream_id, seq, video.len() as u32))?;
+            writer.flush()?;
+            Ok(())
+        };
+        let result = transmit();
+        // On a transport error the receiver half of the queue is dropped
+        // here, which makes the encoder's next send fail and stop early.
+        drop(rx);
+        let (sent, over_budget) = encode.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        stats.frames_sent = sent;
+        stats.frames_over_budget = over_budget;
+        result
+    });
+
+    stats.chunks_sent = writer.chunks_written() as usize;
+    stats.bytes_sent = writer.bytes_written();
+    io_result?;
+    stats.clean_shutdown = true;
+    Ok((writer.into_inner(), stats))
+}
+
+/// One frame delivered by a [`Receiver`].
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// Display index of the frame within the video.
+    pub frame_index: usize,
+    /// How the frame was coded.
+    pub kind: FrameKind,
+    /// The decoded world-space cloud.
+    pub cloud: PointCloud,
+    /// Modeled edge decode latency of this frame in milliseconds.
+    pub modeled_decode_ms: f64,
+}
+
+/// Incremental, loss-resilient receiving session.
+///
+/// Pull frames with [`recv_frame`](Self::recv_frame); the receiver
+/// consumes chunks as needed and holds only the decoded reference state,
+/// never the whole video. Corrupt, stale, foreign, and undecodable
+/// chunks are dropped; gaps that cross an I-frame desynchronize the
+/// session until the next intact I-frame re-anchors it.
+#[derive(Debug)]
+pub struct Receiver<'d, R: Read> {
+    chunks: ChunkReader<R>,
+    device: &'d Device,
+    decoder: Option<FrameDecoder<'d>>,
+    gof: GofPattern,
+    stream_id: Option<u32>,
+    depth: u8,
+    design: Option<Design>,
+    /// Index the next in-order frame chunk should carry.
+    next_frame: usize,
+    /// Whether the decoder holds the reference the next P-frame needs.
+    synced: bool,
+    /// Whether any frame has been lost since the last resync point.
+    loss_since_sync: bool,
+    done: bool,
+    stats: StreamStats,
+}
+
+impl<'d, R: Read> Receiver<'d, R> {
+    /// Opens a receiving session over a transport.
+    pub fn new(reader: R, device: &'d Device) -> Self {
+        Receiver {
+            chunks: ChunkReader::new(reader),
+            device,
+            decoder: None,
+            gof: GofPattern::all_intra(),
+            stream_id: None,
+            depth: 0,
+            design: None,
+            next_frame: 0,
+            synced: false,
+            loss_since_sync: false,
+            done: false,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The stream's design, once the stream-header chunk has arrived.
+    pub fn design(&self) -> Option<Design> {
+        self.design
+    }
+
+    /// The stream's voxel-grid depth, once the header has arrived.
+    pub fn depth(&self) -> Option<u8> {
+        self.design.map(|_| self.depth)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Consumes the session, returning its final counters.
+    pub fn into_stats(self) -> StreamStats {
+        self.stats
+    }
+
+    fn sync_chunk_counters(&mut self) {
+        self.stats.bytes_received = self.chunks.bytes_read();
+        self.stats.corrupt_events = self.chunks.corrupt_events() as usize;
+    }
+
+    /// Delivers the next decodable frame, or `None` at end of stream.
+    ///
+    /// Corruption and loss never surface as errors — they are dropped
+    /// frames in [`stats`](Self::stats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors only.
+    pub fn recv_frame(&mut self) -> io::Result<Option<Delivered>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let Some(chunk) = self.chunks.next_chunk()? else {
+                // Transport ended without an end chunk.
+                self.done = true;
+                self.sync_chunk_counters();
+                return Ok(None);
+            };
+            self.sync_chunk_counters();
+            match chunk.kind {
+                ChunkKind::StreamHeader => self.handle_header(&chunk),
+                ChunkKind::End => {
+                    if self.stream_id.is_some_and(|id| id != chunk.stream_id) {
+                        self.stats.chunks_dropped += 1;
+                        continue;
+                    }
+                    self.handle_end(&chunk);
+                    return Ok(None);
+                }
+                ChunkKind::Frame => {
+                    if let Some(delivered) = self.handle_frame(chunk) {
+                        return Ok(Some(delivered));
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_header(&mut self, chunk: &Chunk) {
+        if self.stream_id.is_some() {
+            // Duplicate or foreign header.
+            self.stats.chunks_dropped += 1;
+            return;
+        }
+        let (version, design_byte, depth) = match chunk.payload.as_slice() {
+            [v, d, depth, ..] => (*v, *d, *depth),
+            _ => {
+                self.stats.chunks_dropped += 1;
+                return;
+            }
+        };
+        let Some(design) = container::design_from_tag(design_byte) else {
+            self.stats.chunks_dropped += 1;
+            return;
+        };
+        if version != STREAM_VERSION {
+            self.stats.chunks_dropped += 1;
+            return;
+        }
+        let codec = PccCodec::new(design);
+        self.decoder = Some(codec.frame_decoder(self.device));
+        self.gof = design.gof_pattern();
+        self.stream_id = Some(chunk.stream_id);
+        self.design = Some(design);
+        self.depth = depth;
+    }
+
+    fn handle_end(&mut self, chunk: &Chunk) {
+        self.done = true;
+        self.stats.clean_shutdown = true;
+        if let Ok(total) = <[u8; 4]>::try_from(chunk.payload.as_slice()) {
+            let total = u32::from_le_bytes(total) as usize;
+            if total > self.next_frame {
+                // Frames lost at the very tail of the stream leave no
+                // later chunk to reveal the gap; the end chunk does.
+                self.stats.frames_dropped += total - self.next_frame;
+            }
+        }
+    }
+
+    /// Processes one intact frame chunk; returns a frame when it decodes.
+    fn handle_frame(&mut self, chunk: Chunk) -> Option<Delivered> {
+        let Some(stream_id) = self.stream_id else {
+            // No (usable) stream header arrived before this frame; with
+            // the design unknown it can never be decoded. Track the
+            // playhead anyway so the end chunk's tail accounting does
+            // not count these frames twice.
+            let index = chunk.frame_index as usize;
+            if index < self.next_frame {
+                self.stats.chunks_dropped += 1;
+            } else {
+                self.stats.frames_dropped += index - self.next_frame + 1;
+                self.next_frame = index + 1;
+                self.loss_since_sync = true;
+            }
+            return None;
+        };
+        if chunk.stream_id != stream_id {
+            self.stats.chunks_dropped += 1;
+            return None;
+        }
+        let index = chunk.frame_index as usize;
+        if index < self.next_frame {
+            // Stale: duplicate or reordered behind the playhead.
+            self.stats.chunks_dropped += 1;
+            return None;
+        }
+
+        // A gap means the frames in between are gone. Losing P-frames
+        // costs only themselves (they reference the GOF's I-frame, not
+        // each other); losing an I-frame breaks the reference chain.
+        let gap = index - self.next_frame;
+        if gap > 0 {
+            self.stats.frames_dropped += gap;
+            self.loss_since_sync = true;
+            if self.gof.range_contains_intra(self.next_frame..index) {
+                self.desync();
+            }
+        }
+        self.next_frame = index + 1;
+        let decoder = self.decoder.as_mut().expect("decoder exists once header parsed");
+        decoder.skip_frames(index - decoder.next_index());
+
+        let mut input = chunk.payload.as_slice();
+        let frame = match container::demux_frame(&mut input, 0) {
+            Ok(frame) if input.is_empty() => frame,
+            // CRC-intact but unparseable payload (a sender bug or a
+            // 2^-32 CRC fluke): treat as a lost frame.
+            _ => return self.drop_frame(index),
+        };
+
+        let kind = frame.kind();
+        if kind == FrameKind::Predicted && !self.synced {
+            // This frame's I-frame never made it; decoding against the
+            // previous group's reference would show the wrong picture.
+            return self.drop_frame(index);
+        }
+        let decoder = self.decoder.as_mut().expect("decoder exists once header parsed");
+        match decoder.decode_frame(&frame) {
+            Ok((cloud, timeline)) => {
+                if kind == FrameKind::Intra && !self.synced {
+                    if self.loss_since_sync {
+                        self.stats.resyncs += 1;
+                    }
+                    self.synced = true;
+                    self.loss_since_sync = false;
+                }
+                self.stats.frames_delivered += 1;
+                Some(Delivered {
+                    frame_index: index,
+                    kind,
+                    cloud,
+                    modeled_decode_ms: timeline.total_modeled_ms().as_f64(),
+                })
+            }
+            Err(_) => {
+                // The decoder consumed the frame slot but produced
+                // nothing; its reference state is now questionable.
+                self.desync();
+                self.stats.frames_dropped += 1;
+                self.loss_since_sync = true;
+                None
+            }
+        }
+    }
+
+    fn drop_frame(&mut self, index: usize) -> Option<Delivered> {
+        self.stats.frames_dropped += 1;
+        self.loss_since_sync = true;
+        if self.gof.kind_of(index) == FrameKind::Intra {
+            self.desync();
+        }
+        if let Some(decoder) = self.decoder.as_mut() {
+            decoder.skip_frames(1);
+        }
+        None
+    }
+
+    fn desync(&mut self) {
+        self.synced = false;
+        if let Some(decoder) = self.decoder.as_mut() {
+            decoder.invalidate_reference();
+        }
+    }
+}

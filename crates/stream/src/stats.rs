@@ -1,0 +1,96 @@
+//! Delivery accounting for a streaming session.
+
+/// Counters a streaming session exposes.
+///
+/// A [`Sender`](crate::Sender) fills the send-side fields and a
+/// [`Receiver`](crate::Receiver) the delivery-side fields; for a
+/// loopback view of a whole session, [`merge`](StreamStats::merge) the
+/// two.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames encoded and handed to the transport.
+    pub frames_sent: usize,
+    /// Frames decoded and delivered to the application.
+    pub frames_delivered: usize,
+    /// Frames lost to corruption, reordering, or a broken reference
+    /// chain (P-frames whose I-frame never arrived).
+    pub frames_dropped: usize,
+    /// Times the receiver recovered sync at an I-frame after loss.
+    pub resyncs: usize,
+    /// Chunks written to the wire.
+    pub chunks_sent: usize,
+    /// Intact chunks discarded by the receiver (stale, foreign stream
+    /// id, duplicate, or otherwise unusable).
+    pub chunks_dropped: usize,
+    /// Corruption events the chunk layer survived (failed CRCs, resync
+    /// scans).
+    pub corrupt_events: usize,
+    /// Bytes written to the wire.
+    pub bytes_sent: u64,
+    /// Bytes consumed from the wire.
+    pub bytes_received: u64,
+    /// Frames whose modeled encode latency exceeded the per-frame
+    /// budget (when one was configured).
+    pub frames_over_budget: usize,
+    /// Whether an end-of-stream chunk was seen (receiver) or written
+    /// (sender); `false` means the transport died mid-stream.
+    pub clean_shutdown: bool,
+}
+
+impl StreamStats {
+    /// Folds another side's counters into this one (loopback sessions
+    /// combine the sender's and receiver's views).
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_delivered += other.frames_delivered;
+        self.frames_dropped += other.frames_dropped;
+        self.resyncs += other.resyncs;
+        self.chunks_sent += other.chunks_sent;
+        self.chunks_dropped += other.chunks_dropped;
+        self.corrupt_events += other.corrupt_events;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.frames_over_budget += other.frames_over_budget;
+        self.clean_shutdown = self.clean_shutdown && other.clean_shutdown;
+    }
+
+    /// Fraction of sent frames that were delivered (1.0 when nothing
+    /// was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.frames_sent == 0 {
+            1.0
+        } else {
+            self.frames_delivered as f64 / self.frames_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_combines_both_sides() {
+        let mut tx = StreamStats {
+            frames_sent: 12,
+            chunks_sent: 14,
+            bytes_sent: 9000,
+            clean_shutdown: true,
+            ..StreamStats::default()
+        };
+        let rx = StreamStats {
+            frames_delivered: 10,
+            frames_dropped: 2,
+            resyncs: 1,
+            bytes_received: 9000,
+            clean_shutdown: true,
+            ..StreamStats::default()
+        };
+        tx.merge(&rx);
+        assert_eq!(tx.frames_sent, 12);
+        assert_eq!(tx.frames_delivered, 10);
+        assert_eq!(tx.frames_dropped, 2);
+        assert!(tx.clean_shutdown);
+        assert!((tx.delivery_ratio() - 10.0 / 12.0).abs() < 1e-12);
+    }
+}

@@ -75,6 +75,31 @@ impl GofPattern {
     pub fn reference_of(&self, index: usize) -> usize {
         index - (index % self.period as usize)
     }
+
+    /// Ordinal of the group of frames that frame `index` belongs to.
+    pub fn gof_index(&self, index: usize) -> usize {
+        index / self.period as usize
+    }
+
+    /// Whether frame `index` opens a group of frames (is its I-frame).
+    pub fn is_gof_start(&self, index: usize) -> bool {
+        index % self.period as usize == 0
+    }
+
+    /// Whether any frame in `lost` (a half-open index range) is an
+    /// I-frame. A lossy receiver uses this to decide if a gap broke the
+    /// reference chain: losing only P-frames leaves the rest of their
+    /// group decodable, losing an I-frame orphans every following
+    /// P-frame until the next I-frame.
+    pub fn range_contains_intra(&self, lost: core::ops::Range<usize>) -> bool {
+        if lost.is_empty() {
+            return false;
+        }
+        // The first GOF start at or after lost.start.
+        let p = self.period as usize;
+        let next_start = lost.start.div_ceil(p) * p;
+        next_start < lost.end
+    }
 }
 
 impl Default for GofPattern {
@@ -201,6 +226,31 @@ mod tests {
         assert_eq!(p.reference_of(2), 0);
         assert_eq!(p.reference_of(3), 3);
         assert_eq!(p.reference_of(5), 3);
+    }
+
+    #[test]
+    fn gof_introspection() {
+        let p = GofPattern::ipp();
+        assert_eq!(p.gof_index(0), 0);
+        assert_eq!(p.gof_index(2), 0);
+        assert_eq!(p.gof_index(3), 1);
+        assert_eq!(p.gof_index(7), 2);
+        assert!(p.is_gof_start(0));
+        assert!(!p.is_gof_start(2));
+        assert!(p.is_gof_start(6));
+    }
+
+    #[test]
+    fn intra_loss_detection_over_gaps() {
+        let p = GofPattern::ipp();
+        assert!(!p.range_contains_intra(4..4), "empty gap");
+        assert!(!p.range_contains_intra(1..3), "P-only gap");
+        assert!(p.range_contains_intra(0..1), "I-frame itself");
+        assert!(p.range_contains_intra(2..4), "gap spanning I-frame 3");
+        assert!(p.range_contains_intra(1..9), "multi-GOF gap");
+        assert!(!p.range_contains_intra(4..6), "P-frames of one GOF");
+        let all_intra = GofPattern::all_intra();
+        assert!(all_intra.range_contains_intra(5..6));
     }
 
     #[test]

@@ -20,4 +20,9 @@ PCC_THREADS=1 cargo test -q --offline
 echo "== bench targets compile =="
 cargo check -q --offline -p pcc-bench --benches
 
+echo "== live streaming over loopback TCP =="
+# The example asserts 12/12 frames delivered in order, a clean shutdown,
+# zero drops/resyncs, and a minimum delivered attribute PSNR.
+cargo run -q --release --offline --example live_stream
+
 echo "verify: all gates passed"

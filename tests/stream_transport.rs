@@ -1,0 +1,273 @@
+//! Streaming transport acceptance: incremental receive must match the
+//! offline decoder bit for bit on clean wires, and degrade to dropped
+//! frames — never panics or wrong pictures — on corrupted ones.
+
+use std::num::NonZeroUsize;
+
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::stream::{
+    encode_chunk, stream_video, Chunk, ChunkKind, ChunkReader, Delivered, Receiver, StreamConfig,
+};
+use pcc::types::{PointCloud, Video};
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn clip(frames: usize) -> Video {
+    catalog::by_name("Soldier").unwrap().generate_scaled(frames, 1_500)
+}
+
+fn receive_all(wire: &[u8], d: &Device) -> (Vec<Delivered>, pcc::stream::StreamStats) {
+    let mut rx = Receiver::new(wire, d);
+    let mut out = Vec::new();
+    while let Some(frame) = rx.recv_frame().expect("in-memory transport cannot fail") {
+        out.push(frame);
+    }
+    (out, rx.into_stats())
+}
+
+/// Splits a wire capture back into its chunks (all intact here).
+fn chunks_of(wire: &[u8]) -> Vec<Chunk> {
+    let mut reader = ChunkReader::new(wire);
+    let mut chunks = Vec::new();
+    while let Some(c) = reader.next_chunk().unwrap() {
+        chunks.push(c);
+    }
+    assert_eq!(reader.corrupt_events(), 0, "capture should be clean");
+    chunks
+}
+
+fn reassemble(chunks: &[Chunk]) -> Vec<u8> {
+    chunks.iter().flat_map(encode_chunk).collect()
+}
+
+#[test]
+fn incremental_receive_matches_offline_decode_bit_for_bit() {
+    let video = clip(8);
+    for design in [Design::IntraInterV1, Design::IntraInterV2] {
+        let codec = PccCodec::new(design);
+        for threads in [NonZeroUsize::new(1), None] {
+            let d = device().with_host_threads(threads);
+            let offline: Vec<PointCloud> = {
+                let enc = codec.encode_video(&video, 7, &d);
+                codec.decode_video(&enc, &d).unwrap()
+            };
+
+            let (wire, tx) =
+                stream_video(&codec, &video, 7, &d, Vec::new(), &StreamConfig::default()).unwrap();
+            assert_eq!(tx.frames_sent, video.len(), "{design}");
+            assert!(tx.clean_shutdown);
+
+            let (delivered, rx) = receive_all(&wire, &d);
+            assert_eq!(delivered.len(), offline.len(), "{design} lost frames");
+            assert_eq!(rx.frames_dropped, 0);
+            assert_eq!(rx.resyncs, 0);
+            assert!(rx.clean_shutdown);
+            assert_eq!(rx.bytes_received, tx.bytes_sent);
+            for (i, frame) in delivered.iter().enumerate() {
+                assert_eq!(frame.frame_index, i);
+                assert_eq!(
+                    frame.cloud, offline[i],
+                    "{design} threads={threads:?}: frame {i} diverged from offline decode"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn push_sender_wire_matches_pipelined_sender() {
+    let video = clip(6);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let (pipelined, _) =
+        stream_video(&codec, &video, 7, &d, Vec::new(), &StreamConfig::default()).unwrap();
+
+    let mut sender = pcc::stream::Sender::new(&codec, 7, &d, Vec::new(), &StreamConfig::default())
+        .unwrap()
+        .with_bounding_box(video.bounding_box().unwrap());
+    for frame in video.iter() {
+        sender.send_frame(&frame.cloud).unwrap();
+    }
+    let (pushed, stats) = sender.finish().unwrap();
+    assert_eq!(stats.frames_sent, video.len());
+    assert_eq!(pushed, pipelined, "push and pipelined senders must emit identical wires");
+}
+
+#[test]
+fn corrupting_a_full_gof_drops_it_and_resyncs_at_next_intra() {
+    // 12 frames = 4 IPP groups; corrupt every chunk of GOF 1 (frames
+    // 3..6) so both its I-frame and its P-frames are lost.
+    let video = clip(12);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let clean_wire = wire_clean(&codec, &video, &d);
+    let (clean, _) = receive_all(&clean_wire, &d);
+    assert_eq!(clean.len(), 12);
+
+    // Corrupt *after* framing (re-encoding a mutated chunk would stamp a
+    // fresh, valid CRC over the damage): flip one payload byte in every
+    // chunk of GOF 1's frames.
+    let mut wire = Vec::new();
+    for chunk in chunks_of(&clean_wire) {
+        let mut bytes = encode_chunk(&chunk);
+        if chunk.kind == ChunkKind::Frame && (3..6).contains(&(chunk.frame_index as usize)) {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+        }
+        wire.extend_from_slice(&bytes);
+    }
+
+    let (delivered, rx) = receive_all(&wire, &d);
+    // Frames 3, 4, 5 are gone; everything else must survive.
+    assert_eq!(rx.frames_dropped, 3, "stats: {rx:?}");
+    assert_eq!(rx.resyncs, 1, "stats: {rx:?}");
+    assert!(rx.corrupt_events >= 3);
+    assert!(rx.clean_shutdown);
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 6, 7, 8, 9, 10, 11]);
+    for frame in &delivered {
+        assert_eq!(
+            frame.cloud, clean[frame.frame_index].cloud,
+            "frame {} diverged after resync",
+            frame.frame_index
+        );
+    }
+}
+
+fn wire_clean(codec: &PccCodec, video: &Video, d: &Device) -> Vec<u8> {
+    stream_video(codec, video, 7, d, Vec::new(), &StreamConfig::default()).unwrap().0
+}
+
+#[test]
+fn losing_one_predicted_frame_costs_only_itself() {
+    let video = clip(9);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV2);
+    let wire = wire_clean(&codec, &video, &d);
+    let (clean, _) = receive_all(&wire, &d);
+
+    // Drop frame 4 (a P-frame mid-GOF) from the wire entirely.
+    let chunks: Vec<Chunk> = chunks_of(&wire)
+        .into_iter()
+        .filter(|c| !(c.kind == ChunkKind::Frame && c.frame_index == 4))
+        .collect();
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+
+    // P-frames reference only their GOF's I-frame, so frame 5 still
+    // decodes; no resync is needed because sync was never lost.
+    assert_eq!(rx.frames_dropped, 1);
+    assert_eq!(rx.resyncs, 0, "P loss must not count as a resync");
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3, 5, 6, 7, 8]);
+    for frame in &delivered {
+        assert_eq!(frame.cloud, clean[frame.frame_index].cloud, "frame {}", frame.frame_index);
+    }
+}
+
+#[test]
+fn losing_an_intra_frame_orphans_its_gof() {
+    let video = clip(9);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire = wire_clean(&codec, &video, &d);
+    let (clean, _) = receive_all(&wire, &d);
+
+    // Drop frame 3 — the I-frame of GOF 1. Its P-frames (4, 5) arrive
+    // intact but must not be decoded against GOF 0's reference.
+    let chunks: Vec<Chunk> = chunks_of(&wire)
+        .into_iter()
+        .filter(|c| !(c.kind == ChunkKind::Frame && c.frame_index == 3))
+        .collect();
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+
+    assert_eq!(rx.frames_dropped, 3, "I + its two orphaned Ps: {rx:?}");
+    assert_eq!(rx.resyncs, 1);
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 6, 7, 8]);
+    for frame in &delivered {
+        assert_eq!(frame.cloud, clean[frame.frame_index].cloud, "frame {}", frame.frame_index);
+    }
+}
+
+#[test]
+fn tail_loss_is_reported_via_the_end_chunk() {
+    let video = clip(6);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire = wire_clean(&codec, &video, &d);
+
+    // Drop the last two frames but keep the end chunk.
+    let chunks: Vec<Chunk> = chunks_of(&wire)
+        .into_iter()
+        .filter(|c| !(c.kind == ChunkKind::Frame && c.frame_index >= 4))
+        .collect();
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+    assert_eq!(delivered.len(), 4);
+    assert_eq!(rx.frames_dropped, 2, "end chunk must reveal tail loss: {rx:?}");
+    assert!(rx.clean_shutdown);
+
+    // Without the end chunk the transport just ends: no clean shutdown.
+    let chunks: Vec<Chunk> =
+        chunks_of(&wire).into_iter().filter(|c| c.kind != ChunkKind::End).collect();
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+    assert_eq!(delivered.len(), 6);
+    assert!(!rx.clean_shutdown);
+}
+
+#[test]
+fn headerless_streams_deliver_nothing_but_do_not_panic() {
+    let video = clip(3);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire = wire_clean(&codec, &video, &d);
+    let chunks: Vec<Chunk> =
+        chunks_of(&wire).into_iter().filter(|c| c.kind != ChunkKind::StreamHeader).collect();
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+    assert!(delivered.is_empty(), "no design known, nothing decodable");
+    assert_eq!(rx.frames_dropped, 3);
+}
+
+#[test]
+fn foreign_stream_chunks_are_ignored() {
+    let video = clip(3);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire_a = stream_video(&codec, &video, 7, &d, Vec::new(), &StreamConfig::default())
+        .unwrap()
+        .0;
+    let wire_b = stream_video(
+        &codec,
+        &video,
+        7,
+        &d,
+        Vec::new(),
+        &StreamConfig { stream_id: 7, ..StreamConfig::default() },
+    )
+    .unwrap()
+    .0;
+
+    // Interleave the two sessions chunk by chunk on one wire; end with
+    // stream A's end chunk last so its tail accounting still runs.
+    let a = chunks_of(&wire_a);
+    let b = chunks_of(&wire_b);
+    let mut mixed = Vec::new();
+    for i in 0..a.len().max(b.len()) {
+        if let Some(c) = b.get(i) {
+            mixed.push(c.clone());
+        }
+        if let Some(c) = a.get(i) {
+            mixed.push(c.clone());
+        }
+    }
+    let (delivered, rx) = receive_all(&reassemble(&mixed), &d);
+    // Stream B arrives first, so the receiver locks onto id 7 and drops
+    // stream A's chunks; A's trailing end chunk is never read because
+    // B's end chunk already closed the session.
+    assert_eq!(delivered.len(), video.len());
+    assert!(delivered.iter().all(|f| f.frame_index < video.len()));
+    assert_eq!(rx.chunks_dropped, a.len() - 1, "stream A ignored: {rx:?}");
+}
