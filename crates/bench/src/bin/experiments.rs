@@ -3,16 +3,29 @@
 //! ```sh
 //! cargo run --release -p pcc-bench --bin experiments -- all
 //! cargo run --release -p pcc-bench --bin experiments -- fig8a
+//! cargo run --release -p pcc-bench --bin experiments -- fig2 --probe
 //! PCC_POINTS=20000 PCC_FRAMES=9 cargo run --release -p pcc-bench --bin experiments -- summary
 //! ```
 //!
 //! Subcommands: `table1 fig2 fig3a fig3b fig8a fig8b fig8c fig9 fig10b
-//! powermode mbsearch summary csv decode gpcc_modes all`.
+//! powermode mbsearch summary csv decode gpcc_modes all`. Pass `--probe`
+//! (or set `PCC_PROBE=1`) to record real per-stage timings with
+//! `pcc-probe` and print the measured stage table after the experiments.
 
 use pcc_bench::{figures, Scale};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let probe = if let Some(i) = args.iter().position(|a| a == "--probe") {
+        args.remove(i);
+        pcc_probe::set_enabled(true);
+        true
+    } else {
+        pcc_probe::enabled()
+    };
+    if probe {
+        let _ = pcc_probe::take_report(); // drop anything recorded before the run
+    }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = Scale::from_env();
     eprintln!(
@@ -88,5 +101,15 @@ fn main() {
             "unknown experiment '{which}'; available: table1 fig2 fig3a fig3b fig8a fig8b fig8c fig9 fig10b powermode mbsearch summary csv decode gpcc_modes all"
         );
         std::process::exit(2);
+    }
+
+    if probe {
+        let report = pcc_probe::take_report();
+        println!("==== probe ====");
+        if report.is_empty() {
+            println!("(no spans recorded; build with the default `probe` feature)");
+        } else {
+            println!("{}", report.table());
+        }
     }
 }

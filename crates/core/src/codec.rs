@@ -328,6 +328,7 @@ impl<'d> FrameEncoder<'d> {
     /// Encodes the next frame of the session, returning the coded frame
     /// and its modeled encode timeline (the device is drained per frame).
     pub fn encode_frame(&mut self, cloud: &PointCloud) -> (EncodedFrame, Timeline) {
+        let mut sp = pcc_probe::span("frame/encode");
         let vox = match &self.bounding_box {
             Some(bb) => VoxelizedCloud::from_cloud_in_box(cloud, self.depth, bb),
             None => VoxelizedCloud::from_cloud(cloud, self.depth),
@@ -372,6 +373,7 @@ impl<'d> FrameEncoder<'d> {
             }
         };
         self.index += 1;
+        sp.add_bytes(encoded.size().total_bytes() as u64);
         (encoded, device.take_timeline())
     }
 }
@@ -428,6 +430,8 @@ impl<'d> FrameDecoder<'d> {
     /// Returns a [`CodecError`] on malformed frames or when a predicted
     /// frame arrives without a decodable reference.
     pub fn decode_frame(&mut self, frame: &EncodedFrame) -> Result<(PointCloud, Timeline), CodecError> {
+        let mut sp = pcc_probe::span("frame/decode");
+        sp.add_bytes(frame.size().total_bytes() as u64);
         let i = self.index;
         self.index += 1;
         let device = self.device;

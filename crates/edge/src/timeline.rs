@@ -118,6 +118,31 @@ impl Timeline {
         op.as_f64() / total
     }
 
+    /// Builds a timeline from a measured [`pcc_probe::Report`], one record
+    /// per aggregated stage — the bridge for diffing real wall-clock
+    /// measurements against this model's predictions (same `stage_ms`
+    /// prefix queries, same export paths).
+    ///
+    /// Measured spans carry no energy information and run on host
+    /// threads, so records come out as `Cpu` work with zero energy, op
+    /// `"measured"`, `items` = span count, and `modeled` = the *measured*
+    /// total duration.
+    pub fn from_measured(report: &pcc_probe::Report) -> Timeline {
+        let records = report
+            .by_stage()
+            .into_iter()
+            .map(|s| StageRecord {
+                stage: s.stage.to_owned(),
+                op: "measured",
+                unit: ExecUnit::Cpu,
+                items: s.calls,
+                modeled: Millis::from_micros(s.total_ns as f64 / 1e3),
+                energy: Joules::ZERO,
+            })
+            .collect();
+        Timeline { records }
+    }
+
     /// Appends all records of `other` to this timeline.
     pub fn merge(&mut self, other: Timeline) {
         self.records.extend(other.records);
@@ -201,6 +226,39 @@ mod tests {
         a.merge(b);
         assert_eq!(a.records().len(), 2);
         assert_eq!(a.total_modeled_ms(), Millis(3.0));
+    }
+
+    #[test]
+    fn from_measured_bridges_probe_reports() {
+        pcc_probe::set_enabled(true);
+        let _ = pcc_probe::take_report(); // drain anything stale
+        {
+            let mut sp = pcc_probe::span("timeline_test/alpha");
+            sp.add_bytes(64);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _sp = pcc_probe::span("timeline_test/alpha");
+        }
+        let report = pcc_probe::take_report();
+        pcc_probe::set_enabled(false);
+
+        let t = Timeline::from_measured(&report);
+        // Same prefix queries as modeled timelines, now over measured time.
+        let ms = t.stage_ms("timeline_test").as_f64();
+        assert!(ms >= 1.0, "slept 1ms, measured {ms}ms");
+        let rec = t
+            .records()
+            .iter()
+            .find(|r| r.stage == "timeline_test/alpha")
+            .expect("stage bridged");
+        assert_eq!((rec.op, rec.unit, rec.items), ("measured", ExecUnit::Cpu, 2));
+        assert_eq!(rec.energy, Joules::ZERO);
+    }
+
+    #[test]
+    fn from_measured_empty_report_is_empty() {
+        assert!(Timeline::from_measured(&pcc_probe::Report::default()).is_empty());
     }
 
     #[test]

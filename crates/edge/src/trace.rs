@@ -57,6 +57,36 @@ pub fn to_chrome_trace(timeline: &Timeline) -> String {
     out
 }
 
+/// Renders measured [`pcc_probe`] spans as a Chrome Trace Event JSON
+/// string with *real* timestamps.
+///
+/// Unlike [`to_chrome_trace`] (which lays modeled records back-to-back),
+/// every span keeps its recorded start time and duration, and each
+/// recording thread gets its own track (`tid` = lane + 1), so genuine
+/// overlap between the parallel executor's workers is visible in
+/// `chrome://tracing`. Byte volumes attached to spans appear as event
+/// arguments.
+pub fn spans_to_chrome_trace(spans: &[pcc_probe::SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"measured\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"bytes\":{}}}}}",
+            escape(span.stage),
+            span.lane + 1,
+            span.start_ns as f64 / 1e3,
+            span.dur_ns as f64 / 1e3,
+            span.bytes,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
 /// Minimal JSON string escaping for stage labels.
 fn escape(s: &str) -> String {
     s.chars()
@@ -104,6 +134,40 @@ mod tests {
     fn empty_timeline_renders_empty_array() {
         let json = to_chrome_trace(&Timeline::default());
         assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn measured_spans_keep_real_timestamps_and_lanes() {
+        let spans = [
+            pcc_probe::SpanRecord {
+                stage: "morton/codegen",
+                start_ns: 1_500,
+                dur_ns: 2_000,
+                lane: 0,
+                bytes: 0,
+            },
+            pcc_probe::SpanRecord {
+                stage: "frame/encode",
+                start_ns: 1_000,
+                dur_ns: 9_000,
+                lane: 1,
+                bytes: 4096,
+            },
+        ];
+        let json = spans_to_chrome_trace(&spans);
+        // Real start times (µs), not back-to-back cursors.
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"ts\":1.000"), "{json}");
+        // One track per recording lane.
+        assert!(json.contains("\"tid\":1") && json.contains("\"tid\":2"));
+        assert!(json.contains("\"bytes\":4096"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_spans_render_empty_array() {
+        assert!(spans_to_chrome_trace(&[]).contains("\"traceEvents\":[]"));
     }
 
     #[test]

@@ -140,6 +140,7 @@ impl InterCodec {
         let i_starts = segment_starts(reference.len(), self.config.blocks_for(reference.len()));
 
         // Block matching (the Diff_Squared / Squared_Sum kernels).
+        let match_sp = pcc_probe::span("inter/match");
         let (matches, stats, charge) = match_blocks_with(
             p_colors,
             reference,
@@ -159,8 +160,10 @@ impl InterCodec {
             &calib::SQUARED_SUM,
             charge.block_pairs.max(1),
         );
+        match_sp.stop();
 
         // Assemble deltas for non-reused blocks (address generation).
+        let _delta_sp = pcc_probe::span("inter/delta");
         let mut delta_values: Vec<[i32; 3]> = Vec::new();
         let mut delta_starts: Vec<u32> = vec![0];
         for (p_idx, m) in matches.iter().enumerate() {
@@ -205,6 +208,7 @@ impl InterCodec {
         }
         payload.extend_from_slice(&delta_layer.to_bytes());
         device.charge_gpu(&format!("{STAGE}/reuse_encode"), &calib::REUSE_ENCODE, matches.len());
+        pcc_probe::add_bytes("inter/attribute", payload.len() as u64);
 
         (payload, stats)
     }

@@ -63,6 +63,7 @@ pub fn encode(
         payload = entropy_wrap(&payload);
         device.charge_gpu(&format!("{STAGE}/entropy"), &calib::ENTROPY_GPU, payload.len());
     }
+    pcc_probe::add_bytes("intra/attribute", payload.len() as u64);
     payload
 }
 
@@ -117,6 +118,7 @@ pub fn gather_voxel_colors_with(
     geo: &GeometryEncoded,
     threads: NonZeroUsize,
 ) -> Vec<Rgb> {
+    let _sp = pcc_probe::span("intra/gather");
     let m = geo.unique_voxels;
     let n = geo.perm.len();
     let mut sums = vec![[0u32; 3]; m];

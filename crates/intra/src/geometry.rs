@@ -87,6 +87,7 @@ pub fn encode_with(
         device.charge_gpu(&format!("{STAGE}/entropy"), &calib::ENTROPY_GPU, stream.len());
     }
 
+    pcc_probe::add_bytes("intra/geometry", stream.len() as u64);
     GeometryEncoded {
         stream,
         perm: sorted.perm,

@@ -188,6 +188,7 @@ pub fn encode_layer_with_starts_threaded(
     quant_step: i32,
     threads: NonZeroUsize,
 ) -> LayerEncoded {
+    let _sp = pcc_probe::span("intra/layer_encode");
     assert!(quant_step >= 1, "quantization step must be >= 1");
     assert!(!starts.is_empty() && starts[0] == 0, "segment starts must begin at 0");
     assert!(
@@ -254,6 +255,7 @@ pub fn decode_layer(layer: &LayerEncoded) -> Vec<[i32; 3]> {
 /// disjoint output slices (byte-identical at every thread count);
 /// malformed boundaries fall back to the clamping sequential path.
 pub fn decode_layer_threaded(layer: &LayerEncoded, threads: NonZeroUsize) -> Vec<[i32; 3]> {
+    let _sp = pcc_probe::span("intra/layer_decode");
     let n = layer.residuals.len();
     let starts = &layer.starts;
     let well_formed = layer.bases.len() >= starts.len()

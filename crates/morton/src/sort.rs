@@ -50,6 +50,7 @@ pub fn codes_of(cloud: &VoxelizedCloud) -> Vec<MortonCode> {
 /// thread. Chunking is by index, so the output is byte-identical to the
 /// sequential pass at every thread count.
 pub fn codes_of_with(cloud: &VoxelizedCloud, threads: NonZeroUsize) -> Vec<MortonCode> {
+    let _sp = pcc_probe::span("morton/codegen");
     let coords = cloud.coords();
     let n = coords.len();
     let fan = pcc_parallel::effective_threads(threads, n);
@@ -90,6 +91,7 @@ pub fn sort_codes_with(
     threads: NonZeroUsize,
     scratch: &mut SortScratch,
 ) -> SortedCodes {
+    let _sp = pcc_probe::span("morton/radix_sort");
     let n = codes.len();
     let mut perm: Vec<u32> = (0..n as u32).collect();
     if n <= 1 {

@@ -112,6 +112,7 @@ impl ParallelOctree {
         // producing parent codes, then a run-compaction scan. The scan is
         // chunk-parallel with chunks aligned to parent-run boundaries, so
         // every thread count produces the identical arrays.
+        let _sp = pcc_probe::span("octree/compact");
         for _ in 0..depth {
             let child = levels.last().expect("at least the leaf level exists");
             let (parent_codes, parent_index) =
@@ -198,6 +199,7 @@ impl ParallelOctree {
     /// `split_at_mut` partition, no atomics) and the output is
     /// byte-identical at every thread count.
     pub fn occupancy_with(&self, threads: NonZeroUsize) -> Vec<u8> {
+        let _sp = pcc_probe::span("octree/occupancy");
         let mut bytes = Vec::with_capacity(self.occupancy_len());
         for level in 0..self.depth as usize {
             let child = &self.levels[level + 1];

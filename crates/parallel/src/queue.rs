@@ -186,11 +186,16 @@ mod tests {
                 }
             });
             // The producer can never run more than capacity + 1 items
-            // ahead of the consumer.
-            let mut received = 0usize;
+            // ahead of the consumer. Signed arithmetic: the consumer can
+            // observe `produced` *before* the producer's fetch_add runs
+            // for an item already received, making the difference -1 — an
+            // unsigned subtraction here underflow-panicked while the
+            // producer was parked in send(), deadlocking the scope join.
+            let mut received = 0i64;
             while let Some(_) = rx.recv() {
                 received += 1;
-                let ahead = produced.load(std::sync::atomic::Ordering::SeqCst) - received;
+                let ahead =
+                    produced.load(std::sync::atomic::Ordering::SeqCst) as i64 - received;
                 assert!(ahead <= 3, "producer ran {ahead} ahead");
             }
             assert_eq!(received, 100);

@@ -1,0 +1,623 @@
+//! # pcc-probe — measured per-stage observability
+//!
+//! The `pcc-edge` device model predicts where a frame's time should go;
+//! this crate measures where it actually goes. Pipeline stages wrap their
+//! hot sections in [`span`] guards; each guard records a wall-clock
+//! interval into a *thread-local* buffer (the parallel executor's scoped
+//! workers never contend on a shared sink), and buffers drain into a
+//! process-wide sink when a thread exits or when [`take_report`] collects
+//! a [`Report`]. Byte-volume and item-count gauges ([`add_bytes`],
+//! [`add_count`]) ride the same buffers.
+//!
+//! ## Cost model
+//!
+//! * Built **without** the `capture` feature: every function here is an
+//!   inlined empty body and [`Span`] is a zero-sized type without a
+//!   `Drop` impl — the instrumentation compiles to nothing.
+//! * Built **with** `capture` (the workspace default) but not enabled at
+//!   runtime: one relaxed atomic load per probe call, no allocation.
+//! * Enabled (environment variable `PCC_PROBE=1`, or [`set_enabled`]):
+//!   two `Instant` reads plus an amortized thread-local `Vec` push per
+//!   span.
+//!
+//! Recording never feeds back into encoded output: bitstreams are
+//! byte-identical with probes on and off (asserted by
+//! `tests/determinism.rs` in the workspace root).
+//!
+//! ```
+//! pcc_probe::set_enabled(true);
+//! {
+//!     let mut sp = pcc_probe::span("demo/stage");
+//!     sp.add_bytes(128);
+//! }
+//! let report = pcc_probe::take_report();
+//! # #[cfg(feature = "capture")]
+//! assert_eq!(report.stage("demo/stage").map(|s| s.bytes), Some(128));
+//! pcc_probe::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Environment variable consulted (once) for the runtime switch:
+/// `1`/`true`/`on`/`yes` enable recording.
+pub const PROBE_ENV: &str = "PCC_PROBE";
+
+/// One recorded span: a named wall-clock interval on one thread.
+///
+/// Timestamps are nanoseconds relative to the process-wide probe epoch
+/// (the first instant the recording machinery was touched), so spans
+/// from different threads share one timebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage label, e.g. `"morton/radix_sort"` — slash-separated
+    /// prefixes group related stages, mirroring `pcc-edge` timelines.
+    pub stage: &'static str,
+    /// Start time in nanoseconds since the probe epoch.
+    pub start_ns: u64,
+    /// Measured duration in nanoseconds (at least 1).
+    pub dur_ns: u64,
+    /// Recording thread's lane id (0, 1, 2, … in first-record order).
+    pub lane: u32,
+    /// Bytes attached via [`Span::add_bytes`].
+    pub bytes: u64,
+}
+
+/// One gauge event: bytes and/or a count attributed to a stage without
+/// timing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GaugeRecord {
+    stage: &'static str,
+    bytes: u64,
+    count: u64,
+}
+
+/// Aggregated statistics for one stage across a [`Report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// The stage label.
+    pub stage: &'static str,
+    /// Number of spans recorded for the stage.
+    pub calls: usize,
+    /// Sum of span durations (ns).
+    pub total_ns: u64,
+    /// Shortest span (ns); 0 when no spans (gauge-only stage).
+    pub min_ns: u64,
+    /// Median span duration (ns; lower midpoint).
+    pub p50_ns: u64,
+    /// Longest span (ns).
+    pub max_ns: u64,
+    /// Bytes attached to the stage (span bytes + gauge bytes).
+    pub bytes: u64,
+    /// Item count attached via [`add_count`].
+    pub count: u64,
+}
+
+/// A drained collection of spans and gauges with aggregation helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    spans: Vec<SpanRecord>,
+    gauges: Vec<GaugeRecord>,
+}
+
+impl Report {
+    /// All spans, ordered by start time (ties by lane).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Per-stage aggregates, sorted by stage name.
+    pub fn by_stage(&self) -> Vec<StageStats> {
+        use std::collections::BTreeMap;
+        let mut durs: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        let mut extra: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            durs.entry(s.stage).or_default().push(s.dur_ns);
+            extra.entry(s.stage).or_default().0 += s.bytes;
+        }
+        for g in &self.gauges {
+            durs.entry(g.stage).or_default();
+            let e = extra.entry(g.stage).or_default();
+            e.0 += g.bytes;
+            e.1 += g.count;
+        }
+        durs.into_iter()
+            .map(|(stage, mut d)| {
+                d.sort_unstable();
+                let (bytes, count) = extra.get(stage).copied().unwrap_or((0, 0));
+                StageStats {
+                    stage,
+                    calls: d.len(),
+                    total_ns: d.iter().sum(),
+                    min_ns: d.first().copied().unwrap_or(0),
+                    p50_ns: if d.is_empty() { 0 } else { d[(d.len() - 1) / 2] },
+                    max_ns: d.last().copied().unwrap_or(0),
+                    bytes,
+                    count,
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate for one stage, if anything was recorded under it.
+    pub fn stage(&self, name: &str) -> Option<StageStats> {
+        self.by_stage().into_iter().find(|s| s.stage == name)
+    }
+
+    /// Total span nanoseconds under `prefix` (exact match or
+    /// `prefix/...`), mirroring `Timeline::stage_ms` matching.
+    pub fn stage_total_ns(&self, prefix: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| {
+                s.stage == prefix
+                    || (s.stage.len() > prefix.len()
+                        && s.stage.starts_with(prefix)
+                        && s.stage.as_bytes()[prefix.len()] == b'/')
+            })
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Renders the per-stage aggregation as an aligned text table
+    /// (durations in milliseconds).
+    pub fn table(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "stage", "calls", "min ms", "p50 ms", "max ms", "total ms", "bytes"
+        );
+        for s in self.by_stage() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12}",
+                s.stage,
+                s.calls,
+                ms(s.min_ns),
+                ms(s.p50_ns),
+                ms(s.max_ns),
+                ms(s.total_ns),
+                if s.bytes == 0 { "-".to_string() } else { s.bytes.to_string() },
+            );
+        }
+        out
+    }
+
+    /// Folds another report's events into this one (re-sorting spans).
+    pub fn merge(&mut self, other: Report) {
+        self.spans.extend(other.spans);
+        self.gauges.extend(other.gauges);
+        self.spans.sort_by_key(|s| (s.start_ns, s.lane));
+    }
+}
+
+#[cfg(feature = "capture")]
+mod imp {
+    use super::{GaugeRecord, Report, SpanRecord};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// 0 = read env on first use, 1 = off, 2 = on.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static SINK: Mutex<(Vec<SpanRecord>, Vec<GaugeRecord>)> =
+        Mutex::new((Vec::new(), Vec::new()));
+
+    pub fn enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            1 => false,
+            2 => true,
+            _ => {
+                let on = std::env::var(super::PROBE_ENV).is_ok_and(|v| {
+                    matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes")
+                });
+                STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    pub fn set_enabled(on: bool) {
+        STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    }
+
+    pub fn epoch_ns() -> u64 {
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Per-thread event buffer. The `Drop` flush drains a thread's events
+    /// into the sink when its TLS is torn down. Note `thread::scope`
+    /// unblocks when a worker's *closure* returns — TLS destructors run
+    /// slightly later as the OS thread exits — so scoped workers that
+    /// record spans call `flush_thread()` at the end of their closure to
+    /// publish deterministically; the `Drop` flush is the safety net for
+    /// plain spawned threads.
+    struct LocalBuf {
+        lane: u32,
+        spans: Vec<SpanRecord>,
+        gauges: Vec<GaugeRecord>,
+    }
+
+    impl Drop for LocalBuf {
+        fn drop(&mut self) {
+            if self.spans.is_empty() && self.gauges.is_empty() {
+                return;
+            }
+            if let Ok(mut sink) = SINK.lock() {
+                sink.0.append(&mut self.spans);
+                sink.1.append(&mut self.gauges);
+            }
+        }
+    }
+
+    thread_local! {
+        static BUF: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+            lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed),
+            spans: Vec::new(),
+            gauges: Vec::new(),
+        });
+    }
+
+    pub fn push_span(stage: &'static str, start_ns: u64, dur_ns: u64, bytes: u64) {
+        let _ = BUF.try_with(|b| {
+            let mut b = b.borrow_mut();
+            let lane = b.lane;
+            b.spans.push(SpanRecord { stage, start_ns, dur_ns: dur_ns.max(1), lane, bytes });
+        });
+    }
+
+    pub fn push_gauge(stage: &'static str, bytes: u64, count: u64) {
+        let _ = BUF.try_with(|b| b.borrow_mut().gauges.push(GaugeRecord { stage, bytes, count }));
+    }
+
+    pub fn flush_thread() {
+        let _ = BUF.try_with(|b| {
+            let mut b = b.borrow_mut();
+            if b.spans.is_empty() && b.gauges.is_empty() {
+                return;
+            }
+            if let Ok(mut sink) = SINK.lock() {
+                let spans = std::mem::take(&mut b.spans);
+                let gauges = std::mem::take(&mut b.gauges);
+                sink.0.extend(spans);
+                sink.1.extend(gauges);
+            }
+        });
+    }
+
+    pub fn take_report() -> Report {
+        flush_thread();
+        let (mut spans, gauges) = match SINK.lock() {
+            Ok(mut sink) => (std::mem::take(&mut sink.0), std::mem::take(&mut sink.1)),
+            Err(_) => (Vec::new(), Vec::new()),
+        };
+        spans.sort_by_key(|s| (s.start_ns, s.lane));
+        Report { spans, gauges }
+    }
+}
+
+/// A live stage-scoped span guard: records a [`SpanRecord`] when dropped
+/// (or explicitly via [`stop`](Span::stop)).
+///
+/// Without the `capture` feature this is a zero-sized type with no
+/// `Drop` impl; with capture but recording disabled it holds `None` and
+/// drops for free.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct Span {
+    #[cfg(feature = "capture")]
+    live: Option<LiveSpan>,
+}
+
+#[cfg(feature = "capture")]
+#[derive(Debug)]
+struct LiveSpan {
+    stage: &'static str,
+    start: std::time::Instant,
+    start_ns: u64,
+    bytes: u64,
+}
+
+/// Opens a span for `stage`; the returned guard records on drop.
+#[inline]
+pub fn span(stage: &'static str) -> Span {
+    #[cfg(feature = "capture")]
+    {
+        let live = imp::enabled().then(|| LiveSpan {
+            stage,
+            start_ns: imp::epoch_ns(),
+            start: std::time::Instant::now(),
+            bytes: 0,
+        });
+        Span { live }
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        let _ = stage;
+        Span {}
+    }
+}
+
+impl Span {
+    /// Attaches `n` bytes to this span (a byte-volume gauge riding the
+    /// span record; summed if called repeatedly).
+    #[inline]
+    pub fn add_bytes(&mut self, n: u64) {
+        #[cfg(feature = "capture")]
+        if let Some(live) = &mut self.live {
+            live.bytes += n;
+        }
+        #[cfg(not(feature = "capture"))]
+        let _ = n;
+    }
+
+    /// Ends the span now, returning the measured duration in nanoseconds
+    /// (0 when recording is disabled or compiled out).
+    #[inline]
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    #[cfg(feature = "capture")]
+    fn finish(&mut self) -> u64 {
+        match self.live.take() {
+            Some(live) => {
+                let dur_ns = (live.start.elapsed().as_nanos() as u64).max(1);
+                imp::push_span(live.stage, live.start_ns, dur_ns, live.bytes);
+                dur_ns
+            }
+            None => 0,
+        }
+    }
+
+    #[cfg(not(feature = "capture"))]
+    #[inline(always)]
+    fn finish(&mut self) -> u64 {
+        0
+    }
+}
+
+#[cfg(feature = "capture")]
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Records a byte-volume gauge against `stage` without timing anything.
+#[inline]
+pub fn add_bytes(stage: &'static str, bytes: u64) {
+    #[cfg(feature = "capture")]
+    if imp::enabled() {
+        imp::push_gauge(stage, bytes, 0);
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        let _ = (stage, bytes);
+    }
+}
+
+/// Records an item-count gauge against `stage` without timing anything.
+#[inline]
+pub fn add_count(stage: &'static str, n: u64) {
+    #[cfg(feature = "capture")]
+    if imp::enabled() {
+        imp::push_gauge(stage, 0, n);
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        let _ = (stage, n);
+    }
+}
+
+/// Whether recording is currently on.
+///
+/// The first call reads [`PROBE_ENV`]; [`set_enabled`] overrides it.
+/// Always `false` without the `capture` feature.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "capture")]
+    {
+        imp::enabled()
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        false
+    }
+}
+
+/// Turns recording on or off for the whole process (tests and examples
+/// use this instead of mutating the environment). No-op without the
+/// `capture` feature.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "capture")]
+    imp::set_enabled(on);
+    #[cfg(not(feature = "capture"))]
+    let _ = on;
+}
+
+/// Drains the current thread's buffer into the process sink. Threads
+/// flush automatically when they exit; long-lived threads call this (or
+/// [`take_report`], which includes it) before a collection point.
+pub fn flush_thread() {
+    #[cfg(feature = "capture")]
+    imp::flush_thread();
+}
+
+/// Flushes the calling thread, then drains the process sink into a
+/// [`Report`] (leaving the sink empty). Spans buffered on *other live*
+/// threads that have neither exited nor flushed are not included.
+///
+/// Always returns an empty report without the `capture` feature.
+pub fn take_report() -> Report {
+    #[cfg(feature = "capture")]
+    {
+        imp::take_report()
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        Report::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Probe state is process-global, so every test here runs under one
+    // lock to keep enable/drain cycles from interleaving.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn spans_record_and_aggregate() {
+        let _l = locked();
+        set_enabled(true);
+        let _ = take_report(); // drain anything stale
+        {
+            let mut sp = span("t/alpha");
+            sp.add_bytes(10);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _sp = span("t/alpha");
+        }
+        {
+            let _sp = span("t/beta");
+        }
+        add_bytes("t/beta", 99);
+        add_count("t/beta", 7);
+        let report = take_report();
+        set_enabled(false);
+
+        assert_eq!(report.spans().len(), 3);
+        let alpha = report.stage("t/alpha").expect("alpha recorded");
+        assert_eq!(alpha.calls, 2);
+        assert_eq!(alpha.bytes, 10);
+        assert!(alpha.max_ns >= 1_000_000, "slept 1ms, got {}ns", alpha.max_ns);
+        assert!(alpha.min_ns <= alpha.p50_ns && alpha.p50_ns <= alpha.max_ns);
+        let beta = report.stage("t/beta").expect("beta recorded");
+        assert_eq!((beta.calls, beta.bytes, beta.count), (1, 99, 7));
+        assert_eq!(report.stage_total_ns("t"), alpha.total_ns + beta.total_ns);
+        // "t" must not prefix-match a stage named "t2".
+        assert_eq!(report.stage_total_ns("t/al"), 0);
+
+        let table = report.table();
+        assert!(table.contains("t/alpha") && table.contains("t/beta"), "{table}");
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn disabled_records_nothing_and_stop_returns_zero() {
+        let _l = locked();
+        set_enabled(false);
+        let _ = take_report();
+        let mut sp = span("t/off");
+        sp.add_bytes(5);
+        assert_eq!(sp.stop(), 0);
+        add_bytes("t/off", 1);
+        add_count("t/off", 1);
+        assert!(take_report().is_empty());
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn worker_thread_buffers_flush_on_exit() {
+        let _l = locked();
+        set_enabled(true);
+        let _ = take_report();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    {
+                        let _sp = span("t/worker");
+                    }
+                    // Scopes unblock when the closure returns, before TLS
+                    // destructors — publish deterministically.
+                    flush_thread();
+                });
+            }
+        });
+        let report = take_report();
+        set_enabled(false);
+        let w = report.stage("t/worker").expect("worker spans collected");
+        assert_eq!(w.calls, 3);
+        // Lanes are distinct per thread.
+        let lanes: std::collections::BTreeSet<u32> =
+            report.spans().iter().map(|s| s.lane).collect();
+        assert_eq!(lanes.len(), 3);
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn stop_records_once_and_drop_does_not_double() {
+        let _l = locked();
+        set_enabled(true);
+        let _ = take_report();
+        let sp = span("t/once");
+        let ns = sp.stop();
+        assert!(ns >= 1);
+        let report = take_report();
+        set_enabled(false);
+        assert_eq!(report.stage("t/once").map(|s| s.calls), Some(1));
+    }
+
+    #[cfg(feature = "capture")]
+    #[test]
+    fn merge_combines_reports() {
+        let _l = locked();
+        set_enabled(true);
+        let _ = take_report();
+        {
+            let _sp = span("t/m1");
+        }
+        let mut a = take_report();
+        {
+            let _sp = span("t/m2");
+        }
+        let b = take_report();
+        set_enabled(false);
+        a.merge(b);
+        assert!(a.stage("t/m1").is_some() && a.stage("t/m2").is_some());
+        assert!(a.spans().windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[cfg(not(feature = "capture"))]
+    #[test]
+    fn noop_build_is_inert() {
+        let _l = locked();
+        set_enabled(true); // must be a no-op
+        assert!(!enabled());
+        let mut sp = span("t/noop");
+        sp.add_bytes(1);
+        assert_eq!(sp.stop(), 0);
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+        assert!(take_report().is_empty());
+    }
+
+    #[test]
+    fn empty_report_shape() {
+        let report = Report::default();
+        assert!(report.is_empty());
+        assert!(report.by_stage().is_empty());
+        assert_eq!(report.stage_total_ns("x"), 0);
+        assert!(report.table().starts_with("stage"));
+    }
+}

@@ -15,13 +15,20 @@ use pcc_types::Video;
 
 use crate::StreamConfig;
 
+/// Conservative per-frame overhead of a muxed wire record over its codec
+/// payload (design tag + varint section lengths — single digits in
+/// practice; `tests/golden.rs` and the `measured_bytes_track_the_rate_search`
+/// test both bound it well below this).
+const MUX_OVERHEAD_BYTES: f64 = 64.0;
+
 /// The operating point chosen for a streaming session.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionPlan {
     /// Inter-frame settings to stream with (base config plus the chosen
     /// reuse threshold).
     pub config: InterConfig,
-    /// Compression ratio the link requires (raw bytes / link bytes).
+    /// Compression ratio the link requires: raw bytes over the link
+    /// budget left after per-frame wire-record overhead.
     pub target_ratio: f64,
     /// Ratio the chosen threshold achieved on the probe.
     pub achieved_ratio: f64,
@@ -83,7 +90,12 @@ pub fn plan_session(
     let link_bytes_per_frame = link_kbps * 1000.0 / 8.0 / fps;
     let raw_bytes_per_frame =
         (probe.mean_points_per_frame() * pcc_types::RAW_BYTES_PER_POINT) as f64;
-    let target_ratio = raw_bytes_per_frame / link_bytes_per_frame;
+    // The rate search measures codec payload bytes, but the wire carries
+    // muxed frame records (tag + varint section lengths on top of the
+    // payload). Budget that overhead up front so a plan whose achieved
+    // ratio reaches the target fits the link in *wire* bytes too.
+    let coded_budget = (link_bytes_per_frame - MUX_OVERHEAD_BYTES).max(1.0);
+    let target_ratio = raw_bytes_per_frame / coded_budget;
 
     let choice = rate::threshold_for_ratio(probe, depth, base, target_ratio, device);
     let config = base.with_threshold(choice.threshold);
@@ -144,14 +156,17 @@ mod tests {
         let device = Device::jetson_agx_xavier(PowerMode::W15);
         let video = probe();
         let generous = plan_session(&video, 7, InterConfig::v1(), 30.0, 1e9, &device);
-        // Demand a ratio in the reachable band (~3.6) so the search has
-        // to spend reuse to get there.
+        // Demand a ratio above the probe's intra-only floor (≈3.95 for
+        // this Loot slice) but inside the all-reuse ceiling (≈7.7), so
+        // the search has to spend reuse to get there.
         let raw_bpf = (video.mean_points_per_frame() * pcc_types::RAW_BYTES_PER_POINT) as f64;
-        let kbps = raw_bpf * 8.0 * 30.0 / 1000.0 / 3.6;
+        let kbps = raw_bpf * 8.0 * 30.0 / 1000.0 / 4.5;
         let tight = plan_session(&video, 7, InterConfig::v1(), 30.0, kbps, &device);
         assert!(tight.config.reuse_threshold > generous.config.reuse_threshold);
-        assert!(tight.achieved_ratio >= 3.6, "achieved {:.2}", tight.achieved_ratio);
+        assert!(tight.achieved_ratio >= 4.5, "achieved {:.2}", tight.achieved_ratio);
         assert!(tight.bytes_per_frame < generous.bytes_per_frame);
+        // The wire-overhead headroom makes the achieved plan really fit.
+        assert!(tight.fits_bandwidth(), "plan: {tight:?}");
     }
 
     #[test]

@@ -132,12 +132,15 @@ impl<'d, W: Write> Sender<'d, W> {
     /// Propagates transport errors.
     pub fn send_frame(&mut self, cloud: &PointCloud) -> io::Result<FrameKind> {
         let frame_index = self.encoder.frame_index() as u32;
+        let encode_sp = pcc_probe::span("stream/encode");
         let (encoded, timeline) = self.encoder.encode_frame(cloud);
+        self.stats.add_stage_ns("stream/encode", encode_sp.stop());
         let modeled_ms = timeline.total_modeled_ms().as_f64();
         if self.frame_budget_ms.is_some_and(|b| modeled_ms > b) {
             self.stats.frames_over_budget += 1;
         }
         let kind = encoded.kind();
+        let send_sp = pcc_probe::span("stream/send");
         let mut payload = Vec::new();
         container::mux_frame(&mut payload, &encoded);
         self.writer.write_chunk(&Chunk {
@@ -154,6 +157,7 @@ impl<'d, W: Write> Sender<'d, W> {
             // while its group streams out behind it.
             self.writer.flush()?;
         }
+        self.stats.add_stage_ns("stream/send", send_sp.stop());
         self.stats.frames_sent += 1;
         self.stats.chunks_sent += 1;
         self.stats.bytes_sent = self.writer.bytes_written();
@@ -224,9 +228,12 @@ pub fn stream_video<W: Write>(
             }
             let mut sent = 0usize;
             let mut over_budget = 0usize;
+            let mut encode_ns = 0u64;
             for frame in video.iter() {
                 let frame_index = encoder.frame_index() as u32;
+                let sp = pcc_probe::span("stream/encode");
                 let (encoded, timeline) = encoder.encode_frame(&frame.cloud);
+                encode_ns += sp.stop();
                 if budget.is_some_and(|b| timeline.total_modeled_ms().as_f64() > b) {
                     over_budget += 1;
                 }
@@ -239,14 +246,20 @@ pub fn stream_video<W: Write>(
                 }
                 sent += 1;
             }
-            (sent, over_budget)
+            // thread::scope unblocks when this closure returns, before the
+            // thread-local buffers' Drop flush — publish spans now so a
+            // take_report() right after stream_video sees them.
+            pcc_probe::flush_thread();
+            (sent, over_budget, encode_ns)
         });
 
-        let mut transmit = || -> io::Result<()> {
+        let mut send_ns = 0u64;
+        let mut transmit = |send_ns: &mut u64| -> io::Result<()> {
             writer.write_chunk(&header_chunk(stream_id, codec.design(), depth))?;
             writer.flush()?;
             let mut seq = 1u32;
             while let Some((frame_index, kind, payload)) = rx.recv() {
+                let sp = pcc_probe::span("stream/send");
                 writer.write_chunk(&Chunk {
                     kind: ChunkKind::Frame,
                     frame_kind: Some(kind),
@@ -259,18 +272,22 @@ pub fn stream_video<W: Write>(
                 if kind == FrameKind::Intra {
                     writer.flush()?;
                 }
+                *send_ns += sp.stop();
             }
             writer.write_chunk(&end_chunk(stream_id, seq, video.len() as u32))?;
             writer.flush()?;
             Ok(())
         };
-        let result = transmit();
+        let result = transmit(&mut send_ns);
         // On a transport error the receiver half of the queue is dropped
         // here, which makes the encoder's next send fail and stop early.
         drop(rx);
-        let (sent, over_budget) = encode.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        let (sent, over_budget, encode_ns) =
+            encode.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         stats.frames_sent = sent;
         stats.frames_over_budget = over_budget;
+        stats.add_stage_ns("stream/encode", encode_ns);
+        stats.add_stage_ns("stream/send", send_ns);
         result
     });
 
@@ -488,8 +505,11 @@ impl<'d, R: Read> Receiver<'d, R> {
         let decoder = self.decoder.as_mut().expect("decoder exists once header parsed");
         decoder.skip_frames(index - decoder.next_index());
 
+        let demux_sp = pcc_probe::span("stream/demux");
         let mut input = chunk.payload.as_slice();
-        let frame = match container::demux_frame(&mut input, 0) {
+        let demuxed = container::demux_frame(&mut input, 0);
+        self.stats.add_stage_ns("stream/demux", demux_sp.stop());
+        let frame = match demuxed {
             Ok(frame) if input.is_empty() => frame,
             // CRC-intact but unparseable payload (a sender bug or a
             // 2^-32 CRC fluke): treat as a lost frame.
@@ -503,7 +523,10 @@ impl<'d, R: Read> Receiver<'d, R> {
             return self.drop_frame(index);
         }
         let decoder = self.decoder.as_mut().expect("decoder exists once header parsed");
-        match decoder.decode_frame(&frame) {
+        let decode_sp = pcc_probe::span("stream/decode");
+        let decoded = decoder.decode_frame(&frame);
+        self.stats.add_stage_ns("stream/decode", decode_sp.stop());
+        match decoded {
             Ok((cloud, timeline)) => {
                 if kind == FrameKind::Intra && !self.synced {
                     if self.loss_since_sync {

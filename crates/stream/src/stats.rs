@@ -6,7 +6,7 @@
 /// [`Receiver`](crate::Receiver) the delivery-side fields; for a
 /// loopback view of a whole session, [`merge`](StreamStats::merge) the
 /// two.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamStats {
     /// Frames encoded and handed to the transport.
     pub frames_sent: usize,
@@ -35,7 +35,32 @@ pub struct StreamStats {
     /// Whether an end-of-stream chunk was seen (receiver) or written
     /// (sender); `false` means the transport died mid-stream.
     pub clean_shutdown: bool,
+    /// Measured wall-clock nanoseconds per pipeline stage, accumulated
+    /// only while `pcc-probe` recording is on (`PCC_PROBE=1`); empty
+    /// otherwise. Stages appear in first-recorded order.
+    pub stage_ns: Vec<(&'static str, u64)>,
 }
+
+// Timing is excluded from equality on purpose: two runs of the same
+// session are "equal" when their delivery accounting matches, whether or
+// not probes happened to be recording.
+impl PartialEq for StreamStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.frames_sent == other.frames_sent
+            && self.frames_delivered == other.frames_delivered
+            && self.frames_dropped == other.frames_dropped
+            && self.resyncs == other.resyncs
+            && self.chunks_sent == other.chunks_sent
+            && self.chunks_dropped == other.chunks_dropped
+            && self.corrupt_events == other.corrupt_events
+            && self.bytes_sent == other.bytes_sent
+            && self.bytes_received == other.bytes_received
+            && self.frames_over_budget == other.frames_over_budget
+            && self.clean_shutdown == other.clean_shutdown
+    }
+}
+
+impl Eq for StreamStats {}
 
 impl StreamStats {
     /// Folds another side's counters into this one (loopback sessions
@@ -52,6 +77,20 @@ impl StreamStats {
         self.bytes_received += other.bytes_received;
         self.frames_over_budget += other.frames_over_budget;
         self.clean_shutdown = self.clean_shutdown && other.clean_shutdown;
+        for &(stage, ns) in &other.stage_ns {
+            self.add_stage_ns(stage, ns);
+        }
+    }
+
+    /// Accumulates measured nanoseconds against a stage label.
+    pub fn add_stage_ns(&mut self, stage: &'static str, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        match self.stage_ns.iter_mut().find(|(s, _)| *s == stage) {
+            Some(slot) => slot.1 += ns,
+            None => self.stage_ns.push((stage, ns)),
+        }
     }
 
     /// Fraction of sent frames that were delivered (1.0 when nothing
@@ -92,5 +131,24 @@ mod tests {
         assert_eq!(tx.frames_dropped, 2);
         assert!(tx.clean_shutdown);
         assert!((tx.delivery_ratio() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_ns_accumulates_and_merges_but_never_breaks_equality() {
+        let mut a = StreamStats::default();
+        a.add_stage_ns("stream/encode", 100);
+        a.add_stage_ns("stream/encode", 50);
+        a.add_stage_ns("stream/mux", 0); // disabled-probe stop() → dropped
+        assert_eq!(a.stage_ns, vec![("stream/encode", 150)]);
+
+        let mut b = StreamStats::default();
+        b.add_stage_ns("stream/encode", 1);
+        b.add_stage_ns("stream/decode", 7);
+        a.merge(&b);
+        assert_eq!(a.stage_ns, vec![("stream/encode", 151), ("stream/decode", 7)]);
+
+        // Timing never participates in equality: same accounting, probes
+        // on vs off, still compares equal.
+        assert_eq!(a, StreamStats::default());
     }
 }

@@ -1,41 +1,103 @@
-//! Edge profiling: encode one frame per design, export the modeled
-//! timeline of each as a Chrome-trace JSON (open in Perfetto /
-//! `chrome://tracing`), and print the device's calibrated kernel table.
+//! Edge profiling: encode one frame per design with `pcc-probe`
+//! recording on, print measured-vs-modeled per-stage deltas, and export
+//! both the modeled timeline and the *measured* span trace of each
+//! design as Chrome-trace JSON (open in Perfetto / `chrome://tracing`).
 //!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release --example edge_profile
-//! # traces land in ./traces/<design>.json
+//! # modeled traces land in ./traces/<design>.json,
+//! # measured traces in ./traces/<design>.measured.json
 //! ```
+//!
+//! The modeled timeline predicts where a Jetson AGX Xavier would spend
+//! the frame; the measured spans show where this host actually spent it.
+//! The delta table puts both side by side per pipeline stage.
 
 use pcc::core::{Design, PccCodec};
 use pcc::datasets::catalog;
-use pcc::edge::{trace, Device, PowerMode};
+use pcc::edge::{trace, Device, PowerMode, Timeline};
 
 fn main() -> std::io::Result<()> {
     let video = catalog::by_name("Soldier").expect("Table-I video").generate_scaled(1, 10_000);
     let depth = pcc::datasets::density_matched_depth(video.mean_points_per_frame());
     let device = Device::jetson_agx_xavier(PowerMode::W15);
 
+    // Record real spans regardless of the PCC_PROBE environment; this
+    // example exists to show them.
+    pcc::probe::set_enabled(true);
+
     std::fs::create_dir_all("traces")?;
-    println!("{:<15} {:>12} {:>12} {:>8}", "design", "modeled ms", "energy J", "events");
+    println!(
+        "{:<15} {:>12} {:>12} {:>12} {:>8}",
+        "design", "modeled ms", "measured ms", "energy J", "events"
+    );
     for design in Design::ALL {
+        let _ = pcc::probe::take_report(); // start the design with a clean sink
         let encoded = PccCodec::new(design).encode_video(&video, depth, &device);
+        let report = pcc::probe::take_report();
         let timeline = &encoded.encode_timelines[0];
-        let json = trace::to_chrome_trace(timeline);
-        let path = format!("traces/{}.json", design.to_string().to_lowercase());
-        std::fs::write(&path, &json)?;
+
+        let name = design.to_string().to_lowercase();
+        let modeled_path = format!("traces/{name}.json");
+        std::fs::write(&modeled_path, trace::to_chrome_trace(timeline))?;
+        let measured_path = format!("traces/{name}.measured.json");
+        std::fs::write(&measured_path, trace::spans_to_chrome_trace(report.spans()))?;
+
+        let measured = Timeline::from_measured(&report);
         println!(
-            "{:<15} {:>12.2} {:>12.4} {:>8}   -> {path}",
+            "{:<15} {:>12.2} {:>12.2} {:>12.4} {:>8}   -> {modeled_path}, {measured_path}",
             design.to_string(),
             timeline.total_modeled_ms().as_f64(),
+            measured.total_modeled_ms().as_f64(),
             timeline.total_energy_j().as_f64(),
-            timeline.records().len()
+            report.spans().len(),
         );
     }
 
-    println!("\nJetson AGX Xavier (15 W) rails:");
+    // Measured-vs-modeled per-stage breakdown for the paper's proposed
+    // intra design. The stage names differ (probes label the real code
+    // path, the model labels calibrated kernels), so pair them up
+    // explicitly where they mean the same work.
+    let _ = pcc::probe::take_report();
+    let encoded = PccCodec::new(Design::IntraOnly).encode_video(&video, depth, &device);
+    let report = pcc::probe::take_report();
+    let modeled = &encoded.encode_timelines[0];
+    let measured = Timeline::from_measured(&report);
+
+    println!("\nIntraOnly, measured vs modeled (Jetson AGX Xavier 15 W) per stage:");
+    println!("{:<22} {:>12} {:>12} {:>10}", "stage", "measured ms", "modeled ms", "delta ms");
+    let pairs: &[(&str, &str)] = &[
+        ("morton/codegen", "geometry/morton"),
+        ("morton/radix_sort", "geometry/sort"),
+        ("octree/compact", "geometry/octree"),
+        ("octree/occupancy", "geometry/occupy"),
+        ("intra/gather", "attribute/gather"),
+        ("intra/layer_encode", "attribute/median"),
+    ];
+    for &(probe_stage, model_stage) in pairs {
+        let meas = measured.stage_ms(probe_stage).as_f64();
+        let model = modeled.stage_ms(model_stage).as_f64();
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>+10.3}",
+            probe_stage,
+            meas,
+            model,
+            meas - model
+        );
+    }
+    println!(
+        "{:<22} {:>12.3} {:>12.3} {:>+10.3}",
+        "(whole frame)",
+        measured.stage_ms("frame/encode").as_f64(),
+        modeled.total_modeled_ms().as_f64(),
+        measured.stage_ms("frame/encode").as_f64() - modeled.total_modeled_ms().as_f64(),
+    );
+
+    println!("\nMeasured stage table (this host):\n{}", report.table());
+
+    println!("Jetson AGX Xavier (15 W) rails:");
     let spec = device.spec();
     println!("  static {} mW, GPU {} mW, DRAM {} mW", spec.static_mw, spec.gpu_mw, spec.dram_mw);
     println!(

@@ -17,6 +17,16 @@ cargo test -q --offline
 echo "== single-thread pass (PCC_THREADS=1) =="
 PCC_THREADS=1 cargo test -q --offline
 
+echo "== probe-enabled pass (PCC_PROBE=1) =="
+# Recording spans must not perturb a single test — same suite, probes on.
+PCC_PROBE=1 cargo test -q --offline
+
+echo "== golden vectors =="
+cargo test -q --offline --test golden
+
+echo "== probes compile out (no-default-features) =="
+cargo check -q --offline -p pcc --no-default-features
+
 echo "== bench targets compile =="
 cargo check -q --offline -p pcc-bench --benches
 

@@ -49,6 +49,7 @@ pub use pcc_metrics as metrics;
 pub use pcc_morton as morton;
 pub use pcc_octree as octree;
 pub use pcc_parallel as parallel;
+pub use pcc_probe as probe;
 pub use pcc_raht as raht;
 pub use pcc_stream as stream;
 pub use pcc_types as types;

@@ -1,8 +1,11 @@
 //! Thread-count determinism: the parallel execution layer must produce
 //! byte-identical bitstreams at every host thread count, for both the
 //! intra and inter codecs. This is the contract that lets the `threads`
-//! knob (and `PCC_THREADS`) be a pure performance control.
+//! knob (and `PCC_THREADS`) be a pure performance control — and the
+//! same contract holds for `pcc-probe`: recording spans must never
+//! perturb a single output byte.
 
+use pcc::core::{container, Design, PccCodec};
 use pcc::datasets::catalog;
 use pcc::edge::{Device, PowerMode};
 use pcc::inter::{InterCodec, InterConfig};
@@ -80,6 +83,35 @@ fn inter_bitstream_identical_across_thread_counts() {
             }
         }
     }
+}
+
+#[test]
+fn probes_never_perturb_bitstreams() {
+    // Encode the full pipeline (morton → octree → intra → inter →
+    // container) with probe recording off and on, at 1 thread and at the
+    // machine's maximum, and require byte-identical wires throughout.
+    // This is what makes `PCC_PROBE=1` safe to leave on in production.
+    let v = video(2, 8_000);
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let was_enabled = pcc::probe::enabled();
+
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1, max] {
+        let dev = device().with_host_threads(NonZeroUsize::new(threads));
+        let encode = |probes: bool| {
+            pcc::probe::set_enabled(probes);
+            container::mux(&codec.encode_video(&v, 7, &dev))
+        };
+        let off = encode(false);
+        let on = encode(true);
+        assert_eq!(
+            on, off,
+            "bitstream differs probes-on vs probes-off at {threads} threads"
+        );
+    }
+
+    pcc::probe::set_enabled(was_enabled);
+    let _ = pcc::probe::take_report(); // drop the spans this test recorded
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! Property-based coverage for the rate controller and the session
+//! planner: the threshold search must be monotone in the target ratio,
+//! and any feasible session plan must actually fit the link it was
+//! planned for. Case counts are deliberately tiny — every case costs a
+//! full bisection (≈22 probe encodes).
+
+use pcc::core::rate;
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::inter::InterConfig;
+use pcc::stream::plan_session;
+use pcc::types::Video;
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+/// A small deterministic probe clip (rate searches re-encode it ~22×
+/// per case, so keep it cheap).
+fn probe() -> Video {
+    catalog::by_name("Loot").unwrap().generate_scaled(2, 600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A stricter size target can never be met by a *smaller* reuse
+    /// threshold: `threshold_for_ratio` is monotone non-decreasing in the
+    /// target ratio (the knob the paper calls tunable in Sec. VI-E).
+    #[test]
+    fn threshold_search_is_monotone_in_target(
+        lo_target in 1.0f64..5.0,
+        step in 0.25f64..2.5,
+    ) {
+        let video = probe();
+        let d = device();
+        let hi_target = lo_target + step;
+        let lo = rate::threshold_for_ratio(&video, 6, InterConfig::v1(), lo_target, &d);
+        let hi = rate::threshold_for_ratio(&video, 6, InterConfig::v1(), hi_target, &d);
+        prop_assert!(
+            lo.threshold <= hi.threshold,
+            "target {lo_target:.2} chose threshold {} but stricter target {hi_target:.2} \
+             chose smaller threshold {}",
+            lo.threshold,
+            hi.threshold,
+        );
+        // The search never reports an achieved ratio below the target
+        // unless it saturated the knob entirely.
+        prop_assert!(
+            lo.achieved_ratio >= lo_target || lo.threshold == 1 << 20,
+            "unsaturated search under-achieved: {lo:?}"
+        );
+    }
+
+    /// Whenever the planner reaches its target ratio, the resulting plan
+    /// must fit the stated link budget in *wire* bytes — mux overhead and
+    /// all. (This is the contract MUX_OVERHEAD_BYTES in plan.rs exists
+    /// to uphold.)
+    #[test]
+    fn feasible_plans_fit_the_stated_link(
+        demanded_ratio in 0.5f64..7.0,
+        fps in 10.0f64..60.0,
+    ) {
+        let video = probe();
+        let d = device();
+        let raw_bpf = (video.mean_points_per_frame() * pcc::types::RAW_BYTES_PER_POINT) as f64;
+        let link_kbps = raw_bpf * 8.0 * fps / 1000.0 / demanded_ratio;
+        let plan = plan_session(&video, 6, InterConfig::v1(), fps, link_kbps, &d);
+
+        prop_assert!((plan.frame_budget_ms - 1000.0 / fps).abs() < 1e-9);
+        prop_assert!(plan.rate_probes >= 1);
+        if plan.achieved_ratio >= plan.target_ratio {
+            prop_assert!(
+                plan.fits_bandwidth(),
+                "achieved {:.3} >= target {:.3} but {:.1} wire bytes/frame exceed the \
+                 link's {:.1}",
+                plan.achieved_ratio,
+                plan.target_ratio,
+                plan.bytes_per_frame,
+                plan.link_bytes_per_frame,
+            );
+        }
+    }
+}

@@ -48,6 +48,140 @@ fn traces_cover_all_designs() {
     }
 }
 
+/// A minimal JSON syntax checker — enough to prove the trace exporter
+/// emits well-formed JSON without pulling in a parser dependency.
+/// Returns the rest of the input after one complete value.
+fn json_value(s: &[u8]) -> Result<&[u8], String> {
+    let s = skip_ws(s);
+    match s.first() {
+        Some(b'{') => {
+            let mut s = skip_ws(&s[1..]);
+            if s.first() == Some(&b'}') {
+                return Ok(&s[1..]);
+            }
+            loop {
+                s = json_string(skip_ws(s))?;
+                s = skip_ws(s);
+                if s.first() != Some(&b':') {
+                    return Err("expected ':' in object".into());
+                }
+                s = json_value(&s[1..])?;
+                s = skip_ws(s);
+                match s.first() {
+                    Some(b',') => s = &s[1..],
+                    Some(b'}') => return Ok(&s[1..]),
+                    _ => return Err("expected ',' or '}' in object".into()),
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut s = skip_ws(&s[1..]);
+            if s.first() == Some(&b']') {
+                return Ok(&s[1..]);
+            }
+            loop {
+                s = json_value(s)?;
+                s = skip_ws(s);
+                match s.first() {
+                    Some(b',') => s = &s[1..],
+                    Some(b']') => return Ok(&s[1..]),
+                    _ => return Err("expected ',' or ']' in array".into()),
+                }
+            }
+        }
+        Some(b'"') => json_string(s),
+        Some(b't') => s.strip_prefix(b"true" as &[u8]).ok_or("bad literal".into()),
+        Some(b'f') => s.strip_prefix(b"false" as &[u8]).ok_or("bad literal".into()),
+        Some(b'n') => s.strip_prefix(b"null" as &[u8]).ok_or("bad literal".into()),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let end = s
+                .iter()
+                .position(|&b| !(b.is_ascii_digit() || b"+-.eE".contains(&b)))
+                .unwrap_or(s.len());
+            if end == 0 {
+                Err("empty number".into())
+            } else {
+                Ok(&s[end..])
+            }
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+fn json_string(s: &[u8]) -> Result<&[u8], String> {
+    if s.first() != Some(&b'"') {
+        return Err("expected string".into());
+    }
+    let mut i = 1;
+    while i < s.len() {
+        match s[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(&s[i + 1..]),
+            _ => i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn skip_ws(s: &[u8]) -> &[u8] {
+    let n = s.iter().take_while(|b| b" \t\r\n".contains(b)).count();
+    &s[n..]
+}
+
+fn assert_parses_as_json(json: &str) {
+    let rest = json_value(json.as_bytes()).unwrap_or_else(|e| panic!("invalid JSON: {e}"));
+    assert!(skip_ws(rest).is_empty(), "trailing garbage after JSON value");
+}
+
+#[test]
+fn measured_trace_covers_the_instrumented_pipeline() {
+    // An end-to-end encode+decode with probes recording must leave a
+    // span for every instrumented pipeline stage, and the Chrome-trace
+    // export of those spans must be well-formed JSON.
+    let video = catalog::by_name("Redandblack").unwrap().generate_scaled(2, 2_000);
+    let d = device();
+    let was_enabled = pcc::probe::enabled();
+    pcc::probe::set_enabled(true);
+    let _ = pcc::probe::take_report(); // drop spans from earlier tests
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let encoded = codec.encode_video(&video, 7, &d);
+    codec.decode_video(&encoded, &d).unwrap();
+    let report = pcc::probe::take_report();
+    pcc::probe::set_enabled(was_enabled);
+
+    let expected = [
+        "morton/codegen",
+        "morton/radix_sort",
+        "octree/compact",
+        "octree/occupancy",
+        "intra/gather",
+        "intra/layer_encode",
+        "intra/layer_decode",
+        "inter/match",
+        "inter/delta",
+        "frame/encode",
+        "frame/decode",
+    ];
+    for stage in expected {
+        assert!(
+            report.stage(stage).is_some_and(|s| s.calls >= 1),
+            "no span recorded for stage {stage}"
+        );
+    }
+    let distinct: std::collections::BTreeSet<_> =
+        report.spans().iter().map(|s| s.stage).collect();
+    assert!(distinct.len() >= 6, "only {} distinct stages: {distinct:?}", distinct.len());
+
+    let json = trace::spans_to_chrome_trace(report.spans());
+    assert_parses_as_json(&json);
+    assert!(json.contains("traceEvents"));
+    for stage in expected {
+        assert!(json.contains(stage), "trace JSON missing stage {stage}");
+    }
+    // The modeled exporter must emit well-formed JSON too.
+    assert_parses_as_json(&trace::to_chrome_trace(&encoded.encode_timelines[0]));
+}
+
 #[test]
 fn predicting_transform_is_competitive_with_raht_on_real_frames() {
     // The paper's G-PCC background lists three attribute methods; the
