@@ -248,14 +248,33 @@ impl CwipcCodec {
         reference: Option<&VoxelizedCloud>,
         device: &Device,
     ) -> Result<VoxelizedCloud, BaselineError> {
-        let geometry = entropy_unwrap(&frame.geometry)?;
+        self.decode_with_limits(frame, reference, device, &pcc_types::Limits::default())
+    }
+
+    /// [`decode`](Self::decode) under explicit resource
+    /// [`pcc_types::Limits`]: the entropy wrappers, declared voxel count,
+    /// and per-block lengths are bounded before they drive allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] on malformed streams or an exceeded
+    /// limit.
+    pub fn decode_with_limits(
+        &self,
+        frame: &CwipcFrame,
+        reference: Option<&VoxelizedCloud>,
+        device: &Device,
+        limits: &pcc_types::Limits,
+    ) -> Result<VoxelizedCloud, BaselineError> {
+        let geometry = entropy_unwrap(&frame.geometry, limits)?;
         let (header, rest) = parse_grid_header(&geometry)?;
-        let coords = pcc_octree::decode_occupancy(rest)?;
+        let coords = pcc_octree::decode_occupancy_with(rest, limits)?;
         device.charge_cpu("geometry_decode", &calib::OCTREE_SERIALIZE, coords.len().max(1), 1);
 
-        let payload = entropy_unwrap(&frame.attribute)?;
+        let payload = entropy_unwrap(&frame.attribute, limits)?;
         let mut input = payload.as_slice();
         let n = varint::read_u64(&mut input)? as usize;
+        limits.check_points(n as u64).map_err(pcc_entropy::Error::from)?;
 
         // The decoded P voxel codes, in Morton order: matched blocks pull
         // each voxel's color from the *nearest* reference voxel in the
@@ -271,10 +290,17 @@ impl CwipcCodec {
                 reference.coords().iter().map(|&c| MortonCode::from_coord(c)).collect();
             let i_blocks = macro_blocks(&ref_codes, reference.colors(), self.config.mb_levels);
             let n_blocks = varint::read_u64(&mut input)? as usize;
-            let mut colors = Vec::with_capacity(n);
+            limits.check_blocks(n_blocks as u64).map_err(pcc_entropy::Error::from)?;
+            let mut colors = Vec::with_capacity(n.min(input.len()));
             for _ in 0..n_blocks {
                 let prefix = MortonCode::from_raw(varint::read_u64(&mut input)?);
                 let len = varint::read_u64(&mut input)? as usize;
+                // Block lengths must stay inside the declared voxel count:
+                // a matched block's padding would otherwise expand an
+                // attacker-chosen varint straight into an allocation.
+                if len > n - colors.len() {
+                    return Err(BaselineError::Attribute(pcc_entropy::Error::CorruptRun));
+                }
                 let (&flag, rest2) =
                     input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
                 input = rest2;
@@ -311,7 +337,9 @@ impl CwipcCodec {
             }
             colors
         } else {
-            let mut colors = Vec::with_capacity(n);
+            // Every intra color costs 3 input bytes, so the remaining
+            // input bounds the pre-allocation even for in-limit counts.
+            let mut colors = Vec::with_capacity(n.min(input.len() / 3 + 1));
             for _ in 0..n {
                 let mut c = [0u8; 3];
                 for ch in &mut c {
@@ -513,7 +541,7 @@ mod tests {
             .map(|i| {
                 let x = (i % 24) as f32;
                 let y = ((i / 24) % 24) as f32;
-                let c = (70 + (i % 30) as i32 + color_shift).clamp(0, 255) as u8;
+                let c = (70 + (i % 30) + color_shift).clamp(0, 255) as u8;
                 (Point3::new(x, y, (i / 576) as f32), Rgb::gray(c))
             })
             .collect();

@@ -225,10 +225,10 @@ fn quaternion_to_matrix(q: [f32; 4]) -> [[f32; 3]; 3] {
 /// Composes two transforms: `(a ∘ b)(x) = a(b(x))`.
 fn compose(a: &RigidTransform, b: &RigidTransform) -> RigidTransform {
     let mut rotation = [[0f32; 3]; 3];
-    for i in 0..3 {
-        for j in 0..3 {
-            for (k, bk) in b.rotation.iter().enumerate() {
-                rotation[i][j] += a.rotation[i][k] * bk[j];
+    for (row, a_row) in rotation.iter_mut().zip(&a.rotation) {
+        for (j, cell) in row.iter_mut().enumerate() {
+            for (a_ik, bk) in a_row.iter().zip(&b.rotation) {
+                *cell += a_ik * bk[j];
             }
         }
     }

@@ -79,6 +79,18 @@ impl From<pcc_raht::RahtError> for BaselineError {
     }
 }
 
+impl From<BaselineError> for pcc_types::DecodeError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::Geometry(g) => g.into(),
+            BaselineError::Attribute(a) => a.into(),
+            BaselineError::Raht(_) => {
+                pcc_types::DecodeError::Corrupt { what: "raht coefficients", offset: 0 }
+            }
+        }
+    }
+}
+
 /// Which of G-PCC's three attribute coding methods to use (the paper's
 /// Sec. II-B3 lists RAHT, the Predicting Transform, and the Lifting
 /// Transform; its evaluation configures RAHT).
@@ -212,8 +224,8 @@ impl Tmc13Codec {
         varint::write_u64(&mut coeff_bytes, coeffs.len() as u64);
         varint::write_u64(&mut coeff_bytes, (self.qstep * 1000.0).round() as u64);
         for c in &coeffs {
-            for ch in 0..3 {
-                varint::write_i64(&mut coeff_bytes, c[ch]);
+            for &v in c {
+                varint::write_i64(&mut coeff_bytes, v);
             }
         }
         let attribute = entropy_wrap(&coeff_bytes);
@@ -238,6 +250,23 @@ impl Tmc13Codec {
         frame: &Tmc13Frame,
         device: &Device,
     ) -> Result<VoxelizedCloud, BaselineError> {
+        self.decode_with_limits(frame, device, &pcc_types::Limits::default())
+    }
+
+    /// [`decode`](Self::decode) under explicit resource
+    /// [`pcc_types::Limits`]: the declared leaf count, occupancy length,
+    /// and coefficient count are bounded before they drive allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] on malformed streams or an exceeded
+    /// limit.
+    pub fn decode_with_limits(
+        &self,
+        frame: &Tmc13Frame,
+        device: &Device,
+        limits: &pcc_types::Limits,
+    ) -> Result<VoxelizedCloud, BaselineError> {
         let (header, rest) = parse_grid_header(&frame.geometry)?;
         let mut input = rest;
         let (&depth, rest2) = input
@@ -246,15 +275,14 @@ impl Tmc13Codec {
         input = rest2;
         let leaf_count = varint::read_u64(&mut input)? as usize;
         let occ_len = varint::read_u64(&mut input)? as usize;
-        if occ_len > (1 << 28) {
-            return Err(BaselineError::Geometry(pcc_octree::StreamError::Truncated));
-        }
+        limits.check_points(leaf_count as u64).map_err(pcc_octree::StreamError::from)?;
+        limits.check_alloc(occ_len as u64).map_err(pcc_octree::StreamError::from)?;
         let occupancy = pcc_entropy::context::decode_occupancy(input, occ_len);
         let stream = pcc_octree::serialize_occupancy(depth, leaf_count, &occupancy);
-        let coords = pcc_octree::decode_occupancy(&stream)?;
+        let coords = pcc_octree::decode_occupancy_with(&stream, limits)?;
         device.charge_cpu("geometry_decode", &calib::OCTREE_SERIALIZE, coords.len().max(1), 1);
 
-        let coeff_bytes = entropy_unwrap(&frame.attribute)?;
+        let coeff_bytes = entropy_unwrap(&frame.attribute, limits)?;
         let mut input = coeff_bytes.as_slice();
         let (&mode_tag, rest) =
             input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
@@ -263,7 +291,15 @@ impl Tmc13Codec {
             .ok_or(BaselineError::Attribute(pcc_entropy::Error::CorruptRun))?;
         let n_coeffs = varint::read_u64(&mut input)? as usize;
         let qstep = varint::read_u64(&mut input)? as f64 / 1000.0;
-        let mut coeffs = Vec::with_capacity(n_coeffs);
+        // A coefficient count past the point budget (or the 24 bytes per
+        // coefficient it implies) is a decompression bomb, not a frame.
+        limits.check_points(n_coeffs as u64).map_err(pcc_entropy::Error::from)?;
+        limits
+            .check_alloc((n_coeffs as u64).saturating_mul(24))
+            .map_err(pcc_entropy::Error::from)?;
+        // Each serialized coefficient costs at least 3 input bytes, so the
+        // remaining input also bounds the pre-allocation.
+        let mut coeffs = Vec::with_capacity(n_coeffs.min(input.len() / 3 + 1));
         for _ in 0..n_coeffs {
             let mut c = [0i64; 3];
             for ch in &mut c {
@@ -365,16 +401,15 @@ pub(crate) fn grid_header(cloud: &VoxelizedCloud) -> Vec<u8> {
 pub(crate) fn parse_grid_header(
     input: &[u8],
 ) -> Result<(GridHeader, &[u8]), pcc_octree::StreamError> {
-    if input.len() < 17 {
-        return Err(pcc_octree::StreamError::Truncated);
-    }
-    let depth = input[0];
+    let (&depth, mut rest) = input.split_first().ok_or(pcc_octree::StreamError::Truncated)?;
     let mut f = [0f32; 4];
-    for (i, v) in f.iter_mut().enumerate() {
-        let s = 1 + 4 * i;
-        *v = f32::from_le_bytes(input[s..s + 4].try_into().expect("4-byte slice"));
+    for v in f.iter_mut() {
+        let (bytes, tail) =
+            rest.split_first_chunk::<4>().ok_or(pcc_octree::StreamError::Truncated)?;
+        *v = f32::from_le_bytes(*bytes);
+        rest = tail;
     }
-    Ok((GridHeader { depth, origin: [f[0], f[1], f[2]], voxel_size: f[3] }, &input[17..]))
+    Ok((GridHeader { depth, origin: [f[0], f[1], f[2]], voxel_size: f[3] }, rest))
 }
 
 pub(crate) fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
@@ -390,13 +425,18 @@ pub(crate) fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-pub(crate) fn entropy_unwrap(stream: &[u8]) -> Result<Vec<u8>, pcc_entropy::Error> {
-    if stream.len() < 4 {
-        return Err(pcc_entropy::Error::UnexpectedEnd);
-    }
-    let len = u32::from_le_bytes(stream[..4].try_into().expect("4-byte slice")) as usize;
+pub(crate) fn entropy_unwrap(
+    stream: &[u8],
+    limits: &pcc_types::Limits,
+) -> Result<Vec<u8>, pcc_entropy::Error> {
+    // The u32 length prefix is attacker-controlled: bound it before the
+    // allocation it drives.
+    let (len_bytes, coded) =
+        stream.split_first_chunk::<4>().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
+    let len = u32::from_le_bytes(*len_bytes) as usize;
+    limits.check_alloc(len as u64)?;
     let mut model = ByteModel::new();
-    let mut dec = RangeDecoder::new(&stream[4..]);
+    let mut dec = RangeDecoder::new(coded);
     Ok((0..len).map(|_| dec.decode_byte(&mut model)).collect())
 }
 
@@ -587,7 +627,7 @@ mod attribute_mode_tests {
         let frame = codec.encode(&vox, &d);
         // Corrupt the mode byte inside the entropy-coded attribute stream:
         // re-wrap a payload with a bad tag.
-        let mut payload = entropy_unwrap(&frame.attribute).unwrap();
+        let mut payload = entropy_unwrap(&frame.attribute, &pcc_types::Limits::default()).unwrap();
         payload[0] = 9;
         let bad = Tmc13Frame { attribute: entropy_wrap(&payload), ..frame };
         assert!(codec.decode(&bad, &d).is_err());

@@ -6,7 +6,7 @@ use pcc_edge::{Device, Timeline};
 use pcc_inter::{InterCodec, InterConfig, InterEncoded, InterError};
 use pcc_intra::{IntraCodec, IntraError, IntraFrame};
 use pcc_metrics::CompressedSize;
-use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Rgb, Video, VoxelizedCloud};
+use pcc_types::{Aabb, FrameKind, GofPattern, Limits, PointCloud, Rgb, Video, VoxelizedCloud};
 use std::fmt;
 
 /// One encoded frame of any design.
@@ -102,6 +102,13 @@ pub enum CodecError {
         /// Index of the orphaned frame.
         frame: usize,
     },
+    /// An inter-coded frame reached a decoder whose design carries no
+    /// inter configuration (e.g. a P-frame record in an intra-only
+    /// container).
+    MissingInterConfig {
+        /// Index of the offending frame.
+        frame: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -113,6 +120,9 @@ impl fmt::Display for CodecError {
             CodecError::MissingReference { frame } => {
                 write!(f, "frame {frame} is predicted but no reference was decoded")
             }
+            CodecError::MissingInterConfig { frame } => {
+                write!(f, "frame {frame} is inter-coded but the decoder's design has no inter config")
+            }
         }
     }
 }
@@ -123,7 +133,7 @@ impl std::error::Error for CodecError {
             CodecError::Baseline(e) => Some(e),
             CodecError::Intra(e) => Some(e),
             CodecError::Inter(e) => Some(e),
-            CodecError::MissingReference { .. } => None,
+            CodecError::MissingReference { .. } | CodecError::MissingInterConfig { .. } => None,
         }
     }
 }
@@ -143,6 +153,22 @@ impl From<IntraError> for CodecError {
 impl From<InterError> for CodecError {
     fn from(e: InterError) -> Self {
         CodecError::Inter(e)
+    }
+}
+
+impl From<CodecError> for pcc_types::DecodeError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Baseline(b) => b.into(),
+            CodecError::Intra(i) => i.into(),
+            CodecError::Inter(i) => i.into(),
+            CodecError::MissingReference { frame } => {
+                pcc_types::DecodeError::MissingReference { frame }
+            }
+            CodecError::MissingInterConfig { frame } => {
+                pcc_types::DecodeError::MissingInterConfig { frame }
+            }
+        }
     }
 }
 
@@ -212,7 +238,11 @@ impl PccCodec {
             .with_host_threads(device.configured_host_threads());
         FrameEncoder {
             design: self.design,
-            inter_config: self.inter_config,
+            // Inter designs always carry a config (`PccCodec::new` installs
+            // the paper defaults); intra-only designs never read it, so the
+            // default is inert — resolving here keeps the hot loop
+            // panic-free on any state.
+            inter_config: self.inter_config.unwrap_or_default(),
             depth,
             device,
             scratch,
@@ -236,6 +266,7 @@ impl PccCodec {
         FrameDecoder {
             inter_config: self.inter_config,
             device,
+            limits: Limits::default(),
             index: 0,
             reference_colors: None,
             reference_cloud: None,
@@ -289,7 +320,7 @@ impl PccCodec {
 #[derive(Debug)]
 pub struct FrameEncoder<'d> {
     design: Design,
-    inter_config: Option<InterConfig>,
+    inter_config: InterConfig,
     depth: u8,
     device: &'d Device,
     scratch: Device,
@@ -356,7 +387,7 @@ impl<'d> FrameEncoder<'d> {
                 EncodedFrame::Intra(IntraCodec::default().encode(&vox, device))
             }
             (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Intra) => {
-                let cfg = self.inter_config.expect("inter designs carry a config");
+                let cfg = self.inter_config;
                 let intra = IntraCodec::new(cfg.intra);
                 let f = intra.encode(&vox, device);
                 self.scratch.reset();
@@ -365,7 +396,7 @@ impl<'d> FrameEncoder<'d> {
                 EncodedFrame::Intra(f)
             }
             (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Predicted) => {
-                let cfg = self.inter_config.expect("inter designs carry a config");
+                let cfg = self.inter_config;
                 match &self.reference_colors {
                     Some(r) => EncodedFrame::Inter(InterCodec::new(cfg).encode(&vox, r, device)),
                     None => EncodedFrame::Intra(IntraCodec::new(cfg.intra).encode(&vox, device)),
@@ -390,12 +421,27 @@ impl<'d> FrameEncoder<'d> {
 pub struct FrameDecoder<'d> {
     inter_config: Option<InterConfig>,
     device: &'d Device,
+    limits: Limits,
     index: usize,
     reference_colors: Option<Vec<Rgb>>,
     reference_cloud: Option<VoxelizedCloud>,
 }
 
 impl<'d> FrameDecoder<'d> {
+    /// Caps wire-declared sizes during decoding with explicit resource
+    /// [`Limits`]; every payload decoder checks declared point, block,
+    /// depth, and allocation budgets *before* allocating. Defaults to
+    /// [`Limits::default`].
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The resource limits frames are decoded under.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
     /// Index of the next frame this decoder expects (used in
     /// [`CodecError::MissingReference`] reports).
     pub fn next_index(&self) -> usize {
@@ -435,8 +481,9 @@ impl<'d> FrameDecoder<'d> {
         let i = self.index;
         self.index += 1;
         let device = self.device;
+        let limits = &self.limits;
         let vox = match frame {
-            EncodedFrame::Tmc13(f) => Tmc13Codec::default().decode(f, device)?,
+            EncodedFrame::Tmc13(f) => Tmc13Codec::default().decode_with_limits(f, device, limits)?,
             EncodedFrame::Cwipc(f) => {
                 let codec = CwipcCodec::default();
                 let dec = if f.predicted {
@@ -444,9 +491,9 @@ impl<'d> FrameDecoder<'d> {
                         .reference_cloud
                         .as_ref()
                         .ok_or(CodecError::MissingReference { frame: i })?;
-                    codec.decode(f, Some(r), device)?
+                    codec.decode_with_limits(f, Some(r), device, limits)?
                 } else {
-                    codec.decode(f, None, device)?
+                    codec.decode_with_limits(f, None, device, limits)?
                 };
                 if !f.predicted {
                     self.reference_cloud = Some(dec.clone());
@@ -455,17 +502,19 @@ impl<'d> FrameDecoder<'d> {
             }
             EncodedFrame::Intra(f) => {
                 let cfg = self.inter_config.map(|c| c.intra).unwrap_or_default();
-                let dec = IntraCodec::new(cfg).decode(f, device)?;
+                let dec = IntraCodec::new(cfg).decode_with_limits(f, device, limits)?;
                 self.reference_colors = Some(dec.colors().to_vec());
                 dec
             }
             EncodedFrame::Inter(f) => {
-                let cfg = self.inter_config.expect("inter frames imply an inter design");
+                let Some(cfg) = self.inter_config else {
+                    return Err(CodecError::MissingInterConfig { frame: i });
+                };
                 let r = self
                     .reference_colors
                     .as_ref()
                     .ok_or(CodecError::MissingReference { frame: i })?;
-                InterCodec::new(cfg).decode(f, r, device)?
+                InterCodec::new(cfg).decode_with_limits(f, r, device, limits)?
             }
         };
         Ok((vox.to_cloud(), device.take_timeline()))
@@ -626,6 +675,43 @@ mod tests {
         assert_eq!(dec.next_index(), 3);
         let err = dec.decode_frame(&enc.frames[4]).unwrap_err();
         assert!(matches!(err, CodecError::MissingReference { frame: 3 }), "got {err}");
+    }
+
+    #[test]
+    fn inter_frame_in_intra_only_decoder_errors_cleanly() {
+        let video = tiny_video();
+        let d = device();
+        let enc = PccCodec::new(Design::IntraInterV1).encode_video(&video, 7, &d);
+        let p_frame = enc
+            .frames
+            .iter()
+            .find(|f| matches!(f, EncodedFrame::Inter(_)))
+            .expect("IPP encoding produces an inter frame");
+        // An intra-only codec has no inter config; a hostile container can
+        // still hand it a P-frame record. That must be a typed error, not
+        // a panic.
+        let mut dec = PccCodec::new(Design::IntraOnly).frame_decoder(&d);
+        let err = dec.decode_frame(p_frame).unwrap_err();
+        assert!(matches!(err, CodecError::MissingInterConfig { frame: 0 }), "got {err}");
+    }
+
+    #[test]
+    fn decoder_limits_bound_wire_declared_sizes() {
+        let video = tiny_video();
+        let d = device();
+        let codec = PccCodec::new(Design::IntraOnly);
+        let enc = codec.encode_video(&video, 7, &d);
+        let tight = Limits { max_points: 4, ..Limits::default() };
+        let mut dec = codec.frame_decoder(&d).with_limits(tight);
+        assert_eq!(dec.limits().max_points, 4);
+        let err = dec.decode_frame(&enc.frames[0]).unwrap_err();
+        assert!(
+            matches!(&err, CodecError::Intra(_)),
+            "limit breach should surface as a decode error, got {err}"
+        );
+        // Default limits decode the same frame fine.
+        let mut dec = codec.frame_decoder(&d);
+        dec.decode_frame(&enc.frames[0]).unwrap();
     }
 
     #[test]

@@ -25,6 +25,7 @@ use pcc_baseline::{CwipcFrame, Tmc13Frame};
 use pcc_inter::{InterEncoded, ReuseStats};
 use pcc_intra::IntraFrame;
 use pcc_entropy::varint;
+use pcc_types::{LimitExceeded, Limits};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"PCCV";
@@ -54,6 +55,8 @@ pub enum ContainerError {
         /// Byte offset of the field the stream ended inside of.
         offset: usize,
     },
+    /// A wire-declared size exceeds the demuxer's resource [`Limits`].
+    LimitExceeded(LimitExceeded),
 }
 
 impl fmt::Display for ContainerError {
@@ -67,11 +70,32 @@ impl fmt::Display for ContainerError {
             ContainerError::Truncated { offset } => {
                 write!(f, "container ended prematurely at offset {offset}")
             }
+            ContainerError::LimitExceeded(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ContainerError {}
+
+impl From<LimitExceeded> for ContainerError {
+    fn from(e: LimitExceeded) -> Self {
+        ContainerError::LimitExceeded(e)
+    }
+}
+
+impl From<ContainerError> for pcc_types::DecodeError {
+    fn from(e: ContainerError) -> Self {
+        match e {
+            ContainerError::BadMagic => pcc_types::DecodeError::BadMagic { offset: 0 },
+            ContainerError::BadVersion(v) => pcc_types::DecodeError::BadVersion { version: v },
+            ContainerError::BadTag { tag, offset } => {
+                pcc_types::DecodeError::BadTag { tag, offset }
+            }
+            ContainerError::Truncated { offset } => pcc_types::DecodeError::Truncated { offset },
+            ContainerError::LimitExceeded(l) => pcc_types::DecodeError::Limit(l),
+        }
+    }
+}
 
 /// A byte cursor that remembers its absolute position in the enclosing
 /// stream, so every parse error reports where the stream broke.
@@ -200,18 +224,38 @@ pub fn demux_frame(
     input: &mut &[u8],
     stream_offset: usize,
 ) -> Result<EncodedFrame, ContainerError> {
+    demux_frame_with(input, stream_offset, &Limits::default())
+}
+
+/// [`demux_frame`] under explicit resource [`Limits`]: wire-declared
+/// payload lengths and voxel counts are bounded before they drive
+/// allocations.
+///
+/// # Errors
+///
+/// Returns a [`ContainerError`] on malformed input or an exceeded limit.
+pub fn demux_frame_with(
+    input: &mut &[u8],
+    stream_offset: usize,
+    limits: &Limits,
+) -> Result<EncodedFrame, ContainerError> {
     let mut cursor = Cursor::new(input, stream_offset);
-    let frame = demux_frame_at(&mut cursor)?;
+    let frame = demux_frame_at(&mut cursor, limits)?;
     *input = cursor.input;
     Ok(frame)
 }
 
-fn demux_frame_at(cursor: &mut Cursor<'_>) -> Result<EncodedFrame, ContainerError> {
+fn demux_frame_at(
+    cursor: &mut Cursor<'_>,
+    limits: &Limits,
+) -> Result<EncodedFrame, ContainerError> {
     let tag_offset = cursor.offset;
     let tag = cursor.take_byte()?;
-    let (geometry, attribute) = read_payloads(cursor)?;
+    let (geometry, attribute) = read_payloads(cursor, limits)?;
     let unique_voxels = cursor.read_varint()? as usize;
+    limits.check_points(unique_voxels as u64)?;
     let raw_points = cursor.read_varint()? as usize;
+    limits.check_points(raw_points as u64)?;
     Ok(match tag {
         0x01 => EncodedFrame::Tmc13(Tmc13Frame {
             geometry,
@@ -256,6 +300,18 @@ fn demux_frame_at(cursor: &mut Cursor<'_>) -> Result<EncodedFrame, ContainerErro
 ///
 /// Returns a [`ContainerError`] on malformed input.
 pub fn demux(bytes: &[u8]) -> Result<EncodedVideo, ContainerError> {
+    demux_with(bytes, &Limits::default())
+}
+
+/// [`demux`] under explicit resource [`Limits`]: the frame count, every
+/// payload length, and every wire-declared voxel count are bounded
+/// before they drive allocations, and the grid depth is checked against
+/// the limit ceiling.
+///
+/// # Errors
+///
+/// Returns a [`ContainerError`] on malformed input or an exceeded limit.
+pub fn demux_with(bytes: &[u8], limits: &Limits) -> Result<EncodedVideo, ContainerError> {
     let mut cursor = Cursor::new(bytes, 0);
     let magic = cursor.take(4)?;
     if magic != MAGIC {
@@ -270,11 +326,13 @@ pub fn demux(bytes: &[u8]) -> Result<EncodedVideo, ContainerError> {
     let design = design_from_tag(design_byte)
         .ok_or(ContainerError::BadTag { tag: design_byte, offset: design_offset })?;
     let depth = cursor.take_byte()?;
+    limits.check_depth(depth)?;
     let count = cursor.read_varint()? as usize;
+    limits.check_blocks(count as u64)?;
 
     let mut frames = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
-        frames.push(demux_frame_at(&mut cursor)?);
+        frames.push(demux_frame_at(&mut cursor, limits)?);
     }
     let timelines = vec![pcc_edge::Timeline::default(); frames.len()];
     Ok(EncodedVideo { design, frames, encode_timelines: timelines, depth })
@@ -311,10 +369,15 @@ fn write_payloads(out: &mut Vec<u8>, geometry: &[u8], attribute: &[u8]) {
     out.extend_from_slice(attribute);
 }
 
-fn read_payloads(cursor: &mut Cursor<'_>) -> Result<(Vec<u8>, Vec<u8>), ContainerError> {
+fn read_payloads(
+    cursor: &mut Cursor<'_>,
+    limits: &Limits,
+) -> Result<(Vec<u8>, Vec<u8>), ContainerError> {
     let g_len = cursor.read_varint()? as usize;
+    limits.check_alloc(g_len as u64)?;
     let g = cursor.take(g_len)?;
     let a_len = cursor.read_varint()? as usize;
+    limits.check_alloc(a_len as u64)?;
     let a = cursor.take(a_len)?;
     Ok((g.to_vec(), a.to_vec()))
 }
@@ -434,6 +497,29 @@ mod tests {
         }
         assert_eq!(design_from_tag(0x00), None);
         assert_eq!(design_from_tag(0x7f), None);
+    }
+
+    #[test]
+    fn limits_bound_declared_sizes_before_allocation() {
+        let original = encode(Design::IntraOnly);
+        let bytes = mux(&original);
+        // A hostile depth byte must be rejected by the ceiling, not passed
+        // downstream.
+        let mut deep = bytes.clone();
+        deep[6] = 63; // depth byte lives at offset 6
+        assert!(matches!(
+            demux(&deep).unwrap_err(),
+            ContainerError::LimitExceeded(e) if e.what == "octree depth"
+        ));
+        // Payload lengths above the allocation budget are limit errors even
+        // though the stream is long enough to satisfy them.
+        let tight = Limits { max_alloc_bytes: 8, ..Limits::default() };
+        assert!(matches!(
+            demux_with(&bytes, &tight).unwrap_err(),
+            ContainerError::LimitExceeded(e) if e.what == "alloc bytes"
+        ));
+        // Default limits accept the genuine stream unchanged.
+        demux_with(&bytes, &Limits::default()).unwrap();
     }
 
     #[test]

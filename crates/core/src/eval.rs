@@ -63,10 +63,11 @@ pub fn evaluate(
             None => VoxelizedCloud::from_cloud(&frame.cloud, depth),
         };
         let reference = vox.dedup_mean().to_cloud();
-        if let Some(p) = geometry_psnr(&reference, &decoded[i], peak) {
+        let Some(dec) = decoded.get(i) else { break };
+        if let Some(p) = geometry_psnr(&reference, dec, peak) {
             geo_psnrs.push(p);
         }
-        if let Some(p) = attribute_psnr(&reference, &decoded[i]) {
+        if let Some(p) = attribute_psnr(&reference, dec) {
             attr_psnrs.push(p);
         }
     }

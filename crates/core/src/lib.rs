@@ -32,6 +32,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wire-derived bytes reach this crate: a bare slice index is a latent
+// panic on hostile input, so all indexing must be get()-style or carry
+// a local, justified allow.
+#![deny(clippy::indexing_slicing)]
+// Unit tests may index freely: a panic there is a test failure, not a
+// reachable fault on wire data.
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
 
 mod codec;
 pub mod container;

@@ -29,11 +29,15 @@ impl ContextByteModel {
     }
 
     /// Encodes `byte` under `context`.
+    // `context` is a u8 and there are exactly 256 banks: always in bounds.
+    #[allow(clippy::indexing_slicing)]
     pub fn encode(&mut self, enc: &mut RangeEncoder, context: u8, byte: u8) {
         enc.encode_byte(&mut self.banks[context as usize], byte);
     }
 
     /// Decodes one byte under `context`.
+    // `context` is a u8 and there are exactly 256 banks: always in bounds.
+    #[allow(clippy::indexing_slicing)]
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>, context: u8) -> u8 {
         dec.decode_byte(&mut self.banks[context as usize])
     }

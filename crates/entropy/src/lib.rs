@@ -34,6 +34,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wire-derived bytes reach this crate: a bare slice index is a latent
+// panic on hostile input, so all indexing must be get()-style or carry
+// a local, justified allow.
+#![deny(clippy::indexing_slicing)]
+// Unit tests may index freely: a panic there is a test failure, not a
+// reachable fault on wire data.
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
 
 mod bitio;
 pub mod context;
@@ -45,6 +52,7 @@ pub use bitio::{BitReader, BitWriter};
 pub use context::ContextByteModel;
 pub use range::{BitModel, ByteModel, RangeDecoder, RangeEncoder};
 
+use pcc_types::{DecodeError, LimitExceeded};
 use std::fmt;
 
 /// Errors produced while decoding an entropy-coded stream.
@@ -57,6 +65,8 @@ pub enum Error {
     VarintOverflow,
     /// A run-length header was malformed.
     CorruptRun,
+    /// The stream declared more output than [`pcc_types::Limits`] allow.
+    LimitExceeded(LimitExceeded),
 }
 
 impl fmt::Display for Error {
@@ -65,11 +75,29 @@ impl fmt::Display for Error {
             Error::UnexpectedEnd => write!(f, "unexpected end of compressed stream"),
             Error::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             Error::CorruptRun => write!(f, "malformed run-length header"),
+            Error::LimitExceeded(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<LimitExceeded> for Error {
+    fn from(e: LimitExceeded) -> Self {
+        Error::LimitExceeded(e)
+    }
+}
+
+impl From<Error> for DecodeError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::UnexpectedEnd => DecodeError::Truncated { offset: 0 },
+            Error::VarintOverflow => DecodeError::VarintOverflow { offset: 0 },
+            Error::CorruptRun => DecodeError::Corrupt { what: "run-length header", offset: 0 },
+            Error::LimitExceeded(l) => DecodeError::Limit(l),
+        }
+    }
+}
 
 /// A convenient `Result` alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -127,6 +127,9 @@ impl RangeEncoder {
     }
 
     /// Encodes one byte through a bit-tree model.
+    // The bit-tree walk keeps `ctx` in 1..=255, so `ctx - 1` always
+    // lands inside the 255-node array.
+    #[allow(clippy::indexing_slicing)]
     pub fn encode_byte(&mut self, model: &mut ByteModel, byte: u8) {
         let mut ctx = 1usize;
         for i in (0..8).rev() {
@@ -249,6 +252,9 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decodes one byte through a bit-tree model.
+    // The bit-tree walk keeps `ctx` in 1..=255, so `ctx - 1` always
+    // lands inside the 255-node array.
+    #[allow(clippy::indexing_slicing)]
     pub fn decode_byte(&mut self, model: &mut ByteModel) -> u8 {
         let mut ctx = 1usize;
         while ctx < 256 {

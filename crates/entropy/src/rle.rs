@@ -15,6 +15,9 @@ use crate::{varint, Error, Result};
 /// assert_eq!(pcc_entropy::rle::decode(&encoded).unwrap(), b"aaaabb");
 /// assert!(encoded.len() < 6);
 /// ```
+// Encoder side (trusted input); `i` and `i + run` are bounded by the
+// loop guards.
+#[allow(clippy::indexing_slicing)]
 pub fn encode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     let mut i = 0;
@@ -31,27 +34,40 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decodes a stream produced by [`encode`].
+/// Decodes a stream produced by [`encode`], bounding total output by
+/// `Limits::max_alloc_bytes`.
 ///
 /// # Errors
 ///
-/// Returns [`Error::CorruptRun`] on zero-length or absurdly long runs and
-/// [`Error::UnexpectedEnd`] on truncation.
-pub fn decode(mut input: &[u8]) -> Result<Vec<u8>> {
-    // Cap a single run at 2^32 bytes: far beyond any real frame, but
-    // prevents a corrupt header from asking for exabytes.
-    const MAX_RUN: u64 = 1 << 32;
+/// Returns [`Error::CorruptRun`] on zero-length runs,
+/// [`Error::UnexpectedEnd`] on truncation, and [`Error::LimitExceeded`]
+/// when the accumulated run lengths would expand past the limit — the
+/// check fires *before* the allocation, so a hostile stream cannot force
+/// the decoder to materialize the bomb.
+pub fn decode_with(mut input: &[u8], limits: &pcc_types::Limits) -> Result<Vec<u8>> {
     let mut out = Vec::new();
+    let mut total: u64 = 0;
     while !input.is_empty() {
         let run = varint::read_u64(&mut input)?;
-        if run == 0 || run > MAX_RUN {
+        if run == 0 {
             return Err(Error::CorruptRun);
         }
+        total = total.checked_add(run).ok_or(Error::CorruptRun)?;
+        limits.check_alloc(total)?;
         let (&byte, rest) = input.split_first().ok_or(Error::UnexpectedEnd)?;
         input = rest;
         out.extend(std::iter::repeat_n(byte, run as usize));
     }
     Ok(out)
+}
+
+/// Decodes a stream produced by [`encode`] under [`pcc_types::Limits::default`].
+///
+/// # Errors
+///
+/// See [`decode_with`].
+pub fn decode(input: &[u8]) -> Result<Vec<u8>> {
+    decode_with(input, &pcc_types::Limits::default())
 }
 
 #[cfg(test)]

@@ -68,6 +68,16 @@ impl From<pcc_entropy::Error> for InterError {
     }
 }
 
+impl From<InterError> for pcc_types::DecodeError {
+    fn from(e: InterError) -> Self {
+        match e {
+            InterError::Geometry(g) => g.into(),
+            InterError::Payload(p) => p.into(),
+            InterError::Corrupt(what) => pcc_types::DecodeError::Corrupt { what, offset: 0 },
+        }
+    }
+}
+
 /// The proposed inter-frame codec.
 ///
 /// Encodes P-frames against a reference attribute sequence — the decoded
@@ -127,6 +137,9 @@ impl InterCodec {
     }
 
     /// Attribute-only inter encoding of a Morton-ordered color sequence.
+    // Encoder side: block ranges come from segment_starts over the same
+    // color arrays, so every slice below is in range by construction.
+    #[allow(clippy::indexing_slicing)]
     fn encode_attributes(
         &self,
         p_colors: &[Rgb],
@@ -225,8 +238,36 @@ impl InterCodec {
         reference: &[Rgb],
         device: &Device,
     ) -> Result<VoxelizedCloud, InterError> {
-        let geo =
-            pcc_intra::geometry::decode(&encoded.frame.geometry, self.config.intra.entropy, device)?;
+        self.decode_with_limits(encoded, reference, device, &pcc_types::Limits::default())
+    }
+
+    /// [`decode`](Self::decode) under explicit resource
+    /// [`pcc_types::Limits`]: geometry expansion, the entropy wrapper,
+    /// and the delta-layer header are all bounded before they drive
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterError`] on malformed payloads or an exceeded
+    /// limit.
+    // `p_starts` is derived locally from the decoded voxel count (never
+    // from wire bytes), so block ranges — and the `colors[slot]` writes
+    // they drive — are bounded by `m`; wire-derived window offsets are
+    // clamped before use.
+    #[allow(clippy::indexing_slicing)]
+    pub fn decode_with_limits(
+        &self,
+        encoded: &InterEncoded,
+        reference: &[Rgb],
+        device: &Device,
+        limits: &pcc_types::Limits,
+    ) -> Result<VoxelizedCloud, InterError> {
+        let geo = pcc_intra::geometry::decode_with(
+            &encoded.frame.geometry,
+            self.config.intra.entropy,
+            device,
+            limits,
+        )?;
         let m = geo.coords.len();
 
         let mut input = encoded.frame.attribute.as_slice();
@@ -246,7 +287,7 @@ impl InterCodec {
             let v = varint::read_u64(&mut input)?;
             flags.push(((v >> 1) as usize, v & 1 == 1));
         }
-        let delta_layer = LayerEncoded::from_bytes(input)?;
+        let delta_layer = LayerEncoded::from_bytes_with(input, limits)?;
         let deltas = decode_layer_threaded(&delta_layer, self.threads_for(device));
 
         let mut colors = vec![Rgb::BLACK; m];
@@ -301,6 +342,8 @@ fn block_range(starts: &[u32], len: usize, idx: usize) -> std::ops::Range<usize>
 /// The reference color predicted for P-point `k` of a `len_p`-point block
 /// matched to `i_block` (proportional index mapping, identical to the
 /// matcher's; black when the reference block is empty).
+// `map_index` clamps to `i_block.len() - 1` and emptiness is checked.
+#[allow(clippy::indexing_slicing)]
 fn predicted(i_block: &[Rgb], k: usize, len_p: usize) -> Rgb {
     if i_block.is_empty() {
         Rgb::BLACK
@@ -324,7 +367,7 @@ mod tests {
             .map(|i| {
                 let x = (i % 20) as f32 + shift;
                 let y = (i / 20) as f32;
-                let c = (60 + (i % 40) as i32 + color_shift).clamp(0, 255) as u8;
+                let c = (60 + (i % 40) + color_shift).clamp(0, 255) as u8;
                 (Point3::new(x, y, 0.0), Rgb::gray(c))
             })
             .collect();

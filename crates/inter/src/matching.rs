@@ -87,6 +87,8 @@ pub(crate) fn map_index(k: usize, len_p: usize, len_i: usize) -> usize {
 
 /// 2-norm attribute distance between a P-block and an I-block (Equ. 2),
 /// normalized to a 20-point block so the threshold is scale-free.
+// `map_index` clamps to `i.len() - 1` and emptiness is checked first.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn block_diff(p: &[Rgb], i: &[Rgb]) -> u64 {
     if p.is_empty() {
         return 0;
@@ -134,7 +136,9 @@ pub fn match_blocks(
 /// independently, and the per-chunk matches/stats/charges are merged in
 /// chunk order — so the result (and any stream derived from it) is
 /// byte-identical at every thread count.
-#[allow(clippy::too_many_arguments)]
+// Encoder side: `starts` come from segment_starts over these exact
+// color arrays, so block ranges are in bounds by construction.
+#[allow(clippy::too_many_arguments, clippy::indexing_slicing)]
 pub fn match_blocks_with(
     p_colors: &[Rgb],
     i_colors: &[Rgb],
@@ -167,7 +171,7 @@ pub fn match_blocks_with(
                 let diff = block_diff(p_block, &i_colors[i_range]);
                 charge.pair_items += p_block.len();
                 charge.block_pairs += 1;
-                if best.map_or(true, |(_, d)| diff < d) {
+                if best.is_none_or(|(_, d)| diff < d) {
                     best = Some((i_idx, diff));
                 }
             }

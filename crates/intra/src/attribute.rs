@@ -68,7 +68,7 @@ pub fn encode(
 }
 
 /// Decodes an attribute payload back to per-voxel colors (Morton order,
-/// one per unique voxel).
+/// one per unique voxel) under [`pcc_types::Limits::default`].
 ///
 /// # Errors
 ///
@@ -78,25 +78,42 @@ pub fn decode(
     config: &IntraConfig,
     device: &Device,
 ) -> Result<Vec<Rgb>, pcc_entropy::Error> {
+    decode_with(payload, config, device, &pcc_types::Limits::default())
+}
+
+/// Decodes an attribute payload under explicit resource
+/// [`pcc_types::Limits`]: the entropy wrapper's declared length is
+/// bounded by `max_alloc_bytes` and the layer headers by
+/// `max_points`/`max_blocks`.
+///
+/// # Errors
+///
+/// Propagates varint/layer decoding errors on malformed input and
+/// returns [`pcc_entropy::Error::LimitExceeded`] when a limit is hit.
+pub fn decode_with(
+    payload: &[u8],
+    config: &IntraConfig,
+    device: &Device,
+    limits: &pcc_types::Limits,
+) -> Result<Vec<Rgb>, pcc_entropy::Error> {
     let owned;
     let mut input = payload;
     if config.entropy {
-        owned = entropy_unwrap(payload)?;
+        owned = entropy_unwrap(payload, limits)?;
         input = &owned;
     }
     let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
     let (&two_layer, mut rest) = input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
     let values = if two_layer != 0 {
         let outer_len = varint::read_u64(&mut rest)? as usize;
-        if rest.len() < outer_len {
-            return Err(pcc_entropy::Error::UnexpectedEnd);
-        }
-        let mut outer = LayerEncoded::from_bytes(&rest[..outer_len])?;
-        let layer2 = LayerEncoded::from_bytes(&rest[outer_len..])?;
+        let (outer_bytes, layer2_bytes) =
+            rest.split_at_checked(outer_len).ok_or(pcc_entropy::Error::UnexpectedEnd)?;
+        let mut outer = LayerEncoded::from_bytes_with(outer_bytes, limits)?;
+        let layer2 = LayerEncoded::from_bytes_with(layer2_bytes, limits)?;
         outer.residuals = decode_layer_threaded(&layer2, threads);
         decode_layer_threaded(&outer, threads)
     } else {
-        decode_layer_threaded(&LayerEncoded::from_bytes(rest)?, threads)
+        decode_layer_threaded(&LayerEncoded::from_bytes_with(rest, limits)?, threads)
     };
     device.charge_gpu("attribute_decode", &calib::ATTR_DECODE, values.len().max(1));
     Ok(values.into_iter().map(Rgb::from_i32_clamped).collect())
@@ -113,6 +130,9 @@ pub fn gather_voxel_colors(cloud: &VoxelizedCloud, geo: &GeometryEncoded) -> Vec
 /// aligned to voxel boundaries accumulate into disjoint contiguous slices
 /// of the per-voxel sums — no atomics, and identical sums (hence bytes)
 /// at every thread count.
+// Encoder side: ranks/perm/point_to_voxel come from the geometry pass
+// over the same cloud, so every index is in range by construction.
+#[allow(clippy::indexing_slicing)]
 pub fn gather_voxel_colors_with(
     cloud: &VoxelizedCloud,
     geo: &GeometryEncoded,
@@ -184,13 +204,18 @@ fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn entropy_unwrap(stream: &[u8]) -> Result<Vec<u8>, pcc_entropy::Error> {
-    if stream.len() < 4 {
-        return Err(pcc_entropy::Error::UnexpectedEnd);
-    }
-    let len = u32::from_le_bytes(stream[..4].try_into().expect("4-byte slice")) as usize;
+fn entropy_unwrap(
+    stream: &[u8],
+    limits: &pcc_types::Limits,
+) -> Result<Vec<u8>, pcc_entropy::Error> {
+    // The u32 length prefix is attacker-controlled: bound it before the
+    // allocation it drives.
+    let (len_bytes, coded) =
+        stream.split_first_chunk::<4>().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
+    let len = u32::from_le_bytes(*len_bytes) as usize;
+    limits.check_alloc(len as u64)?;
     let mut model = ByteModel::new();
-    let mut dec = RangeDecoder::new(&stream[4..]);
+    let mut dec = RangeDecoder::new(coded);
     Ok((0..len).map(|_| dec.decode_byte(&mut model)).collect())
 }
 

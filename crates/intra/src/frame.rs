@@ -78,6 +78,19 @@ impl From<pcc_entropy::Error> for IntraError {
     }
 }
 
+impl From<IntraError> for pcc_types::DecodeError {
+    fn from(e: IntraError) -> Self {
+        match e {
+            IntraError::Geometry(g) => g.into(),
+            IntraError::Attribute(a) => a.into(),
+            IntraError::VoxelCountMismatch { .. } => pcc_types::DecodeError::Corrupt {
+                what: "geometry/attribute voxel count mismatch",
+                offset: 0,
+            },
+        }
+    }
+}
+
 /// The proposed intra-frame codec (geometry + attributes), wired to the
 /// edge-device model.
 ///
@@ -146,8 +159,25 @@ impl IntraCodec {
     /// Returns an [`IntraError`] on malformed payloads or mismatched
     /// geometry/attribute counts.
     pub fn decode(&self, frame: &IntraFrame, device: &Device) -> Result<VoxelizedCloud, IntraError> {
-        let geo = geometry::decode(&frame.geometry, self.config.entropy, device)?;
-        let colors = attribute::decode(&frame.attribute, &self.config, device)?;
+        self.decode_with_limits(frame, device, &pcc_types::Limits::default())
+    }
+
+    /// [`decode`](Self::decode) under explicit resource
+    /// [`pcc_types::Limits`]: wire-declared lengths in both payloads are
+    /// bounded before they drive allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IntraError`] on malformed payloads, mismatched
+    /// geometry/attribute counts, or an exceeded limit.
+    pub fn decode_with_limits(
+        &self,
+        frame: &IntraFrame,
+        device: &Device,
+        limits: &pcc_types::Limits,
+    ) -> Result<VoxelizedCloud, IntraError> {
+        let geo = geometry::decode_with(&frame.geometry, self.config.entropy, device, limits)?;
+        let colors = attribute::decode_with(&frame.attribute, &self.config, device, limits)?;
         if geo.coords.len() != colors.len() {
             return Err(IntraError::VoxelCountMismatch {
                 geometry: geo.coords.len(),

@@ -4,7 +4,7 @@ use pcc_edge::{calib, Device};
 use pcc_entropy::{ByteModel, RangeDecoder, RangeEncoder};
 use pcc_morton::{sort_codes_with, MortonCode, SortScratch};
 use pcc_octree::ParallelOctree;
-use pcc_types::{VoxelCoord, VoxelizedCloud};
+use pcc_types::{Limits, VoxelCoord, VoxelizedCloud};
 use std::num::NonZeroUsize;
 
 /// The outcome of geometry encoding: the compressed stream plus the
@@ -111,7 +111,8 @@ pub struct GeometryDecoded {
     pub voxel_size: f32,
 }
 
-/// Decodes a stream produced by [`encode`].
+/// Decodes a stream produced by [`encode`] under
+/// [`pcc_types::Limits::default`].
 ///
 /// # Errors
 ///
@@ -121,14 +122,32 @@ pub fn decode(
     entropy: bool,
     device: &Device,
 ) -> Result<GeometryDecoded, pcc_octree::StreamError> {
+    decode_with(stream, entropy, device, &Limits::default())
+}
+
+/// Decodes a stream produced by [`encode`] under explicit resource
+/// [`Limits`]: the entropy wrapper's declared payload length is bounded
+/// by `max_alloc_bytes` and the occupancy expansion by
+/// `max_depth`/`max_points`.
+///
+/// # Errors
+///
+/// Returns a [`pcc_octree::StreamError`] on malformed input or when a
+/// limit is hit.
+pub fn decode_with(
+    stream: &[u8],
+    entropy: bool,
+    device: &Device,
+    limits: &Limits,
+) -> Result<GeometryDecoded, pcc_octree::StreamError> {
     let owned;
     let mut input = stream;
     if entropy {
-        owned = entropy_unwrap(stream)?;
+        owned = entropy_unwrap(stream, limits)?;
         input = &owned;
     }
     let (header, rest) = parse_header(input)?;
-    let coords = pcc_octree::decode_occupancy(rest)?;
+    let coords = pcc_octree::decode_occupancy_with(rest, limits)?;
     device.charge_gpu("geometry_decode", &calib::GEOM_DECODE, coords.len().max(1));
     Ok(GeometryDecoded {
         coords,
@@ -155,19 +174,15 @@ fn header_bytes(cloud: &VoxelizedCloud) -> Vec<u8> {
 }
 
 fn parse_header(input: &[u8]) -> Result<(Header, &[u8]), pcc_octree::StreamError> {
-    if input.len() < 17 {
-        return Err(pcc_octree::StreamError::Truncated);
-    }
-    let depth = input[0];
+    let (&depth, mut rest) = input.split_first().ok_or(pcc_octree::StreamError::Truncated)?;
     let mut f = [0f32; 4];
-    for (i, v) in f.iter_mut().enumerate() {
-        let s = 1 + 4 * i;
-        *v = f32::from_le_bytes(input[s..s + 4].try_into().expect("4-byte slice"));
+    for v in f.iter_mut() {
+        let (bytes, tail) =
+            rest.split_first_chunk::<4>().ok_or(pcc_octree::StreamError::Truncated)?;
+        *v = f32::from_le_bytes(*bytes);
+        rest = tail;
     }
-    Ok((
-        Header { depth, origin: [f[0], f[1], f[2]], voxel_size: f[3] },
-        &input[17..],
-    ))
+    Ok((Header { depth, origin: [f[0], f[1], f[2]], voxel_size: f[3] }, rest))
 }
 
 fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
@@ -183,13 +198,15 @@ fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn entropy_unwrap(stream: &[u8]) -> Result<Vec<u8>, pcc_octree::StreamError> {
-    if stream.len() < 4 {
-        return Err(pcc_octree::StreamError::Truncated);
-    }
-    let len = u32::from_le_bytes(stream[..4].try_into().expect("4-byte slice")) as usize;
+fn entropy_unwrap(stream: &[u8], limits: &Limits) -> Result<Vec<u8>, pcc_octree::StreamError> {
+    // The u32 length prefix is attacker-controlled: without the limit
+    // check a 12-byte stream could demand a 4 GiB allocation.
+    let (len_bytes, coded) =
+        stream.split_first_chunk::<4>().ok_or(pcc_octree::StreamError::Truncated)?;
+    let len = u32::from_le_bytes(*len_bytes) as usize;
+    limits.check_alloc(len as u64)?;
     let mut model = ByteModel::new();
-    let mut dec = RangeDecoder::new(&stream[4..]);
+    let mut dec = RangeDecoder::new(coded);
     Ok((0..len).map(|_| dec.decode_byte(&mut model)).collect())
 }
 
@@ -275,6 +292,44 @@ mod tests {
             assert!(t.stage_ms(stage).as_f64() > 0.0, "missing {stage}");
         }
         assert_eq!(t.stage_ms("geometry/entropy").as_f64(), 0.0);
+    }
+
+    #[test]
+    fn sub_four_byte_streams_are_truncation_errors() {
+        // Regression: the entropy unwrapper once sliced `stream[..4]`; a
+        // 0–3 byte stream must be a clean truncation error, never a panic.
+        let d = device();
+        let short = [0x11u8, 0x22, 0x33];
+        for cut in 0..=short.len() {
+            for entropy in [false, true] {
+                assert!(
+                    matches!(
+                        decode(&short[..cut], entropy, &d),
+                        Err(pcc_octree::StreamError::Truncated)
+                    ),
+                    "len {cut}, entropy {entropy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_length_prefix_is_bounded_by_limits() {
+        // A tiny stream declaring a huge decompressed length must be
+        // rejected before the allocation happens.
+        let d = device();
+        let mut bomb = (u32::MAX).to_le_bytes().to_vec();
+        bomb.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode(&bomb, true, &d),
+            Err(pcc_octree::StreamError::LimitExceeded(e)) if e.what == "alloc bytes"
+        ));
+        // And a legitimate entropy-coded stream still decodes under a
+        // budget that admits it.
+        let vox = vox_from(&[(1.0, 1.0, 1.0), (2.0, 2.0, 2.0)], 4);
+        let enc = encode(&vox, true, &d);
+        let limits = Limits { max_alloc_bytes: 1 << 16, ..Limits::default() };
+        assert!(decode_with(&enc.stream, true, &d, &limits).is_ok());
     }
 
     #[test]

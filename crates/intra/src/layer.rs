@@ -24,6 +24,9 @@ impl LayerEncoded {
     /// triple)` pairs — locality makes most residual triples all-zero, so
     /// runs dominate and the stream approaches a fraction of a byte per
     /// point on smooth content.
+    // Serializer over self-owned arrays; loop indices are bounded by
+    // the length checks in the while conditions.
+    #[allow(clippy::indexing_slicing)]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         varint::write_u64(&mut out, self.quant_step as u64);
@@ -33,8 +36,8 @@ impl LayerEncoded {
             varint::write_u64(&mut out, *s as u64);
         }
         for b in &self.bases {
-            for ch in 0..3 {
-                varint::write_i64(&mut out, b[ch] as i64);
+            for &v in b {
+                varint::write_i64(&mut out, v as i64);
             }
         }
         // Pick the cheaper residual coding: zero-run pairs win when
@@ -61,37 +64,59 @@ impl LayerEncoded {
             }
         } else {
             for r in &self.residuals {
-                for ch in 0..3 {
-                    varint::write_i64(&mut out, r[ch] as i64);
+                for &v in r {
+                    varint::write_i64(&mut out, v as i64);
                 }
             }
         }
         out
     }
 
-    /// Parses a payload produced by [`to_bytes`](Self::to_bytes).
+    /// Parses a payload produced by [`to_bytes`](Self::to_bytes) under
+    /// [`pcc_types::Limits::default`].
     ///
     /// # Errors
     ///
     /// Propagates varint decoding errors on malformed input.
-    pub fn from_bytes(mut input: &[u8]) -> Result<Self, pcc_entropy::Error> {
-        // Untrusted headers must not drive allocations: cap counts at a
-        // bound far above any real frame (a 2²⁶-voxel frame would be
-        // ~45× the largest Table-I capture).
-        const MAX_VALUES: usize = 1 << 26;
+    pub fn from_bytes(input: &[u8]) -> Result<Self, pcc_entropy::Error> {
+        Self::from_bytes_with(input, &pcc_types::Limits::default())
+    }
+
+    /// Parses a payload produced by [`to_bytes`](Self::to_bytes) under
+    /// explicit resource [`pcc_types::Limits`]: the declared value count
+    /// is bounded by `max_points`, the segment count by `max_blocks`, and
+    /// the implied decode-side allocation (12 bytes per value and per
+    /// base, 4 per start) by `max_alloc_bytes`. Pre-allocations are
+    /// additionally capped by the input length, so even an in-limit
+    /// header cannot reserve more memory than the payload could fill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates varint decoding errors on malformed input and returns
+    /// [`pcc_entropy::Error::LimitExceeded`] when a limit is hit.
+    pub fn from_bytes_with(
+        mut input: &[u8],
+        limits: &pcc_types::Limits,
+    ) -> Result<Self, pcc_entropy::Error> {
         let quant_step = varint::read_u64(&mut input)? as i32;
-        let n = varint::read_u64(&mut input)? as usize;
-        let segs = varint::read_u64(&mut input)? as usize;
+        let n64 = varint::read_u64(&mut input)?;
+        let segs64 = varint::read_u64(&mut input)?;
         // `segs` is not bounded by `n`: the two-layer encoder serializes
         // its outer layer with an empty residual list but real segments.
-        if quant_step < 1 || n > MAX_VALUES || segs > MAX_VALUES {
+        limits.check_points(n64)?;
+        limits.check_blocks(segs64)?;
+        let (n, segs) = (n64 as usize, segs64 as usize);
+        limits.check_alloc(n64.saturating_mul(12).saturating_add(segs64.saturating_mul(16)))?;
+        if quant_step < 1 {
             return Err(pcc_entropy::Error::CorruptRun);
         }
-        let mut starts = Vec::with_capacity(segs);
+        // Every start and base costs at least one input byte, so the
+        // input length bounds the pre-allocation even before limits bite.
+        let mut starts = Vec::with_capacity(segs.min(input.len()));
         for _ in 0..segs {
             starts.push(varint::read_u64(&mut input)? as u32);
         }
-        let mut bases = Vec::with_capacity(segs);
+        let mut bases = Vec::with_capacity(segs.min(input.len()));
         for _ in 0..segs {
             let mut b = [0i32; 3];
             for ch in &mut b {
@@ -182,6 +207,9 @@ pub fn encode_layer_with_starts(
 /// disjoint slice of the base and residual arrays (every segment belongs
 /// to exactly one chunk), so the output is byte-identical at every thread
 /// count.
+// Encoder side: the segment-start preconditions are asserted on entry,
+// so every index below is in range.
+#[allow(clippy::indexing_slicing)]
 pub fn encode_layer_with_starts_threaded(
     values: &[[i32; 3]],
     starts: Vec<u32>,
@@ -254,6 +282,9 @@ pub fn decode_layer(layer: &LayerEncoded) -> Vec<[i32; 3]> {
 /// Well-formed layers decode chunk-parallel over segment groups writing
 /// disjoint output slices (byte-identical at every thread count);
 /// malformed boundaries fall back to the clamping sequential path.
+// Indices are validated by the `well_formed` guard below; malformed
+// (wire-damaged) layers take the clamping sequential path instead.
+#[allow(clippy::indexing_slicing)]
 pub fn decode_layer_threaded(layer: &LayerEncoded, threads: NonZeroUsize) -> Vec<[i32; 3]> {
     let _sp = pcc_probe::span("intra/layer_decode");
     let n = layer.residuals.len();
@@ -290,15 +321,18 @@ pub fn decode_layer_threaded(layer: &LayerEncoded, threads: NonZeroUsize) -> Vec
     out
 }
 
+// Every index is clamped to `n` before use (hostile boundaries decode
+// as zeros rather than panicking).
+#[allow(clippy::indexing_slicing)]
 fn decode_layer_sequential(layer: &LayerEncoded) -> Vec<[i32; 3]> {
     let n = layer.residuals.len();
     let mut out = vec![[0i32; 3]; n];
     for (s, &start) in layer.starts.iter().enumerate() {
         let end = layer.starts.get(s + 1).map_or(n, |&e| e as usize).min(n);
         let Some(&base) = layer.bases.get(s) else { break };
-        for i in (start as usize).min(n)..end {
-            let r = layer.residuals[i];
-            out[i] = [
+        let lo = (start as usize).min(n);
+        for (o, r) in out.iter_mut().zip(&layer.residuals).take(end).skip(lo) {
+            *o = [
                 base[0] + r[0] * layer.quant_step,
                 base[1] + r[1] * layer.quant_step,
                 base[2] + r[2] * layer.quant_step,
@@ -310,6 +344,8 @@ fn decode_layer_sequential(layer: &LayerEncoded) -> Vec<[i32; 3]> {
 
 /// Per-channel median of a non-empty slice (midpoint element of the sorted
 /// channel values). Returns zeros for an empty slice.
+// `ch` walks 0..3 into fixed [i32; 3] arrays.
+#[allow(clippy::indexing_slicing)]
 fn median3(seg: &[[i32; 3]]) -> [i32; 3] {
     if seg.is_empty() {
         return [0; 3];
@@ -349,7 +385,7 @@ mod tests {
     fn paper_fig6_example() {
         // Points sorted by Morton code carry attrs 50, 52 | 54 in two
         // segments; bases are the medians, residuals small.
-        let values = vec![[50; 3], [52; 3], [54; 3]];
+        let values = [[50; 3], [52; 3], [54; 3]];
         // Two segments: [50, 52] and [54] (starts 0 and 2 - emulate by 2 segments over 3
         // values => starts [0, 1]; to match the paper exactly use explicit grouping).
         let enc = encode_layer(&values[..2], 1, 1);
@@ -424,6 +460,34 @@ mod tests {
         let enc = encode_layer(&values, 7, 2);
         let back = LayerEncoded::from_bytes(&enc.to_bytes()).unwrap();
         assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn declared_counts_are_bounded_by_limits() {
+        // A header declaring 2^40 values must be rejected before any
+        // allocation; same for segments.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 1); // quant_step
+        varint::write_u64(&mut bytes, 1 << 40); // n
+        varint::write_u64(&mut bytes, 0); // segs
+        assert!(matches!(
+            LayerEncoded::from_bytes(&bytes),
+            Err(pcc_entropy::Error::LimitExceeded(e)) if e.what == "points"
+        ));
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 1);
+        varint::write_u64(&mut bytes, 0);
+        varint::write_u64(&mut bytes, 1 << 40);
+        assert!(matches!(
+            LayerEncoded::from_bytes(&bytes),
+            Err(pcc_entropy::Error::LimitExceeded(e)) if e.what == "blocks"
+        ));
+        // Tight limits reject an otherwise valid payload...
+        let enc = encode_layer(&[[1, 2, 3]; 64], 4, 1);
+        let tight = pcc_types::Limits { max_points: 8, ..pcc_types::Limits::default() };
+        assert!(LayerEncoded::from_bytes_with(&enc.to_bytes(), &tight).is_err());
+        // ...and generous ones decode it unchanged.
+        assert_eq!(LayerEncoded::from_bytes(&enc.to_bytes()).unwrap(), enc);
     }
 
     #[test]

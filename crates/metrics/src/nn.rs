@@ -3,6 +3,9 @@
 use pcc_types::Point3;
 use std::collections::HashMap;
 
+/// Integer coordinates of one grid cell.
+type Cell = (i32, i32, i32);
+
 /// A uniform-grid spatial hash for nearest-neighbor queries.
 ///
 /// Cells are cubes of a caller-supplied size (a good default is the mean
@@ -23,11 +26,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex {
-    cells: HashMap<(i32, i32, i32), Vec<u32>>,
+    cells: HashMap<Cell, Vec<u32>>,
     points: Vec<Point3>,
     cell_size: f32,
     /// Bounding box of occupied cells (min, max), for search bounds.
-    cell_bounds: Option<((i32, i32, i32), (i32, i32, i32))>,
+    cell_bounds: Option<(Cell, Cell)>,
 }
 
 impl GridIndex {
@@ -41,8 +44,8 @@ impl GridIndex {
             cell_size.is_finite() && cell_size > 0.0,
             "cell size must be positive and finite"
         );
-        let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
-        let mut bounds: Option<((i32, i32, i32), (i32, i32, i32))> = None;
+        let mut cells: HashMap<Cell, Vec<u32>> = HashMap::new();
+        let mut bounds: Option<(Cell, Cell)> = None;
         for (i, p) in points.iter().enumerate() {
             let key = Self::cell_of(*p, cell_size);
             cells.entry(key).or_default().push(i as u32);
@@ -151,7 +154,7 @@ impl GridIndex {
             if let Some(ids) = self.cells.get(&key) {
                 for &i in ids {
                     let d2 = q.distance_squared(self.points[i as usize]);
-                    if best.map_or(true, |(_, bd)| d2 < bd) {
+                    if best.is_none_or(|(_, bd)| d2 < bd) {
                         *best = Some((i, d2));
                     }
                 }

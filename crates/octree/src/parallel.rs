@@ -1,5 +1,11 @@
 //! The proposed Morton-code-driven parallel octree builder.
 
+// Builder side: every index walks structures this module just built
+// (`levels` has depth+1 entries, parent links come from compact_runs over
+// the same arrays). No wire-derived bytes are parsed here — that is
+// serialize.rs, which stays index-free.
+#![allow(clippy::indexing_slicing)]
+
 use pcc_morton::{sort_codes, MortonCode};
 use pcc_types::VoxelCoord;
 use std::num::NonZeroUsize;

@@ -1,5 +1,9 @@
 //! The PCL/TMC13-style sequential octree builder.
 
+// Builder side: `children` is a fixed [_; 8] array indexed by 3-bit
+// Morton slots (always 0..8). No wire-derived bytes are parsed here.
+#![allow(clippy::indexing_slicing)]
+
 use pcc_morton::MortonCode;
 use pcc_types::VoxelCoord;
 

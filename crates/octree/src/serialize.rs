@@ -1,7 +1,7 @@
 //! Self-describing occupancy streams and the geometry decoder.
 
 use pcc_morton::MortonCode;
-use pcc_types::VoxelCoord;
+use pcc_types::{DecodeError, LimitExceeded, Limits, VoxelCoord};
 use std::fmt;
 
 /// Magic byte identifying an occupancy stream.
@@ -24,6 +24,8 @@ pub enum StreamError {
         /// Leaves actually decoded.
         decoded: usize,
     },
+    /// The stream declared more resources than [`Limits`] allow.
+    LimitExceeded(LimitExceeded),
 }
 
 impl fmt::Display for StreamError {
@@ -35,11 +37,32 @@ impl fmt::Display for StreamError {
             StreamError::LeafMismatch { declared, decoded } => {
                 write!(f, "decoded {decoded} leaves but header declares {declared}")
             }
+            StreamError::LimitExceeded(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for StreamError {}
+
+impl From<LimitExceeded> for StreamError {
+    fn from(e: LimitExceeded) -> Self {
+        StreamError::LimitExceeded(e)
+    }
+}
+
+impl From<StreamError> for DecodeError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::BadMagic => DecodeError::BadMagic { offset: 0 },
+            StreamError::BadDepth(_) => DecodeError::Corrupt { what: "octree depth", offset: 1 },
+            StreamError::Truncated => DecodeError::Truncated { offset: 0 },
+            StreamError::LeafMismatch { .. } => {
+                DecodeError::Corrupt { what: "leaf count mismatch", offset: 0 }
+            }
+            StreamError::LimitExceeded(l) => DecodeError::Limit(l),
+        }
+    }
+}
 
 /// A parsed occupancy stream header plus its payload view.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,11 +110,35 @@ pub fn serialize_occupancy(depth: u8, leaf_count: usize, occupancy: &[u8]) -> Ve
 /// # Ok::<(), pcc_octree::StreamError>(())
 /// ```
 pub fn decode_occupancy(stream: &[u8]) -> Result<Vec<VoxelCoord>, StreamError> {
+    decode_occupancy_with(stream, &Limits::default())
+}
+
+/// Decodes an occupancy stream under explicit resource [`Limits`].
+///
+/// Enforces `limits.max_depth` on the declared depth and
+/// `limits.max_points` on both the declared leaf count and the expanding
+/// frontier at every level, so a hostile stream can neither declare an
+/// absurd leaf count nor grow the breadth-first frontier past the limit —
+/// the check fires before the level's expansion is retained.
+///
+/// # Errors
+///
+/// Returns a [`StreamError`] on malformed input or when a limit is hit.
+pub fn decode_occupancy_with(
+    stream: &[u8],
+    limits: &Limits,
+) -> Result<Vec<VoxelCoord>, StreamError> {
     let parsed = parse_stream(stream)?;
+    limits.check_depth(parsed.depth)?;
+    limits.check_points(parsed.leaf_count as u64)?;
     let mut frontier: Vec<u64> = vec![0]; // root prefix
     let mut pos = 0usize;
-    for level in 0..parsed.depth {
-        let is_leaf_level = level + 1 == parsed.depth;
+    for _level in 0..parsed.depth {
+        // Each frontier node consumes one occupancy byte and spawns at most
+        // 8 children, so `next` is bounded by 8 × the bytes consumed this
+        // level — but a deep stream could still compound that. Cap every
+        // intermediate frontier at the leaf budget: in a well-formed
+        // breadth-first tree, no level is ever wider than the leaf level.
         let mut next = Vec::new();
         for &prefix in &frontier {
             let byte = *parsed.occupancy.get(pos).ok_or(StreamError::Truncated)?;
@@ -101,8 +148,8 @@ pub fn decode_occupancy(stream: &[u8]) -> Result<Vec<VoxelCoord>, StreamError> {
                     next.push((prefix << 3) | slot);
                 }
             }
-            let _ = is_leaf_level;
         }
+        limits.check_points(next.len() as u64)?;
         frontier = next;
     }
     if frontier.len() != parsed.leaf_count {
@@ -224,6 +271,26 @@ mod tests {
         let last = stream.len() - 1;
         stream[last] |= 0x80;
         assert!(decode_occupancy(&stream).is_err() || decode_occupancy(&stream).is_ok());
+    }
+
+    #[test]
+    fn limits_bound_declared_leaves_and_depth() {
+        let tree = ParallelOctree::from_coords(&[VoxelCoord::new(1, 1, 1)], 6);
+        let stream = tree.serialize();
+        // Depth 6 exceeds a max_depth-4 budget.
+        let tight = Limits { max_depth: 4, ..Limits::default() };
+        assert!(matches!(
+            decode_occupancy_with(&stream, &tight).unwrap_err(),
+            StreamError::LimitExceeded(e) if e.what == "octree depth"
+        ));
+        // A header declaring 2^40 leaves is rejected before any expansion.
+        let bomb = serialize_occupancy(6, 1 << 40, &[0xff; 6]);
+        assert!(matches!(
+            decode_occupancy(&bomb).unwrap_err(),
+            StreamError::LimitExceeded(e) if e.what == "points"
+        ));
+        // The default limits accept the legitimate stream unchanged.
+        assert_eq!(decode_occupancy(&stream).unwrap(), tree.leaves());
     }
 
     #[test]

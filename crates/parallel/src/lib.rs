@@ -313,7 +313,7 @@ pub fn radix_sort_pairs(
         return 0;
     }
     let max_key = keys.iter().copied().max().unwrap_or(0);
-    let used_bytes = ((64 - max_key.leading_zeros() as usize) + 7) / 8;
+    let used_bytes = (64 - max_key.leading_zeros() as usize).div_ceil(8);
     if used_bytes == 0 {
         return 0;
     }

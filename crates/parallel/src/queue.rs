@@ -192,7 +192,7 @@ mod tests {
             // unsigned subtraction here underflow-panicked while the
             // producer was parked in send(), deadlocking the scope join.
             let mut received = 0i64;
-            while let Some(_) = rx.recv() {
+            while rx.recv().is_some() {
                 received += 1;
                 let ahead =
                     produced.load(std::sync::atomic::Ordering::SeqCst) as i64 - received;

@@ -67,7 +67,7 @@ fn lod_split(n: usize) -> Vec<Vec<u32>> {
     for i in 0..n as u32 {
         let mut level = 0usize;
         let mut step = DECIMATION as u64;
-        while level < LOD_LEVELS && (i as u64) % step == 0 {
+        while level < LOD_LEVELS && (i as u64).is_multiple_of(step) {
             level += 1;
             step *= DECIMATION as u64;
         }

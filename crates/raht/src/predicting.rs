@@ -58,7 +58,7 @@ fn processing_order(n: usize) -> Vec<u32> {
     let level_of = |i: u32| -> u32 {
         let mut level = 0;
         let mut step = 4u64;
-        while level < LOD_LEVELS && (i as u64) % step == 0 {
+        while level < LOD_LEVELS && (i as u64).is_multiple_of(step) {
             level += 1;
             step *= 4;
         }
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn processing_order_is_a_permutation_and_coarse_first() {
         let order = processing_order(64);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for &i in &order {
             assert!(!std::mem::replace(&mut seen[i as usize], true));
         }

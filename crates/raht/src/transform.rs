@@ -397,7 +397,7 @@ mod tests {
     fn transform_count_matches_emitted_coeffs() {
         let c = codes(&[0, 1, 8, 9, 63]);
         let n = transform_count(&c, 2);
-        let enc = forward(&c, &vec![[1.0; 3]; 5], &[1.0; 5], 2, 1.0);
+        let enc = forward(&c, &[[1.0; 3]; 5], &[1.0; 5], 2, 1.0);
         assert_eq!(enc.coeffs.len(), n + 1); // merges + one DC
     }
 

@@ -121,9 +121,36 @@ pub fn encode_chunk(chunk: &Chunk) -> Vec<u8> {
     out
 }
 
+/// Parses one standalone encoded chunk: the exact byte image produced by
+/// [`encode_chunk`], nothing more and nothing less.
+///
+/// Returns `None` when the bytes are not a single intact chunk (bad sync
+/// marker, failed header or payload CRC, wrong length). Retransmission
+/// paths use this to validate a chunk pulled back out of a
+/// [`RetransmitRing`](crate::arq::RetransmitRing) before trusting it.
+pub fn decode_chunk(bytes: &[u8]) -> Option<Chunk> {
+    let header = bytes.get(..HEADER_LEN)?;
+    let (kind, frame_kind, stream_id, seq, frame_index, payload_len) = parse_header(header)?;
+    if bytes.len() != HEADER_LEN + payload_len + 4 {
+        return None;
+    }
+    let payload = bytes.get(HEADER_LEN..HEADER_LEN + payload_len)?;
+    let stored = u32::from_le_bytes(
+        bytes.get(HEADER_LEN + payload_len..)?.try_into().ok()?,
+    );
+    if crc32(payload) != stored {
+        return None;
+    }
+    Some(Chunk { kind, frame_kind, stream_id, seq, frame_index, payload: payload.to_vec() })
+}
+
 /// Parses the fixed-size header fields from `buf` (which must hold at
 /// least [`HEADER_LEN`] bytes). Returns `None` when the sync marker,
 /// header CRC, field encodings, or payload-length bound are invalid.
+// Precondition (asserted below, upheld by every caller via fill_to /
+// exact-length checks): `buf` holds at least HEADER_LEN bytes, and all
+// slices here stay inside that fixed prefix.
+#[allow(clippy::indexing_slicing)]
 fn parse_header(buf: &[u8]) -> Option<(ChunkKind, Option<FrameKind>, u32, u32, u32, usize)> {
     debug_assert!(buf.len() >= HEADER_LEN);
     if buf[..4] != SYNC {
@@ -166,7 +193,18 @@ impl<W: Write> ChunkWriter<W> {
     /// Propagates transport errors.
     pub fn write_chunk(&mut self, chunk: &Chunk) -> io::Result<()> {
         let bytes = encode_chunk(chunk);
-        self.inner.write_all(&bytes)?;
+        self.write_encoded(&bytes)
+    }
+
+    /// Writes one already-encoded chunk (the byte image of
+    /// [`encode_chunk`]) without re-encoding it. Senders that also park
+    /// the encoded bytes in a retransmit ring use this to serialize once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_encoded(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_all(bytes)?;
         self.bytes_written += bytes.len() as u64;
         self.chunks_written += 1;
         Ok(())
@@ -247,6 +285,9 @@ impl<R: Read> ChunkReader<R> {
 
     /// Ensures at least `n` bytes are buffered past `self.start`, or hits
     /// EOF trying. Returns whether `n` bytes are available.
+    // `old_len` is the buffer length before the resize, so the slice
+    // start is always in range.
+    #[allow(clippy::indexing_slicing)]
     fn fill_to(&mut self, n: usize) -> io::Result<bool> {
         while self.available() < n && !self.eof {
             // Compact before growing so corrupt prefixes cannot pin the
@@ -269,6 +310,9 @@ impl<R: Read> ChunkReader<R> {
 
     /// Position of the next sync marker at or after `self.start`, if one
     /// is currently buffered.
+    // `self.start <= self.buf.len()` is a struct invariant (start only
+    // advances past consumed bytes).
+    #[allow(clippy::indexing_slicing)]
     fn find_sync(&self) -> Option<usize> {
         let window = &self.buf[self.start..];
         window
@@ -283,6 +327,9 @@ impl<R: Read> ChunkReader<R> {
     /// # Errors
     ///
     /// Propagates transport errors.
+    // Every slice below is guarded by a fill_to() that guarantees the
+    // buffered range, so indexing cannot leave the buffer.
+    #[allow(clippy::indexing_slicing)]
     pub fn next_chunk(&mut self) -> io::Result<Option<Chunk>> {
         loop {
             // Locate a sync marker, pulling more data as needed.
@@ -468,7 +515,7 @@ mod tests {
         let chunks = sample_chunks();
         let mut bytes = Vec::new();
         for (i, c) in chunks.iter().enumerate() {
-            bytes.extend(std::iter::repeat(0xA5u8).take(i * 3));
+            bytes.extend(std::iter::repeat_n(0xA5u8, i * 3));
             bytes.extend(encode_chunk(c));
         }
         let (got, _) = read_all(&bytes);
@@ -517,6 +564,25 @@ mod tests {
         let (got, corrupt) = read_all(&bytes);
         assert!(got.is_empty());
         assert!(corrupt >= 1);
+    }
+
+    #[test]
+    fn decode_chunk_round_trips_and_rejects_damage() {
+        let chunk = frame_chunk(9, 4, FrameKind::Predicted, vec![1, 2, 3, 4, 5]);
+        let bytes = encode_chunk(&chunk);
+        assert_eq!(decode_chunk(&bytes), Some(chunk.clone()));
+        // Any single-byte damage or truncation must be rejected, not
+        // panicked on.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert_ne!(decode_chunk(&bad), Some(chunk.clone()), "flip at {i} accepted");
+            assert_eq!(decode_chunk(&bytes[..i]), None, "truncation at {i} accepted");
+        }
+        // Trailing garbage is not "one chunk".
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode_chunk(&long), None);
     }
 
     #[test]

@@ -10,6 +10,8 @@ const POLY: u32 = 0xEDB8_8320;
 
 const TABLE: [u32; 256] = build_table();
 
+// `i` walks 0..256 into a [u32; 256]: in bounds by the loop guard.
+#[allow(clippy::indexing_slicing)]
 const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
@@ -39,6 +41,8 @@ impl Crc32 {
     }
 
     /// Feeds `bytes` into the checksum.
+    // The table index is masked with 0xff into a 256-entry table.
+    #[allow(clippy::indexing_slicing)]
     pub fn update(&mut self, bytes: &[u8]) {
         let mut crc = self.state;
         for &b in bytes {

@@ -49,14 +49,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wire-derived bytes reach this crate: a bare slice index is a latent
+// panic on hostile input, so all indexing must be get()-style or carry
+// a local, justified allow.
+#![deny(clippy::indexing_slicing)]
+// Unit tests may index freely: a panic there is a test failure, not a
+// reachable fault on wire data.
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
 
+pub mod arq;
 pub mod chunk;
 pub mod crc;
 pub mod plan;
 pub mod session;
 pub mod stats;
 
-pub use chunk::{encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
+pub use arq::{ArqConfig, Retransmit, RetransmitRing, SharedRing};
+pub use chunk::{decode_chunk, encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
 pub use crc::crc32;
 pub use plan::{plan_session, SessionPlan};
 pub use session::{stream_video, Delivered, Receiver, Sender, StreamConfig, STREAM_VERSION};

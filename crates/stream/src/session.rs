@@ -14,13 +14,16 @@
 //! receiver invalidates the decoded reference and waits for the next
 //! intact I-frame (a *resync*).
 
-use crate::chunk::{Chunk, ChunkKind, ChunkReader, ChunkWriter};
+use crate::arq::{ArqConfig, Retransmit, SharedRing};
+use crate::chunk::{decode_chunk, encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
 use crate::stats::StreamStats;
 use pcc_core::{container, Design, FrameDecoder, FrameEncoder, PccCodec};
 use pcc_edge::Device;
 use pcc_parallel::queue;
 use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Video};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Version byte of the stream-header chunk payload.
 pub const STREAM_VERSION: u8 = 1;
@@ -87,6 +90,9 @@ pub struct Sender<'d, W: Write> {
     seq: u32,
     frame_budget_ms: Option<f64>,
     stats: StreamStats,
+    /// Encoded header chunk, kept so a late `with_arq` can park it.
+    header_bytes: Vec<u8>,
+    arq_ring: Option<SharedRing>,
 }
 
 impl<'d, W: Write> Sender<'d, W> {
@@ -103,11 +109,14 @@ impl<'d, W: Write> Sender<'d, W> {
         config: &StreamConfig,
     ) -> io::Result<Self> {
         let mut writer = ChunkWriter::new(writer);
-        writer.write_chunk(&header_chunk(config.stream_id, codec.design(), depth))?;
+        let header_bytes = encode_chunk(&header_chunk(config.stream_id, codec.design(), depth));
+        writer.write_encoded(&header_bytes)?;
         writer.flush()?;
-        let mut stats = StreamStats::default();
-        stats.chunks_sent = 1;
-        stats.bytes_sent = writer.bytes_written();
+        let stats = StreamStats {
+            chunks_sent: 1,
+            bytes_sent: writer.bytes_written(),
+            ..StreamStats::default()
+        };
         Ok(Sender {
             encoder: codec.frame_encoder(depth, device),
             writer,
@@ -115,6 +124,8 @@ impl<'d, W: Write> Sender<'d, W> {
             seq: 1,
             frame_budget_ms: config.frame_budget_ms,
             stats,
+            header_bytes,
+            arq_ring: None,
         })
     }
 
@@ -122,6 +133,15 @@ impl<'d, W: Write> Sender<'d, W> {
     /// [`FrameEncoder::with_bounding_box`]).
     pub fn with_bounding_box(mut self, bb: Aabb) -> Self {
         self.encoder = self.encoder.with_bounding_box(bb);
+        self
+    }
+
+    /// Parks every outgoing chunk (including the already-written stream
+    /// header) in `ring` so an ARQ receiver holding a clone can NACK
+    /// gaps against it. See [`crate::arq`].
+    pub fn with_arq(mut self, ring: SharedRing) -> Self {
+        ring.insert(0, self.header_bytes.clone());
+        self.arq_ring = Some(ring);
         self
     }
 
@@ -143,14 +163,18 @@ impl<'d, W: Write> Sender<'d, W> {
         let send_sp = pcc_probe::span("stream/send");
         let mut payload = Vec::new();
         container::mux_frame(&mut payload, &encoded);
-        self.writer.write_chunk(&Chunk {
+        let bytes = encode_chunk(&Chunk {
             kind: ChunkKind::Frame,
             frame_kind: Some(kind),
             stream_id: self.stream_id,
             seq: self.seq,
             frame_index,
             payload,
-        })?;
+        });
+        if let Some(ring) = &self.arq_ring {
+            ring.insert(self.seq, bytes.clone());
+        }
+        self.writer.write_encoded(&bytes)?;
         self.seq += 1;
         if kind == FrameKind::Intra {
             // GOF boundary: the resync anchor must not sit in a buffer
@@ -175,8 +199,12 @@ impl<'d, W: Write> Sender<'d, W> {
     ///
     /// Propagates transport errors.
     pub fn finish(mut self) -> io::Result<(W, StreamStats)> {
-        self.writer
-            .write_chunk(&end_chunk(self.stream_id, self.seq, self.stats.frames_sent as u32))?;
+        let bytes =
+            encode_chunk(&end_chunk(self.stream_id, self.seq, self.stats.frames_sent as u32));
+        if let Some(ring) = &self.arq_ring {
+            ring.insert(self.seq, bytes.clone());
+        }
+        self.writer.write_encoded(&bytes)?;
         self.writer.flush()?;
         self.stats.chunks_sent += 1;
         self.stats.bytes_sent = self.writer.bytes_written();
@@ -318,7 +346,6 @@ pub struct Delivered {
 /// never the whole video. Corrupt, stale, foreign, and undecodable
 /// chunks are dropped; gaps that cross an I-frame desynchronize the
 /// session until the next intact I-frame re-anchors it.
-#[derive(Debug)]
 pub struct Receiver<'d, R: Read> {
     chunks: ChunkReader<R>,
     device: &'d Device,
@@ -329,12 +356,45 @@ pub struct Receiver<'d, R: Read> {
     design: Option<Design>,
     /// Index the next in-order frame chunk should carry.
     next_frame: usize,
+    /// Wire sequence number the next chunk should carry (ARQ gap
+    /// detection).
+    next_seq: u32,
+    /// Recovered chunks waiting to be processed before the transport is
+    /// read again.
+    pending: VecDeque<Chunk>,
+    arq: Option<ArqState>,
     /// Whether the decoder holds the reference the next P-frame needs.
     synced: bool,
     /// Whether any frame has been lost since the last resync point.
     loss_since_sync: bool,
     done: bool,
     stats: StreamStats,
+}
+
+/// The receiver half of an ARQ session: where NACKs go, and the bounds
+/// recovery runs under.
+struct ArqState {
+    source: Box<dyn Retransmit + Send>,
+    config: ArqConfig,
+}
+
+impl std::fmt::Debug for ArqState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArqState").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl<'d, R: Read> std::fmt::Debug for Receiver<'d, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver")
+            .field("stream_id", &self.stream_id)
+            .field("design", &self.design)
+            .field("next_frame", &self.next_frame)
+            .field("next_seq", &self.next_seq)
+            .field("arq", &self.arq)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'d, R: Read> Receiver<'d, R> {
@@ -349,11 +409,24 @@ impl<'d, R: Read> Receiver<'d, R> {
             depth: 0,
             design: None,
             next_frame: 0,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            arq: None,
             synced: false,
             loss_since_sync: false,
             done: false,
             stats: StreamStats::default(),
         }
+    }
+
+    /// Enables ARQ: wire-sequence gaps are NACKed against `source`
+    /// (typically a clone of the sender's [`SharedRing`]) under the
+    /// bounds in `config`. Chunks that cannot be recovered fall back to
+    /// the base skip-and-resync handling and are counted in
+    /// [`StreamStats::arq_degraded`].
+    pub fn with_arq<S: Retransmit + Send + 'static>(mut self, source: S, config: ArqConfig) -> Self {
+        self.arq = Some(ArqState { source: Box::new(source), config });
+        self
     }
 
     /// The stream's design, once the stream-header chunk has arrived.
@@ -394,13 +467,27 @@ impl<'d, R: Read> Receiver<'d, R> {
             return Ok(None);
         }
         loop {
-            let Some(chunk) = self.chunks.next_chunk()? else {
-                // Transport ended without an end chunk.
-                self.done = true;
+            let chunk = if let Some(recovered) = self.pending.pop_front() {
+                recovered
+            } else {
+                let Some(chunk) = self.chunks.next_chunk()? else {
+                    // Transport ended without an end chunk.
+                    self.done = true;
+                    self.sync_chunk_counters();
+                    return Ok(None);
+                };
                 self.sync_chunk_counters();
-                return Ok(None);
+                if self.arq.is_some() {
+                    self.recover_seq_gap(&chunk);
+                    if !self.pending.is_empty() {
+                        // Process recovered chunks first, then this one.
+                        self.pending.push_back(chunk);
+                        continue;
+                    }
+                }
+                chunk
             };
-            self.sync_chunk_counters();
+            self.note_seq(&chunk);
             match chunk.kind {
                 ChunkKind::StreamHeader => self.handle_header(&chunk),
                 ChunkKind::End => {
@@ -416,6 +503,71 @@ impl<'d, R: Read> Receiver<'d, R> {
                         return Ok(Some(delivered));
                     }
                 }
+            }
+        }
+    }
+
+    /// Advances the expected wire sequence number past `chunk`.
+    fn note_seq(&mut self, chunk: &Chunk) {
+        if self.stream_id.is_none() || self.stream_id == Some(chunk.stream_id) {
+            self.next_seq = self.next_seq.max(chunk.seq.saturating_add(1));
+        }
+    }
+
+    /// NACKs the wire-sequence gap `next_seq..chunk.seq` (if any) against
+    /// the ARQ source, queueing recovered chunks onto `pending` in seq
+    /// order. Unrecoverable sequence numbers are counted as degraded and
+    /// left to the frame-level skip-and-resync path.
+    fn recover_seq_gap(&mut self, chunk: &Chunk) {
+        let Some(arq) = self.arq.as_mut() else { return };
+        if self.stream_id.is_some_and(|id| id != chunk.stream_id) {
+            // Foreign-stream chunks say nothing about our gaps.
+            return;
+        }
+        if chunk.seq <= self.next_seq {
+            return;
+        }
+        let gap_start = Instant::now();
+        let first_missing = self.next_seq;
+        let gap = (chunk.seq - first_missing) as usize;
+        // Only the newest `ring_chunks` sequence numbers can still be in
+        // the sender's ring; NACKing older ones is wasted round trips.
+        let reachable = gap.min(arq.config.ring_chunks);
+        let aged_out = gap - reachable;
+        if aged_out > 0 {
+            self.stats.arq_degraded += aged_out;
+            pcc_probe::add_count("stream/arq_degraded", aged_out as u64);
+        }
+        for seq in (chunk.seq - reachable as u32)..chunk.seq {
+            let mut recovered = false;
+            for attempt in 0..arq.config.retry_budget.max(1) {
+                if attempt > 0 && gap_start.elapsed() >= arq.config.deadline {
+                    // Deadline spent: degrade instead of stalling the
+                    // playhead any longer.
+                    break;
+                }
+                self.stats.arq_nacks += 1;
+                pcc_probe::add_count("stream/arq_nack", 1);
+                let candidate = arq.source.retransmit(seq).and_then(|b| decode_chunk(&b));
+                if let Some(c) = candidate {
+                    if c.seq == seq && c.stream_id == chunk.stream_id {
+                        self.pending.push_back(c);
+                        recovered = true;
+                        self.stats.arq_recovered += 1;
+                        pcc_probe::add_count("stream/arq_recovered", 1);
+                        break;
+                    }
+                }
+                if attempt + 1 < arq.config.retry_budget {
+                    let backoff = arq.config.backoff_after(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+            if !recovered {
+                self.stats.arq_degraded += 1;
+                pcc_probe::add_count("stream/arq_degraded", 1);
             }
         }
     }
@@ -502,7 +654,12 @@ impl<'d, R: Read> Receiver<'d, R> {
             }
         }
         self.next_frame = index + 1;
-        let decoder = self.decoder.as_mut().expect("decoder exists once header parsed");
+        let Some(decoder) = self.decoder.as_mut() else {
+            // Unreachable in practice (stream_id implies a parsed
+            // header), but a hostile stream must get a dropped frame,
+            // never a panic.
+            return self.drop_frame(index);
+        };
         decoder.skip_frames(index - decoder.next_index());
 
         let demux_sp = pcc_probe::span("stream/demux");
@@ -522,7 +679,9 @@ impl<'d, R: Read> Receiver<'d, R> {
             // previous group's reference would show the wrong picture.
             return self.drop_frame(index);
         }
-        let decoder = self.decoder.as_mut().expect("decoder exists once header parsed");
+        let Some(decoder) = self.decoder.as_mut() else {
+            return self.drop_frame(index);
+        };
         let decode_sp = pcc_probe::span("stream/decode");
         let decoded = decoder.decode_frame(&frame);
         self.stats.add_stage_ns("stream/decode", decode_sp.stop());

@@ -35,6 +35,15 @@ pub struct StreamStats {
     /// Whether an end-of-stream chunk was seen (receiver) or written
     /// (sender); `false` means the transport died mid-stream.
     pub clean_shutdown: bool,
+    /// Retransmission requests (NACKs) issued for missing chunks when
+    /// ARQ is enabled.
+    pub arq_nacks: usize,
+    /// Missing chunks recovered through retransmission.
+    pub arq_recovered: usize,
+    /// Missing chunks ARQ gave up on (retry budget or deadline spent,
+    /// or aged out of the retransmit ring); these fall back to
+    /// skip-and-resync loss handling.
+    pub arq_degraded: usize,
     /// Measured wall-clock nanoseconds per pipeline stage, accumulated
     /// only while `pcc-probe` recording is on (`PCC_PROBE=1`); empty
     /// otherwise. Stages appear in first-recorded order.
@@ -57,6 +66,9 @@ impl PartialEq for StreamStats {
             && self.bytes_received == other.bytes_received
             && self.frames_over_budget == other.frames_over_budget
             && self.clean_shutdown == other.clean_shutdown
+            && self.arq_nacks == other.arq_nacks
+            && self.arq_recovered == other.arq_recovered
+            && self.arq_degraded == other.arq_degraded
     }
 }
 
@@ -77,6 +89,9 @@ impl StreamStats {
         self.bytes_received += other.bytes_received;
         self.frames_over_budget += other.frames_over_budget;
         self.clean_shutdown = self.clean_shutdown && other.clean_shutdown;
+        self.arq_nacks += other.arq_nacks;
+        self.arq_recovered += other.arq_recovered;
+        self.arq_degraded += other.arq_degraded;
         for &(stage, ns) in &other.stage_ns {
             self.add_stage_ns(stage, ns);
         }

@@ -140,6 +140,9 @@ impl PointCloud {
     /// # Panics
     ///
     /// Panics if any index in `perm` is out of bounds.
+    // Out-of-bounds perm indices are a documented panic (caller bug, not
+    // wire data): permutations come from sorts over 0..len.
+    #[allow(clippy::indexing_slicing)]
     pub fn gather(&self, perm: &[u32]) -> PointCloud {
         let positions = perm.iter().map(|&i| self.positions[i as usize]).collect();
         let colors = perm.iter().map(|&i| self.colors[i as usize]).collect();

@@ -31,6 +31,12 @@ pub enum Error {
         /// The rejected depth.
         depth: u8,
     },
+    /// A decoded world frame (grid origin / voxel size) is NaN, infinite,
+    /// non-positive, or large enough that dequantizing the far corner of
+    /// the grid would overflow `f32` — wire-derived frames must be
+    /// rejected here so dequantization can never produce a non-finite
+    /// point.
+    InvalidWorldFrame,
 }
 
 impl fmt::Display for Error {
@@ -46,6 +52,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidDepth { depth } => {
                 write!(f, "voxel depth {depth} outside supported range 1..=21")
+            }
+            Error::InvalidWorldFrame => {
+                write!(f, "world frame has a non-finite origin or unusable voxel size")
             }
         }
     }

@@ -28,10 +28,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wire-derived bytes reach this crate: a bare slice index is a latent
+// panic on hostile input, so all indexing must be get()-style or carry
+// a local, justified allow.
+#![deny(clippy::indexing_slicing)]
+// Unit tests may index freely: a panic there is a test failure, not a
+// reachable fault on wire data.
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
 
 mod bbox;
 mod cloud;
 mod error;
+mod limits;
 mod point;
 mod video;
 mod voxel;
@@ -39,6 +47,7 @@ mod voxel;
 pub use bbox::Aabb;
 pub use cloud::{PointCloud, PointRef};
 pub use error::{Error, Result};
+pub use limits::{DecodeError, LimitExceeded, Limits};
 pub use point::{Point3, Rgb};
 pub use video::{Frame, FrameKind, GofPattern, Video};
 pub use voxel::{VoxelCoord, VoxelizedCloud};

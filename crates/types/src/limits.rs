@@ -1,0 +1,265 @@
+//! Resource limits and the unified decode-error taxonomy.
+//!
+//! Every payload decoder in the workspace accepts a [`Limits`] and refuses
+//! to trust wire-derived lengths beyond it: a hostile stream can declare a
+//! four-billion-point frame in a dozen bytes, and without a ceiling the
+//! decoder would happily `Vec::with_capacity` its way to an OOM kill. The
+//! limits are generous enough that every legitimate bitstream produced by
+//! this workspace decodes unchanged; they exist to bound the *adversarial*
+//! case.
+//!
+//! [`DecodeError`] is the cross-crate taxonomy those decoders converge on.
+//! Each crate keeps its own precise error enum (so existing callers and
+//! tests keep matching on it), and provides a `From` conversion into
+//! `DecodeError` so applications that only care about "why did this stream
+//! fail" can funnel every layer into one type with byte-offset context
+//! where the layer tracks it.
+
+use std::fmt;
+
+/// A limit a hostile stream tried to exceed.
+///
+/// Carried by [`DecodeError::Limit`] and embedded (via per-crate error
+/// variants) everywhere a decoder enforces [`Limits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// What the stream asked for (e.g. `"points"`, `"alloc bytes"`).
+    pub what: &'static str,
+    /// The quantity the stream declared.
+    pub requested: u64,
+    /// The configured ceiling it crossed.
+    pub limit: u64,
+}
+
+impl fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream declares {} {} but the limit is {}",
+            self.requested, self.what, self.limit
+        )
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+/// Resource ceilings enforced while decoding untrusted bytes.
+///
+/// Thread a `Limits` through any decode entry point (`decode_*_with` /
+/// `with_limits` variants) to bound what a hostile stream can make the
+/// decoder allocate or traverse. The [`Default`] values accept every
+/// bitstream this workspace produces at dataset scale while capping
+/// adversarial allocation at ~1 GiB.
+///
+/// ```
+/// use pcc_types::Limits;
+///
+/// // An edge receiver that refuses frames beyond 2^20 points and 64 MiB
+/// // of decode-side allocation:
+/// let limits = Limits {
+///     max_points: 1 << 20,
+///     max_alloc_bytes: 64 << 20,
+///     ..Limits::default()
+/// };
+/// assert!(limits.check_points(1_000_000).is_ok());
+/// assert!(limits.check_points(2_000_000).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum points/voxels a single payload may declare or expand to.
+    pub max_points: u64,
+    /// Maximum blocks/segments a partitioned attribute payload may declare.
+    pub max_blocks: u64,
+    /// Maximum octree depth a geometry stream may declare.
+    pub max_depth: u8,
+    /// Maximum bytes any single wire-derived allocation may reserve.
+    pub max_alloc_bytes: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_points: 1 << 26,          // 67M points — far past dataset scale
+            max_blocks: 1 << 22,          // 4M attribute blocks
+            max_depth: 21,                // the Morton coordinate ceiling
+            max_alloc_bytes: 1 << 30,     // 1 GiB per wire-derived allocation
+        }
+    }
+}
+
+impl Limits {
+    /// A deliberately tight configuration for tests and fuzzing: small
+    /// enough that limit enforcement actually fires, large enough to
+    /// decode the workspace's miniature fixtures.
+    pub fn strict() -> Self {
+        Limits {
+            max_points: 1 << 16,
+            max_blocks: 1 << 12,
+            max_depth: 16,
+            max_alloc_bytes: 1 << 20,
+        }
+    }
+
+    /// Checks a declared point/voxel count against [`Limits::max_points`].
+    pub fn check_points(&self, requested: u64) -> Result<(), LimitExceeded> {
+        check(requested, self.max_points, "points")
+    }
+
+    /// Checks a declared block/segment count against [`Limits::max_blocks`].
+    pub fn check_blocks(&self, requested: u64) -> Result<(), LimitExceeded> {
+        check(requested, self.max_blocks, "blocks")
+    }
+
+    /// Checks a declared octree depth against [`Limits::max_depth`].
+    pub fn check_depth(&self, requested: u8) -> Result<(), LimitExceeded> {
+        check(u64::from(requested), u64::from(self.max_depth), "octree depth")
+    }
+
+    /// Checks a wire-derived allocation size (in bytes) against
+    /// [`Limits::max_alloc_bytes`].
+    pub fn check_alloc(&self, requested: u64) -> Result<(), LimitExceeded> {
+        check(requested, self.max_alloc_bytes, "alloc bytes")
+    }
+}
+
+fn check(requested: u64, limit: u64, what: &'static str) -> Result<(), LimitExceeded> {
+    if requested > limit {
+        Err(LimitExceeded { what, requested, limit })
+    } else {
+        Ok(())
+    }
+}
+
+/// The unified decode-error taxonomy.
+///
+/// Every decode-path crate converts its own error enum into this one
+/// (`impl From<...> for DecodeError` lives next to each source type), so a
+/// caller holding errors from the entropy layer, the octree serializer,
+/// the container demuxer, and the frame codec can report them uniformly.
+/// Offsets are byte positions into the input the failing layer was
+/// reading; layers that do not track positions report offset 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The input ended before the structure it declared.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// A magic number or sync marker did not match.
+    BadMagic {
+        /// Byte offset of the bad marker.
+        offset: usize,
+    },
+    /// A version byte names a format this decoder does not speak.
+    BadVersion {
+        /// The version the stream declared.
+        version: u8,
+    },
+    /// A tag byte names no known record or design.
+    BadTag {
+        /// The unrecognized tag value.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// A varint ran past 64 bits.
+    VarintOverflow {
+        /// Byte offset of the overlong varint.
+        offset: usize,
+    },
+    /// The input is structurally inconsistent.
+    Corrupt {
+        /// Short description of the inconsistency.
+        what: &'static str,
+        /// Byte offset of the inconsistency (0 when untracked).
+        offset: usize,
+    },
+    /// The stream demanded more resources than [`Limits`] allow.
+    Limit(LimitExceeded),
+    /// A predicted frame referenced a frame that was never decoded.
+    MissingReference {
+        /// Index of the frame whose reference is missing.
+        frame: usize,
+    },
+    /// A predicted frame arrived but the codec has no inter-frame
+    /// configuration (e.g. a P-frame record inside an intra-only
+    /// container).
+    MissingInterConfig {
+        /// Index of the offending frame.
+        frame: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "input truncated at byte {offset}")
+            }
+            DecodeError::BadMagic { offset } => {
+                write!(f, "bad magic at byte {offset}")
+            }
+            DecodeError::BadVersion { version } => {
+                write!(f, "unsupported format version {version}")
+            }
+            DecodeError::BadTag { tag, offset } => {
+                write!(f, "unknown tag {tag:#04x} at byte {offset}")
+            }
+            DecodeError::VarintOverflow { offset } => {
+                write!(f, "varint overflows 64 bits at byte {offset}")
+            }
+            DecodeError::Corrupt { what, offset } => {
+                write!(f, "corrupt stream ({what}) at byte {offset}")
+            }
+            DecodeError::Limit(e) => write!(f, "{e}"),
+            DecodeError::MissingReference { frame } => {
+                write!(f, "frame {frame} references a frame that was never decoded")
+            }
+            DecodeError::MissingInterConfig { frame } => {
+                write!(f, "frame {frame} is inter-coded but the codec has no inter config")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<LimitExceeded> for DecodeError {
+    fn from(e: LimitExceeded) -> Self {
+        DecodeError::Limit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_admit_dataset_scale() {
+        let limits = Limits::default();
+        // An 8iVFB frame is ~800k points at depth 10.
+        assert!(limits.check_points(800_000).is_ok());
+        assert!(limits.check_depth(10).is_ok());
+        assert!(limits.check_alloc(800_000 * 15).is_ok());
+    }
+
+    #[test]
+    fn checks_report_what_was_requested() {
+        let limits = Limits::strict();
+        let err = limits.check_points(u64::MAX).unwrap_err();
+        assert_eq!(err.what, "points");
+        assert_eq!(err.requested, u64::MAX);
+        assert_eq!(err.limit, limits.max_points);
+        let msg = DecodeError::from(err).to_string();
+        assert!(msg.contains("points"), "{msg}");
+    }
+
+    #[test]
+    fn display_covers_offsets() {
+        let e = DecodeError::Truncated { offset: 42 };
+        assert_eq!(e.to_string(), "input truncated at byte 42");
+        let e = DecodeError::BadTag { tag: 0xff, offset: 7 };
+        assert!(e.to_string().contains("0xff"));
+    }
+}

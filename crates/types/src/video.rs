@@ -63,7 +63,7 @@ impl GofPattern {
 
     /// The kind assigned to frame `index`.
     pub fn kind_of(&self, index: usize) -> FrameKind {
-        if index as u32 % self.period == 0 {
+        if (index as u32).is_multiple_of(self.period) {
             FrameKind::Intra
         } else {
             FrameKind::Predicted
@@ -83,7 +83,7 @@ impl GofPattern {
 
     /// Whether frame `index` opens a group of frames (is its I-frame).
     pub fn is_gof_start(&self, index: usize) -> bool {
-        index % self.period as usize == 0
+        index.is_multiple_of(self.period as usize)
     }
 
     /// Whether any frame in `lost` (a half-open index range) is an

@@ -168,7 +168,11 @@ impl VoxelizedCloud {
     ///
     /// # Errors
     ///
-    /// Same as [`from_grid`](Self::from_grid).
+    /// Same as [`from_grid`](Self::from_grid), plus
+    /// [`Error::InvalidWorldFrame`] when the frame came off the wire
+    /// damaged: a NaN/∞ origin, a non-positive or non-finite voxel size,
+    /// or a grid whose far corner overflows `f32` (every voxel center
+    /// must dequantize to a finite position).
     pub fn from_grid_with_frame(
         coords: Vec<VoxelCoord>,
         colors: Vec<Rgb>,
@@ -177,6 +181,12 @@ impl VoxelizedCloud {
         voxel_size: f32,
     ) -> Result<Self> {
         let mut v = VoxelizedCloud::from_grid(coords, colors, depth)?;
+        let side = voxel_size * (1u32 << depth) as f32;
+        let far = origin + Point3::new(side, side, side);
+        if !voxel_size.is_finite() || voxel_size <= 0.0 || !origin.is_finite() || !far.is_finite()
+        {
+            return Err(Error::InvalidWorldFrame);
+        }
         v.origin = origin;
         v.voxel_size = voxel_size;
         Ok(v)
@@ -231,6 +241,11 @@ impl VoxelizedCloud {
     }
 
     /// World-space center of the voxel holding point `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds (caller bug, not wire data).
+    #[allow(clippy::indexing_slicing)]
     pub fn voxel_center(&self, index: usize) -> Point3 {
         let c = self.coords[index];
         self.origin
@@ -244,8 +259,10 @@ impl VoxelizedCloud {
     /// Dequantizes back to a floating-point cloud (voxel centers).
     pub fn to_cloud(&self) -> PointCloud {
         let positions = (0..self.len()).map(|i| self.voxel_center(i)).collect();
+        // Constructors reject mismatched lengths and world frames that
+        // would dequantize to non-finite centers, so this cannot fail.
         PointCloud::from_parts(positions, self.colors.clone())
-            .expect("lengths match by construction")
+            .expect("lengths and finite frame guaranteed by construction")
     }
 
     /// Returns a new voxelized cloud with voxels reordered by `perm`
@@ -254,6 +271,7 @@ impl VoxelizedCloud {
     /// # Panics
     ///
     /// Panics if any index in `perm` is out of bounds.
+    #[allow(clippy::indexing_slicing)]
     pub fn gather(&self, perm: &[u32]) -> VoxelizedCloud {
         VoxelizedCloud {
             coords: perm.iter().map(|&i| self.coords[i as usize]).collect(),
@@ -280,6 +298,9 @@ impl VoxelizedCloud {
     /// form every codec in the workspace actually encodes. Real captures
     /// like 8iVFB ship in this form already: one point per occupied
     /// voxel.
+    // `order` enumerates 0..len, so the index-backs are in range by
+    // construction.
+    #[allow(clippy::indexing_slicing)]
     pub fn dedup_mean(&self) -> VoxelizedCloud {
         let mut order: Vec<(u64, u32)> = self
             .coords
@@ -300,12 +321,13 @@ impl VoxelizedCloud {
         let mut count = 0u64;
         let flush = |coord: VoxelCoord, sums: &mut [u64; 3], count: &mut u64,
                          coords: &mut Vec<VoxelCoord>, colors: &mut Vec<Rgb>| {
-            if *count > 0 {
+            if let Some(n) = std::num::NonZeroU64::new(*count) {
+                let n = n.get();
                 coords.push(coord);
                 colors.push(Rgb::new(
-                    ((sums[0] + *count / 2) / *count) as u8,
-                    ((sums[1] + *count / 2) / *count) as u8,
-                    ((sums[2] + *count / 2) / *count) as u8,
+                    ((sums[0] + n / 2) / n) as u8,
+                    ((sums[1] + n / 2) / n) as u8,
+                    ((sums[2] + n / 2) / n) as u8,
                 ));
                 *sums = [0; 3];
                 *count = 0;
@@ -403,6 +425,37 @@ mod tests {
         assert_eq!(err, Error::InvalidDepth { depth: 4 });
         let err = VoxelizedCloud::from_grid(vec![], vec![Rgb::BLACK], 4).unwrap_err();
         assert!(matches!(err, Error::MismatchedLengths { .. }));
+    }
+
+    #[test]
+    fn from_grid_with_frame_rejects_hostile_world_frames() {
+        let build = |origin: Point3, size: f32| {
+            VoxelizedCloud::from_grid_with_frame(
+                vec![VoxelCoord::new(1, 2, 3)],
+                vec![Rgb::BLACK],
+                4,
+                origin,
+                size,
+            )
+        };
+        assert!(build(Point3::new(1.0, 2.0, 3.0), 0.5).is_ok());
+        for (origin, size) in [
+            (Point3::new(f32::NAN, 0.0, 0.0), 1.0),
+            (Point3::new(0.0, f32::INFINITY, 0.0), 1.0),
+            (Point3::ORIGIN, f32::NAN),
+            (Point3::ORIGIN, 0.0),
+            (Point3::ORIGIN, -1.0),
+            // Finite but so large the grid's far corner overflows f32 —
+            // dequantized voxel centers would be infinite.
+            (Point3::ORIGIN, f32::MAX / 2.0),
+        ] {
+            assert_eq!(
+                build(origin, size).unwrap_err(),
+                Error::InvalidWorldFrame,
+                "origin {origin:?} size {size} must be rejected"
+            );
+        }
+        // A hostile frame must never survive to panic `to_cloud`.
     }
 
     #[test]

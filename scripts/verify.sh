@@ -30,9 +30,28 @@ cargo check -q --offline -p pcc --no-default-features
 echo "== bench targets compile =="
 cargo check -q --offline -p pcc-bench --benches
 
-echo "== live streaming over loopback TCP =="
+echo "== live streaming over loopback TCP + seeded-loss ARQ legs =="
 # The example asserts 12/12 frames delivered in order, a clean shutdown,
-# zero drops/resyncs, and a minimum delivered attribute PSNR.
+# zero drops/resyncs, and a minimum delivered attribute PSNR — then
+# replays the clip over a 10%-loss seeded transport and asserts the
+# plain receiver drops frames while the ARQ receiver recovers all of
+# them bit-exact.
 cargo run -q --release --offline --example live_stream
+
+echo "== fuzz smoke: seeded decode-surface mutations =="
+# Fixed-seed corpus (no time, no randomness source beyond the seed):
+# 10k+ mutated bitstreams through demux / decode_frame /
+# decode_occupancy / the chunk receiver must return Ok-or-Err, never
+# panic, at both Limits regimes. Run in release so the gate stays fast.
+cargo test -q --offline --release --test fuzz_decode
+
+echo "== clippy: no unchecked indexing on the decode path =="
+# Every crate that parses wire-derived bytes carries
+# #![deny(clippy::indexing_slicing)] in its lib.rs — a bare slice index
+# is a latent panic on hostile input, so access must be get()-style or
+# carry a local, justified allow. This invocation makes the deny fire.
+cargo clippy -q --offline \
+    -p pcc-types -p pcc-entropy -p pcc-octree -p pcc-intra -p pcc-inter \
+    -p pcc-core -p pcc-stream -p pcc-fault
 
 echo "verify: all gates passed"

@@ -43,6 +43,7 @@ pub use pcc_core as core;
 pub use pcc_datasets as datasets;
 pub use pcc_edge as edge;
 pub use pcc_entropy as entropy;
+pub use pcc_fault as fault;
 pub use pcc_inter as inter;
 pub use pcc_intra as intra;
 pub use pcc_metrics as metrics;

@@ -1,0 +1,212 @@
+//! ARQ acceptance: under deterministic seeded chunk loss, a receiver
+//! with a retransmission back channel must deliver every frame bit-exact
+//! (the lossless floor), while the plain receiver on the same damaged
+//! wire shows GOF drops — and both runs must replay exactly from the
+//! same seed.
+
+use std::time::Duration;
+
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::fault::{FaultConfig, FaultStats, FaultyTransport, LossyRetransmit};
+use pcc::stream::{
+    ArqConfig, Receiver, Sender, SharedRing, StreamConfig, StreamStats,
+};
+use pcc::types::{PointCloud, Video};
+
+const SEED: u64 = 0xC0FFEE;
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn clip() -> Video {
+    catalog::by_name("Soldier").unwrap().generate_scaled(12, 1_500)
+}
+
+/// Test-friendly recovery bounds: no backoff sleeps, ample deadline.
+fn arq_config() -> ArqConfig {
+    ArqConfig {
+        backoff_base: Duration::ZERO,
+        deadline: Duration::from_secs(5),
+        ..ArqConfig::default()
+    }
+}
+
+/// Streams `video` through a seeded [`FaultyTransport`], parking every
+/// chunk in a fresh ring. Returns the damaged wire, the ring, the
+/// sender's stats, and the fault accounting.
+fn faulty_wire(
+    codec: &PccCodec,
+    video: &Video,
+    d: &Device,
+    cfg: FaultConfig,
+    seed: u64,
+) -> (Vec<u8>, SharedRing, StreamStats, FaultStats) {
+    let ring = SharedRing::new(64);
+    let transport = FaultyTransport::new(Vec::new(), cfg, seed);
+    let mut sender = Sender::new(codec, 7, d, transport, &StreamConfig::default())
+        .unwrap()
+        .with_bounding_box(video.bounding_box().unwrap())
+        .with_arq(ring.clone());
+    for frame in video.iter() {
+        sender.send_frame(&frame.cloud).unwrap();
+    }
+    let (transport, tx) = sender.finish().unwrap();
+    let (wire, faults) = transport.into_inner();
+    (wire, ring, tx, faults)
+}
+
+fn clean_clouds(codec: &PccCodec, video: &Video, d: &Device) -> Vec<PointCloud> {
+    let (wire, _, _, faults) =
+        faulty_wire(codec, video, d, FaultConfig::default(), SEED);
+    assert_eq!(faults.faulted(), 0);
+    let mut rx = Receiver::new(wire.as_slice(), d);
+    let mut out = Vec::new();
+    while let Some(frame) = rx.recv_frame().unwrap() {
+        assert_eq!(frame.frame_index, out.len());
+        out.push(frame.cloud);
+    }
+    out
+}
+
+/// 10% seeded chunk loss; the stream-header chunk is immune so both
+/// receivers measure frame loss, not setup loss.
+fn lossy_config() -> FaultConfig {
+    FaultConfig { drop: 0.10, immune_prefix: 1, ..FaultConfig::default() }
+}
+
+#[test]
+fn arq_recovers_to_the_lossless_floor_where_plain_receive_drops_gofs() {
+    let video = clip();
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let clean = clean_clouds(&codec, &video, &d);
+
+    let (wire, ring, tx, faults) = faulty_wire(&codec, &video, &d, lossy_config(), SEED);
+    assert_eq!(tx.frames_sent, video.len());
+    assert!(faults.dropped > 0, "seed {SEED} must actually lose chunks: {faults:?}");
+
+    // Plain receiver: the damaged wire costs real frames.
+    let mut plain = Receiver::new(wire.as_slice(), &d);
+    let mut plain_delivered = 0usize;
+    while let Some(frame) = plain.recv_frame().unwrap() {
+        assert_eq!(frame.cloud, clean[frame.frame_index], "plain receive must never show a wrong picture");
+        plain_delivered += 1;
+    }
+    let plain_stats = plain.into_stats();
+    assert!(
+        plain_stats.frames_dropped > 0,
+        "without ARQ this loss pattern must drop frames: {plain_stats:?}"
+    );
+    assert_eq!(plain_stats.arq_nacks, 0);
+    assert_eq!(plain_delivered + plain_stats.frames_dropped, video.len());
+
+    // ARQ receiver on the same wire: every frame comes back bit-exact —
+    // equality with the clean run is the lossless PSNR floor.
+    let mut arq = Receiver::new(wire.as_slice(), &d).with_arq(ring, arq_config());
+    let mut delivered = Vec::new();
+    while let Some(frame) = arq.recv_frame().unwrap() {
+        delivered.push(frame);
+    }
+    let arq_stats = arq.into_stats();
+    assert_eq!(delivered.len(), video.len(), "ARQ must recover every frame: {arq_stats:?}");
+    for (i, frame) in delivered.iter().enumerate() {
+        assert_eq!(frame.frame_index, i);
+        assert_eq!(frame.cloud, clean[i], "frame {i} not bit-exact after recovery");
+    }
+    assert_eq!(arq_stats.frames_dropped, 0, "{arq_stats:?}");
+    assert!(arq_stats.arq_nacks > 0, "recovery must have NACKed: {arq_stats:?}");
+    assert_eq!(
+        arq_stats.arq_recovered, faults.dropped,
+        "every dropped chunk should be recovered: {arq_stats:?} vs {faults:?}"
+    );
+    assert_eq!(arq_stats.arq_degraded, 0, "{arq_stats:?}");
+    assert!(arq_stats.clean_shutdown);
+}
+
+#[test]
+fn the_same_seed_replays_the_same_session_exactly() {
+    let video = clip();
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+
+    let run = || {
+        let (wire, ring, _, faults) = faulty_wire(&codec, &video, &d, lossy_config(), SEED);
+        let mut rx = Receiver::new(wire.as_slice(), &d).with_arq(ring, arq_config());
+        let mut indices = Vec::new();
+        while let Some(frame) = rx.recv_frame().unwrap() {
+            indices.push(frame.frame_index);
+        }
+        let stats = rx.into_stats();
+        (wire, faults, indices, stats)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "same seed must produce an identical damaged wire");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3, "delivery accounting must replay exactly");
+}
+
+#[test]
+fn a_lossy_back_channel_burns_retries_but_still_recovers() {
+    let video = clip();
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let (wire, ring, _, faults) = faulty_wire(&codec, &video, &d, lossy_config(), SEED);
+    assert!(faults.dropped > 0);
+
+    // Three quarters of the retransmissions vanish too; a generous
+    // retry budget still gets every chunk through eventually.
+    let channel = LossyRetransmit::new(ring, 0.75, SEED ^ 5);
+    let cfg = ArqConfig { retry_budget: 16, ..arq_config() };
+    let mut rx = Receiver::new(wire.as_slice(), &d).with_arq(channel, cfg);
+    let mut delivered = 0usize;
+    while let Some(_frame) = rx.recv_frame().unwrap() {
+        delivered += 1;
+    }
+    let stats = rx.into_stats();
+    assert_eq!(delivered, video.len(), "budgeted retries should still recover: {stats:?}");
+    assert!(
+        stats.arq_nacks > stats.arq_recovered,
+        "lost retransmissions must show up as extra NACKs: {stats:?}"
+    );
+}
+
+#[test]
+fn gaps_older_than_the_ring_degrade_to_skip_and_resync() {
+    let video = clip();
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+
+    // A one-chunk ring cannot serve a NACK by the time the gap is seen:
+    // the triggering chunk itself has already overwritten the loss.
+    let ring = SharedRing::new(1);
+    let transport = FaultyTransport::new(Vec::new(), lossy_config(), SEED);
+    let mut sender = Sender::new(&codec, 7, &d, transport, &StreamConfig::default())
+        .unwrap()
+        .with_bounding_box(video.bounding_box().unwrap())
+        .with_arq(ring.clone());
+    for frame in video.iter() {
+        sender.send_frame(&frame.cloud).unwrap();
+    }
+    let (transport, _) = sender.finish().unwrap();
+    let (wire, faults) = transport.into_inner();
+    assert!(faults.dropped > 0);
+
+    let cfg = ArqConfig { ring_chunks: 1, ..arq_config() };
+    let mut rx = Receiver::new(wire.as_slice(), &d).with_arq(ring, cfg);
+    while rx.recv_frame().unwrap().is_some() {}
+    let stats = rx.into_stats();
+    assert!(
+        stats.arq_degraded > 0,
+        "unrecoverable gaps must be accounted as degraded: {stats:?}"
+    );
+    assert!(
+        stats.frames_dropped >= faults.dropped,
+        "degraded chunks fall back to plain frame loss (an unrecovered \
+         I-frame also orphans its GOF's P-frames): {stats:?} vs {faults:?}"
+    );
+}

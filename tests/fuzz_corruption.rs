@@ -69,7 +69,7 @@ fn assert_streaming_safety(wire: &[u8]) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn intra_decoder_survives_random_mutations(

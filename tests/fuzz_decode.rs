@@ -1,0 +1,157 @@
+//! Deterministic decode-surface fuzzing: seeded mutations of real
+//! bitstreams (byte flips, truncations, splices, length-field inflation)
+//! driven through every public decode entry point. The only acceptable
+//! outcomes are `Ok` with a structurally valid result or a typed `Err` —
+//! a panic, abort, or limit-busting allocation is a bug.
+//!
+//! Every mutation is drawn from a fixed-seed [`SmallRng`], so a failure
+//! reproduces exactly from the printed iteration number; there is no
+//! corpus directory and no time-dependent input.
+
+use std::num::NonZeroUsize;
+
+use pcc::core::{container, Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::octree::{decode_occupancy_with, ParallelOctree};
+use pcc::stream::{Receiver, Sender, StreamConfig};
+use pcc::types::{Limits, Video, VoxelizedCloud};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0xFEED_5EED;
+
+/// A small fixture keeps the happy-path decodes (mutations that land in
+/// don't-care bytes) cheap enough for a 10k+ iteration debug-mode run.
+fn clip() -> Video {
+    catalog::by_name("Longdress").unwrap().generate_scaled(2, 600)
+}
+
+fn device(threads: usize) -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15).with_host_threads(NonZeroUsize::new(threads))
+}
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Applies one seeded mutation to a copy of `original`: a burst of bit
+/// flips, a truncation, a self-splice (a window copied over another
+/// offset — shifts every downstream field), or a length-field inflation
+/// (a 4-byte little-endian run saturated to `0xFFFF_FFFF`, the classic
+/// "allocate 4 GiB please" attack on wire-declared sizes).
+fn mutate(rng: &mut SmallRng, original: &[u8]) -> Vec<u8> {
+    let mut bytes = original.to_vec();
+    if bytes.is_empty() {
+        return bytes;
+    }
+    match rng.random_range(0..4u32) {
+        0 => {
+            for _ in 0..rng.random_range(1..=8usize) {
+                let pos = rng.random_range(0..bytes.len());
+                let bit = rng.random_range(0..8u32);
+                if let Some(b) = bytes.get_mut(pos) {
+                    *b ^= 1 << bit;
+                }
+            }
+        }
+        1 => {
+            let keep = rng.random_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        2 => {
+            let src = rng.random_range(0..bytes.len());
+            let dst = rng.random_range(0..bytes.len());
+            let len = rng.random_range(1..=32usize).min(bytes.len());
+            let window: Vec<u8> = bytes.iter().copied().skip(src).take(len).collect();
+            for (i, b) in window.into_iter().enumerate() {
+                if let Some(slot) = bytes.get_mut(dst.saturating_add(i)) {
+                    *slot = b;
+                }
+            }
+        }
+        _ => {
+            let pos = rng.random_range(0..bytes.len());
+            for i in 0..4usize {
+                if let Some(b) = bytes.get_mut(pos.saturating_add(i)) {
+                    *b = 0xFF;
+                }
+            }
+        }
+    }
+    bytes
+}
+
+/// Demux + full frame-decode of a mutated container under explicit
+/// limits. Success and typed errors are both fine; only panics fail.
+fn drive_container(mutated: &[u8], codec: &PccCodec, d: &Device, limits: Limits) {
+    let Ok(video) = container::demux_with(mutated, &limits) else {
+        return;
+    };
+    let mut decoder = codec.frame_decoder(d).with_limits(limits);
+    for frame in &video.frames {
+        if decoder.decode_frame(frame).is_err() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn mutated_containers_never_panic_demux_or_decode() {
+    let video = clip();
+    for design in Design::ALL {
+        let codec = PccCodec::new(design);
+        for threads in [1, max_threads()] {
+            let d = device(threads);
+            let original = container::mux(&codec.encode_video(&video, 7, &d));
+            // Sanity: the unmutated bytes survive both limit regimes.
+            drive_container(&original, &codec, &d, Limits::default());
+            drive_container(&original, &codec, &d, Limits::strict());
+            assert!(container::demux(&original).is_ok());
+
+            let mut rng = SmallRng::seed_from_u64(SEED ^ (design as u64) << 8 ^ threads as u64);
+            for _ in 0..650 {
+                let mutated = mutate(&mut rng, &original);
+                drive_container(&mutated, &codec, &d, Limits::default());
+                drive_container(&mutated, &codec, &d, Limits::strict());
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_occupancy_streams_never_panic() {
+    let video = clip();
+    let vox = VoxelizedCloud::from_cloud(&video.frame(0).unwrap().cloud, 7);
+    let original = ParallelOctree::from_coords(vox.coords(), 7).serialize();
+    assert!(decode_occupancy_with(&original, &Limits::strict()).is_ok());
+
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x0C7);
+    for _ in 0..2_500 {
+        let mutated = mutate(&mut rng, &original);
+        // Strict limits also bound the frontier a hostile stream can
+        // declare; both regimes must return, not panic.
+        let _ = decode_occupancy_with(&mutated, &Limits::strict());
+        let _ = decode_occupancy_with(&mutated, &Limits::default());
+    }
+}
+
+#[test]
+fn mutated_chunk_streams_never_panic_the_receiver() {
+    let video = clip();
+    let d = device(1);
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let mut tx = Sender::new(&codec, 7, &d, Vec::new(), &StreamConfig::default()).unwrap();
+    for frame in video.iter() {
+        tx.send_frame(&frame.cloud).unwrap();
+    }
+    let (original, _) = tx.finish().unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x5717);
+    for _ in 0..1_600 {
+        let mutated = mutate(&mut rng, &original);
+        let mut rx = Receiver::new(mutated.as_slice(), &d);
+        // A finite wire must always terminate: clean end, or an error.
+        while let Ok(Some(_)) = rx.recv_frame() {}
+    }
+}

@@ -23,7 +23,7 @@ fn probe() -> Video {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 6 })]
 
     /// A stricter size target can never be met by a *smaller* reuse
     /// threshold: `threshold_for_ratio` is monotone non-decreasing in the
