@@ -1,0 +1,136 @@
+//! Time as a capability: real for production, fake for tests.
+//!
+//! Overload control is all about wall-clock time — frame deadlines, ARQ
+//! backoff, watchdog budgets — and wall-clock tests are flaky by
+//! construction. Every time-dependent component in the workspace
+//! therefore reads time through a [`Clock`]: production sessions use
+//! [`SystemClock`] (a monotonic `Instant` epoch), tests use a
+//! [`FakeClock`] whose `sleep` *advances* time instead of spending it,
+//! so a 200 ms ARQ deadline or a 10-frame degradation sequence replays
+//! in microseconds, byte-identically, on any machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus the ability to wait on it.
+///
+/// `now` is elapsed time since the clock's own epoch — only differences
+/// are meaningful, which is all deadline and backoff logic needs.
+pub trait Clock: Send + Sync {
+    /// Monotonic time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+    /// Waits for `d` (or, for a fake clock, advances time by `d`).
+    fn sleep(&self, d: Duration);
+}
+
+/// The real monotonic clock: `now` is time since construction, `sleep`
+/// is [`std::thread::sleep`].
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A deterministic clock for tests: time moves only when told to.
+///
+/// `sleep` advances the clock instead of blocking, so backoff/deadline
+/// logic driven by a `FakeClock` runs at full speed while observing
+/// exactly the timeline it would under real sleeps. Clones share one
+/// timeline (the handle is an `Arc` over atomic nanoseconds), so a test
+/// can hold a handle while the component under test holds another.
+#[derive(Debug, Clone, Default)]
+pub struct FakeClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl FakeClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        FakeClock::default()
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_advances_only_on_demand() {
+        let clock = FakeClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.sleep(Duration::from_millis(7));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn fake_clock_clones_share_a_timeline() {
+        let a = FakeClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(1));
+        assert_eq!(b.now(), Duration::from_secs(1));
+        b.sleep(Duration::from_secs(2));
+        assert_eq!(a.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic_and_sleeps() {
+        let clock = SystemClock::new();
+        let t0 = clock.now();
+        clock.sleep(Duration::from_millis(1));
+        assert!(clock.now() > t0);
+        // Zero-duration sleep must not block at all.
+        clock.sleep(Duration::ZERO);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Arc<dyn Clock>> =
+            vec![Arc::new(SystemClock::new()), Arc::new(FakeClock::new())];
+        for c in &clocks {
+            let _ = c.now();
+        }
+    }
+}

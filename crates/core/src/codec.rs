@@ -249,6 +249,7 @@ impl PccCodec {
             gof: self.design.gof_pattern(),
             bounding_box: None,
             index: 0,
+            pending_config: None,
             reference_colors: None,
             reference_cloud: None,
         }
@@ -327,6 +328,9 @@ pub struct FrameEncoder<'d> {
     gof: GofPattern,
     bounding_box: Option<Aabb>,
     index: usize,
+    /// A live configuration change staged by [`set_inter_config`]
+    /// (`Self::set_inter_config`), applied at the next I-frame slot.
+    pending_config: Option<InterConfig>,
     reference_colors: Option<Vec<Rgb>>,
     reference_cloud: Option<VoxelizedCloud>,
 }
@@ -356,6 +360,56 @@ impl<'d> FrameEncoder<'d> {
         self.gof
     }
 
+    /// The inter configuration currently applied to encoded frames.
+    pub fn inter_config(&self) -> InterConfig {
+        self.inter_config
+    }
+
+    /// Stages a live configuration change, applied when the next I-frame
+    /// slot is encoded.
+    ///
+    /// Deferring to a group-of-frames boundary keeps the reference chain
+    /// consistent: every P-frame is encoded with the same configuration
+    /// as the I-frame it references. Only knobs that do not change the
+    /// decode contract may move mid-stream (the reuse threshold and the
+    /// intra `two_layer` flag — see `pcc-adapt`'s ladder validation);
+    /// this method does not re-validate, since the encoder cannot know
+    /// what the receiver was told at session start.
+    pub fn set_inter_config(&mut self, config: InterConfig) {
+        self.pending_config = Some(config);
+    }
+
+    /// Whether a staged configuration change is waiting for an I-frame.
+    pub fn has_pending_config(&self) -> bool {
+        self.pending_config.is_some()
+    }
+
+    /// Skips the next frame slot without encoding anything.
+    ///
+    /// The frame-index gap this leaves on the wire is exactly the signal
+    /// receivers already understand as one lost frame. Skipping a
+    /// P-frame slot leaves the encoder's reference state untouched, so
+    /// later frames are byte-identical to an unskipped session; skipping
+    /// an I-frame slot invalidates the held reference, so the following
+    /// P-slots are encoded as intra fallbacks that re-anchor the
+    /// receiver instead of referencing a picture it never saw.
+    pub fn skip_frame(&mut self) {
+        if self.gof.kind_of(self.index) == FrameKind::Intra {
+            self.invalidate_reference();
+        }
+        self.index += 1;
+    }
+
+    /// Forgets the held reference state. The next P-frame slot will be
+    /// encoded as an intra fallback (the same fallback used for a
+    /// session's very first frames), which re-anchors any receiver.
+    /// Supervisors call this when an I-frame encode fails mid-flight and
+    /// the reference can no longer be trusted.
+    pub fn invalidate_reference(&mut self) {
+        self.reference_colors = None;
+        self.reference_cloud = None;
+    }
+
     /// Encodes the next frame of the session, returning the coded frame
     /// and its modeled encode timeline (the device is drained per frame).
     pub fn encode_frame(&mut self, cloud: &PointCloud) -> (EncodedFrame, Timeline) {
@@ -365,6 +419,13 @@ impl<'d> FrameEncoder<'d> {
             None => VoxelizedCloud::from_cloud(cloud, self.depth),
         };
         let kind = self.gof.kind_of(self.index);
+        if kind == FrameKind::Intra {
+            // GOF boundary: a staged live configuration change lands
+            // here, never mid-group.
+            if let Some(cfg) = self.pending_config.take() {
+                self.inter_config = cfg;
+            }
+        }
         let device = self.device;
         device.reset();
         let encoded = match (self.design, kind) {
@@ -712,6 +773,99 @@ mod tests {
         // Default limits decode the same frame fine.
         let mut dec = codec.frame_decoder(&d);
         dec.decode_frame(&enc.frames[0]).unwrap();
+    }
+
+    #[test]
+    fn config_changes_land_on_gof_boundaries() {
+        let video = catalog::by_name("Redandblack").unwrap().generate_scaled(6, 1_200);
+        let d = device();
+        let bb = video.bounding_box().unwrap();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let mux_one = |f: EncodedFrame| {
+            let mut out = Vec::new();
+            crate::container::mux_frame(&mut out, &f);
+            out
+        };
+
+        // Run A: stage the V2 config mid-group (before frame 1, a P).
+        let mut a = codec.frame_encoder(7, &d).with_bounding_box(bb);
+        let mut a_frames = Vec::new();
+        for (i, frame) in video.iter().enumerate() {
+            if i == 1 {
+                a.set_inter_config(pcc_inter::InterConfig::v2());
+                assert!(a.has_pending_config());
+                assert_eq!(a.inter_config(), pcc_inter::InterConfig::v1(), "not applied yet");
+            }
+            a_frames.push(mux_one(a.encode_frame(&frame.cloud).0));
+        }
+        assert_eq!(a.inter_config(), pcc_inter::InterConfig::v2(), "applied at frame 3");
+        assert!(!a.has_pending_config());
+
+        // Run B: stage the same change right at the GOF boundary.
+        let mut b = codec.frame_encoder(7, &d).with_bounding_box(bb);
+        let mut b_frames = Vec::new();
+        for (i, frame) in video.iter().enumerate() {
+            if i == 3 {
+                b.set_inter_config(pcc_inter::InterConfig::v2());
+            }
+            b_frames.push(mux_one(b.encode_frame(&frame.cloud).0));
+        }
+        assert_eq!(a_frames, b_frames, "deferred change must land identically");
+
+        // And frames 0..3 match a pure-V1 session (the change truly waited).
+        let v1 = codec.encode_video(&video, 7, &d);
+        for (i, a) in a_frames.iter().enumerate().take(3) {
+            assert_eq!(a, &mux_one(v1.frames[i].clone()), "frame {i} diverged");
+        }
+    }
+
+    #[test]
+    fn skipping_p_slots_leaves_later_frames_byte_identical() {
+        let video = catalog::by_name("Redandblack").unwrap().generate_scaled(6, 1_200);
+        let d = device();
+        let bb = video.bounding_box().unwrap();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let clean = codec.encode_video(&video, 7, &d);
+        let mux_one = |f: &EncodedFrame| {
+            let mut out = Vec::new();
+            crate::container::mux_frame(&mut out, f);
+            out
+        };
+
+        let mut enc = codec.frame_encoder(7, &d).with_bounding_box(bb);
+        for (i, frame) in video.iter().enumerate() {
+            if i == 2 {
+                // Shed the second P of the first group.
+                assert_eq!(enc.next_kind(), FrameKind::Predicted);
+                enc.skip_frame();
+                assert_eq!(enc.frame_index(), 3);
+                continue;
+            }
+            let (encoded, _) = enc.encode_frame(&frame.cloud);
+            assert_eq!(
+                mux_one(&encoded),
+                mux_one(&clean.frames[i]),
+                "frame {i} diverged after a P-slot skip"
+            );
+        }
+    }
+
+    #[test]
+    fn skipping_an_i_slot_forces_an_intra_reanchor() {
+        let video = catalog::by_name("Redandblack").unwrap().generate_scaled(6, 1_200);
+        let d = device();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let mut enc = codec
+            .frame_encoder(7, &d)
+            .with_bounding_box(video.bounding_box().unwrap());
+        for frame in video.iter().take(3) {
+            enc.encode_frame(&frame.cloud);
+        }
+        // Frame 3 is the next group's I-frame; skipping it must poison
+        // the reference so frame 4 cannot silently use frame 0's.
+        enc.skip_frame();
+        let (encoded, _) = enc.encode_frame(&video.frame(4).unwrap().cloud);
+        assert_eq!(encoded.kind(), FrameKind::Intra, "P-slot must fall back to intra");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!
 //! [`LossyRetransmit`] applies the same seeded-loss idea to an ARQ back
 //! channel, so retransmission retry budgets can be exercised
-//! deterministically too.
+//! deterministically too. [`ThrottledTransport`] models a
+//! throughput-bound link by charging clock time per byte, and
+//! [`panic_on_frames`] builds encode-fault hooks for exercising
+//! `pcc-stream`'s panic containment.
 //!
 //! ```
 //! use pcc_fault::{FaultConfig, FaultyTransport};
@@ -52,11 +55,14 @@
 // reachable fault on wire data.
 #![cfg_attr(test, allow(clippy::indexing_slicing))]
 
+use pcc_adapt::Clock;
 use pcc_stream::Retransmit;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::io::{self, Write};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Per-record fault probabilities (each in `0.0..=1.0`) and bounds.
 ///
@@ -263,6 +269,72 @@ impl<W: Write> Write for FaultyTransport<W> {
     }
 }
 
+/// A rate-limited `Write` combinator: each record charges the link
+/// `ns_per_byte × len` of clock time, modeling a throughput-bound
+/// transport without touching the bytes.
+///
+/// The charge is taken through an injected [`Clock`], so a
+/// [`FakeClock`](pcc_adapt::FakeClock) makes throttling deterministic
+/// and instantaneous in tests while a
+/// [`SystemClock`](pcc_adapt::SystemClock) makes it real. Overload-soak
+/// tests combine this with a sender-side supervisor to prove the
+/// session degrades instead of stalling when the wire is the
+/// bottleneck.
+pub struct ThrottledTransport<W: Write> {
+    inner: W,
+    clock: Arc<dyn Clock>,
+    ns_per_byte: u64,
+}
+
+impl<W: Write> std::fmt::Debug for ThrottledTransport<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThrottledTransport")
+            .field("ns_per_byte", &self.ns_per_byte)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> ThrottledTransport<W> {
+    /// Wraps `inner`, charging `ns_per_byte` nanoseconds of `clock` time
+    /// per byte written. `ns_per_byte = 8_000_000 / kbps` models a link
+    /// of `kbps` kilobits per second.
+    pub fn new(inner: W, clock: Arc<dyn Clock>, ns_per_byte: u64) -> Self {
+        ThrottledTransport { inner, clock, ns_per_byte }
+    }
+
+    /// Unwraps the underlying transport.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ThrottledTransport<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write_all(buf)?;
+        let ns = (buf.len() as u64).saturating_mul(self.ns_per_byte);
+        if ns > 0 {
+            self.clock.sleep(Duration::from_nanos(ns));
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// An encode-fault hook that panics on the listed frame indices —
+/// plug it into `Supervisor::with_encode_fault` to prove a worker panic
+/// costs one frame, not the session.
+pub fn panic_on_frames(frames: &[usize]) -> impl FnMut(usize) + Send {
+    let frames = frames.to_vec();
+    move |idx: usize| {
+        if frames.contains(&idx) {
+            panic!("injected encode fault at frame {idx}");
+        }
+    }
+}
+
 /// A lossy ARQ back channel: forwards [`Retransmit`] requests to an
 /// inner source, dropping each response with seeded probability.
 ///
@@ -389,6 +461,27 @@ mod tests {
         let (wire, stats) = run(&cfg, 11, 3);
         assert_eq!(wire.len(), 2 * 3 * 32);
         assert_eq!(stats.duplicated, 3);
+    }
+
+    #[test]
+    fn throttled_transport_charges_clock_time_per_byte() {
+        let clock = pcc_adapt::FakeClock::new();
+        let mut t = ThrottledTransport::new(Vec::new(), Arc::new(clock.clone()), 10);
+        t.write_all(&[0u8; 100]).unwrap();
+        assert_eq!(clock.now(), Duration::from_nanos(1_000));
+        t.write_all(&[0u8; 50]).unwrap();
+        t.flush().unwrap();
+        assert_eq!(clock.now(), Duration::from_nanos(1_500));
+        assert_eq!(t.into_inner().len(), 150, "throttling never touches the bytes");
+    }
+
+    #[test]
+    fn panic_on_frames_fires_only_on_listed_indices() {
+        let mut hook = panic_on_frames(&[3]);
+        hook(0);
+        hook(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(3)));
+        assert!(err.is_err(), "listed frame must panic");
     }
 
     #[test]

@@ -236,6 +236,33 @@ where
     });
 }
 
+/// Runs `f` behind a panic-isolation boundary, converting a panic into
+/// `Err(message)` instead of unwinding into the caller.
+///
+/// This is the supervision primitive for streaming call sites: a worker
+/// panic inside one frame's encode (including panics propagated out of
+/// [`scope_map`] / [`scope_run`] fan-outs) becomes a recoverable
+/// per-frame failure rather than a dead session. The closure is wrapped
+/// in [`AssertUnwindSafe`](std::panic::AssertUnwindSafe), which is sound
+/// here **only** under the supervision contract: on `Err` the caller
+/// must treat every piece of state the closure could have touched as
+/// poisoned — drop it, reset it, or re-anchor it — never resume using it
+/// as if the call had succeeded.
+///
+/// The panic payload is flattened to its `&str`/`String` message when it
+/// has one (the overwhelmingly common case), or a placeholder otherwise.
+pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
 /// Raw-pointer wrapper letting scoped threads scatter-write disjoint indices
 /// of one slice. Confined to this crate (the scatter phase of
 /// [`radix_sort_pairs`]); every write target is provably unique because radix
@@ -492,6 +519,32 @@ mod tests {
 
     fn nz(n: usize) -> NonZeroUsize {
         NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn contain_converts_panics_into_errors() {
+        assert_eq!(contain(|| 41 + 1), Ok(42));
+        let err = contain(|| -> u32 { panic!("frame 7 exploded") }).unwrap_err();
+        assert!(err.contains("frame 7 exploded"), "got {err}");
+        let msg = format!("formatted {}", 3);
+        let err = contain(|| -> u32 { panic!("{msg}") }).unwrap_err();
+        assert_eq!(err, "formatted 3");
+    }
+
+    #[test]
+    fn contain_catches_panics_from_scoped_fanouts() {
+        // A worker panic inside scope_map propagates via resume_unwind on
+        // join; contain must stop it at the supervision boundary.
+        let err = contain(|| {
+            scope_map(&chunk_ranges(8, 2), |i, _r| {
+                if i == 1 {
+                    panic!("worker down");
+                }
+                i
+            })
+        })
+        .unwrap_err();
+        assert!(err.contains("worker down"), "got {err}");
     }
 
     #[test]

@@ -96,6 +96,25 @@ impl<T> QueueSender<T> {
     }
 }
 
+impl<T> QueueSender<T> {
+    /// Items currently buffered (a backpressure signal: the supervisor
+    /// in `pcc-stream` reads this to detect a transmit stage that is not
+    /// keeping up). Racy by nature — treat as a hint, not an invariant.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+
+    /// Whether the queue is currently empty (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
 impl<T> Clone for QueueSender<T> {
     fn clone(&self) -> Self {
         let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -200,6 +219,18 @@ mod tests {
             }
             assert_eq!(received, 100);
         });
+    }
+
+    #[test]
+    fn depth_and_capacity_are_observable() {
+        let (tx, rx) = bounded::<u32>(3);
+        assert_eq!(tx.capacity(), 3);
+        assert!(tx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(tx.len(), 1);
     }
 
     #[test]

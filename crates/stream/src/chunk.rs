@@ -144,28 +144,33 @@ pub fn decode_chunk(bytes: &[u8]) -> Option<Chunk> {
     Some(Chunk { kind, frame_kind, stream_id, seq, frame_index, payload: payload.to_vec() })
 }
 
-/// Parses the fixed-size header fields from `buf` (which must hold at
-/// least [`HEADER_LEN`] bytes). Returns `None` when the sync marker,
-/// header CRC, field encodings, or payload-length bound are invalid.
-// Precondition (asserted below, upheld by every caller via fill_to /
-// exact-length checks): `buf` holds at least HEADER_LEN bytes, and all
-// slices here stay inside that fixed prefix.
-#[allow(clippy::indexing_slicing)]
+/// Checked little-endian `u32` read at a fixed header offset: `None`
+/// when `buf` is too short, never a panic. The decode path stays
+/// uniformly `unwrap`-free this way — `deny(clippy::indexing_slicing)`
+/// holds with no local allows.
+fn read_u32_le(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+/// Parses the fixed-size header fields from `buf` (at least
+/// [`HEADER_LEN`] bytes in every caller; shorter input parses as
+/// corruption). Returns `None` when the sync marker, header CRC, field
+/// encodings, or payload-length bound are invalid.
 fn parse_header(buf: &[u8]) -> Option<(ChunkKind, Option<FrameKind>, u32, u32, u32, usize)> {
-    debug_assert!(buf.len() >= HEADER_LEN);
-    if buf[..4] != SYNC {
+    if buf.get(..4)? != SYNC {
         return None;
     }
-    let stored_crc = u32::from_le_bytes(buf[22..26].try_into().unwrap());
-    if crc32(&buf[..22]) != stored_crc {
+    let stored_crc = read_u32_le(buf, 22)?;
+    if crc32(buf.get(..22)?) != stored_crc {
         return None;
     }
-    let kind = ChunkKind::from_byte(buf[4])?;
-    let frame_kind = frame_kind_from_byte(buf[5])?;
-    let stream_id = u32::from_le_bytes(buf[6..10].try_into().unwrap());
-    let seq = u32::from_le_bytes(buf[10..14].try_into().unwrap());
-    let frame_index = u32::from_le_bytes(buf[14..18].try_into().unwrap());
-    let payload_len = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
+    let kind = ChunkKind::from_byte(*buf.get(4)?)?;
+    let frame_kind = frame_kind_from_byte(*buf.get(5)?)?;
+    let stream_id = read_u32_le(buf, 6)?;
+    let seq = read_u32_le(buf, 10)?;
+    let frame_index = read_u32_le(buf, 14)?;
+    let payload_len = read_u32_le(buf, 18)? as usize;
     if payload_len > MAX_PAYLOAD {
         return None;
     }

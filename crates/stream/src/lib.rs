@@ -17,7 +17,13 @@
 //!   drops frames it cannot trust (CRC failures, gaps, P-frames whose
 //!   I-frame was lost), and resynchronizes at the next intact I-frame.
 //! * [`plan`] — pre-flight fitting of a session to a link rate and
-//!   frame-rate budget via the rate controller.
+//!   frame-rate budget via the rate controller, plus mid-session
+//!   [`SessionPlan::replan`] from live observations.
+//! * [`supervise`] — encoder-side overload control for live sessions:
+//!   [`stream_video_supervised`] runs the pipeline under a
+//!   [`Supervisor`] that walks a `pcc-adapt` quality ladder on live
+//!   feedback, abandons over-deadline P-frames (deadline watchdog), and
+//!   contains encode-worker panics as single dropped frames.
 //! * [`StreamStats`] — delivery accounting: frames sent / delivered /
 //!   dropped, resyncs, wire bytes, corruption events.
 //!
@@ -63,10 +69,12 @@ pub mod crc;
 pub mod plan;
 pub mod session;
 pub mod stats;
+pub mod supervise;
 
 pub use arq::{ArqConfig, Retransmit, RetransmitRing, SharedRing};
 pub use chunk::{decode_chunk, encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
 pub use crc::crc32;
-pub use plan::{plan_session, SessionPlan};
+pub use plan::{plan_session, SessionPlan, MUX_OVERHEAD_BYTES};
 pub use session::{stream_video, Delivered, Receiver, Sender, StreamConfig, STREAM_VERSION};
-pub use stats::StreamStats;
+pub use stats::{SharedStats, StreamStats};
+pub use supervise::{stream_video_supervised, Supervisor};

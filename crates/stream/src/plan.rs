@@ -18,8 +18,9 @@ use crate::StreamConfig;
 /// Conservative per-frame overhead of a muxed wire record over its codec
 /// payload (design tag + varint section lengths — single digits in
 /// practice; `tests/golden.rs` and the `measured_bytes_track_the_rate_search`
-/// test both bound it well below this).
-const MUX_OVERHEAD_BYTES: f64 = 64.0;
+/// test both bound it well below this). Shared by [`plan_session`] and
+/// [`SessionPlan::replan`] so pre-flight and mid-session budgeting agree.
+pub const MUX_OVERHEAD_BYTES: f64 = 64.0;
 
 /// The operating point chosen for a streaming session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,62 @@ impl SessionPlan {
     /// A [`StreamConfig`] carrying the plan's latency budget.
     pub fn stream_config(&self) -> StreamConfig {
         StreamConfig { frame_budget_ms: Some(self.frame_budget_ms), ..StreamConfig::default() }
+    }
+
+    /// Re-plans mid-session from live observations instead of re-running
+    /// the rate search: scales the reuse threshold by how far the
+    /// observed wire bytes per frame overshoot (or undershoot) the new
+    /// link's coded budget.
+    ///
+    /// `observed_bytes_per_frame` is the mean wire bytes per frame the
+    /// session actually produced (e.g. `bytes_sent / frames_sent` from
+    /// [`StreamStats`](crate::StreamStats)); `link_kbps` is the revised
+    /// link estimate. The frame rate is carried over from the original
+    /// plan. Threshold scaling is a first-order estimate — reuse grows
+    /// monotonically with the threshold (paper Fig. 10b) but not
+    /// linearly, so treat the result as the next operating point to try,
+    /// not a guarantee; probes are free (`rate_probes == 0`).
+    ///
+    /// The returned plan keeps `bytes_per_frame` at the observed value,
+    /// so [`fits_bandwidth`](SessionPlan::fits_bandwidth) answers "does
+    /// the stream as currently coded fit the new link" and turns `true`
+    /// only after the session re-measures at the new threshold.
+    pub fn replan(&self, observed_bytes_per_frame: f64, link_kbps: f64) -> SessionPlan {
+        assert!(link_kbps > 0.0, "link rate must be positive");
+        assert!(
+            observed_bytes_per_frame > 0.0,
+            "observed bytes per frame must be positive"
+        );
+        let fps = 1000.0 / self.frame_budget_ms;
+        let link_bytes_per_frame = link_kbps * 1000.0 / 8.0 / fps;
+        let coded_budget = (link_bytes_per_frame - MUX_OVERHEAD_BYTES).max(1.0);
+        // Recover the raw-bytes-per-frame figure the original target was
+        // derived from, then restate the target against the new budget.
+        let raw_bytes_per_frame =
+            self.target_ratio * (self.link_bytes_per_frame - MUX_OVERHEAD_BYTES).max(1.0);
+        let target_ratio = raw_bytes_per_frame / coded_budget;
+
+        // Scale the threshold by the overshoot factor. Tightening from a
+        // zero threshold needs a seed value to scale, hence the max(64).
+        let scale = observed_bytes_per_frame / coded_budget;
+        let threshold = if scale <= 1.0 {
+            (self.config.reuse_threshold as f64 * scale).round() as u32
+        } else {
+            ((self.config.reuse_threshold.max(64)) as f64 * scale).ceil() as u32
+        }
+        .min(rate::MAX_THRESHOLD);
+
+        SessionPlan {
+            config: self.config.with_threshold(threshold),
+            target_ratio,
+            achieved_ratio: raw_bytes_per_frame
+                / (observed_bytes_per_frame - MUX_OVERHEAD_BYTES).max(1.0),
+            bytes_per_frame: observed_bytes_per_frame,
+            link_bytes_per_frame,
+            modeled_encode_ms_per_frame: self.modeled_encode_ms_per_frame,
+            frame_budget_ms: self.frame_budget_ms,
+            rate_probes: 0,
+        }
     }
 }
 
@@ -179,8 +236,52 @@ mod tests {
         let per_frame = encoded.total_size().total_bytes() as f64 / video.len() as f64;
         // Wire records add a tag byte and varint lengths per frame.
         assert!(plan.bytes_per_frame >= per_frame, "{} < {}", plan.bytes_per_frame, per_frame);
-        assert!(plan.bytes_per_frame < per_frame + 64.0);
+        assert!(plan.bytes_per_frame < per_frame + MUX_OVERHEAD_BYTES);
         let sc = plan.stream_config();
         assert_eq!(sc.frame_budget_ms, Some(plan.frame_budget_ms));
+    }
+
+    #[test]
+    fn replan_raises_the_threshold_when_the_link_tightens() {
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let video = probe();
+        let raw_bpf = (video.mean_points_per_frame() * pcc_types::RAW_BYTES_PER_POINT) as f64;
+        let kbps = raw_bpf * 8.0 * 30.0 / 1000.0 / 4.5;
+        let plan = plan_session(&video, 7, InterConfig::v1(), 30.0, kbps, &device);
+
+        // The link halves: the observed size now overshoots the budget.
+        let tighter = plan.replan(plan.bytes_per_frame, kbps / 2.0);
+        assert!(tighter.config.reuse_threshold > plan.config.reuse_threshold);
+        assert!(tighter.target_ratio > plan.target_ratio);
+        assert!(!tighter.fits_bandwidth(), "plan: {tighter:?}");
+        assert_eq!(tighter.rate_probes, 0);
+        assert_eq!(tighter.frame_budget_ms, plan.frame_budget_ms);
+        // Non-threshold knobs are decode-contract and never change.
+        assert_eq!(tighter.config.blocks, plan.config.blocks);
+        assert_eq!(tighter.config.intra, plan.config.intra);
+    }
+
+    #[test]
+    fn replan_relaxes_toward_quality_when_the_link_opens_up() {
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let video = probe();
+        let raw_bpf = (video.mean_points_per_frame() * pcc_types::RAW_BYTES_PER_POINT) as f64;
+        let kbps = raw_bpf * 8.0 * 30.0 / 1000.0 / 4.5;
+        let plan = plan_session(&video, 7, InterConfig::v1(), 30.0, kbps, &device);
+        assert!(plan.config.reuse_threshold > 0);
+
+        let relaxed = plan.replan(plan.bytes_per_frame, kbps * 100.0);
+        assert!(relaxed.config.reuse_threshold < plan.config.reuse_threshold);
+        assert!(relaxed.target_ratio < plan.target_ratio);
+        assert!(relaxed.fits_bandwidth(), "plan: {relaxed:?}");
+    }
+
+    #[test]
+    fn replan_clamps_to_the_search_range() {
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let plan = plan_session(&probe(), 7, InterConfig::v1(), 30.0, 1e9, &device);
+        // An absurdly tight link cannot push past the rate search's cap.
+        let squeezed = plan.replan(plan.bytes_per_frame.max(1.0) * 1e9, 1.0);
+        assert_eq!(squeezed.config.reuse_threshold, rate::MAX_THRESHOLD);
     }
 }

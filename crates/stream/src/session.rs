@@ -16,14 +16,14 @@
 
 use crate::arq::{ArqConfig, Retransmit, SharedRing};
 use crate::chunk::{decode_chunk, encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
-use crate::stats::StreamStats;
+use crate::stats::{SharedStats, StreamStats};
+use pcc_adapt::{Clock, SystemClock};
 use pcc_core::{container, Design, FrameDecoder, FrameEncoder, PccCodec};
 use pcc_edge::Device;
-use pcc_parallel::queue;
 use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Video};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Version byte of the stream-header chunk payload.
 pub const STREAM_VERSION: u8 = 1;
@@ -50,7 +50,7 @@ impl Default for StreamConfig {
     }
 }
 
-fn header_chunk(stream_id: u32, design: Design, depth: u8) -> Chunk {
+pub(crate) fn header_chunk(stream_id: u32, design: Design, depth: u8) -> Chunk {
     Chunk {
         kind: ChunkKind::StreamHeader,
         frame_kind: None,
@@ -61,7 +61,7 @@ fn header_chunk(stream_id: u32, design: Design, depth: u8) -> Chunk {
     }
 }
 
-fn end_chunk(stream_id: u32, seq: u32, total_frames: u32) -> Chunk {
+pub(crate) fn end_chunk(stream_id: u32, seq: u32, total_frames: u32) -> Chunk {
     Chunk {
         kind: ChunkKind::End,
         frame_kind: None,
@@ -238,92 +238,18 @@ pub fn stream_video<W: Write>(
     writer: W,
     config: &StreamConfig,
 ) -> io::Result<(W, StreamStats)> {
-    let budget = config.frame_budget_ms.or_else(|| {
-        let fps = f64::from(video.fps());
-        (fps > 0.0).then_some(1000.0 / fps)
-    });
-    let (tx, rx) = queue::bounded::<(u32, FrameKind, Vec<u8>)>(config.queue_depth.max(1));
-
-    let mut writer = ChunkWriter::new(writer);
-    let mut stats = StreamStats::default();
-    let stream_id = config.stream_id;
-
-    let io_result: io::Result<()> = std::thread::scope(|s| {
-        let encode = s.spawn(move || {
-            let mut encoder = codec.frame_encoder(depth, device);
-            if let Some(bb) = video.bounding_box() {
-                encoder = encoder.with_bounding_box(bb);
-            }
-            let mut sent = 0usize;
-            let mut over_budget = 0usize;
-            let mut encode_ns = 0u64;
-            for frame in video.iter() {
-                let frame_index = encoder.frame_index() as u32;
-                let sp = pcc_probe::span("stream/encode");
-                let (encoded, timeline) = encoder.encode_frame(&frame.cloud);
-                encode_ns += sp.stop();
-                if budget.is_some_and(|b| timeline.total_modeled_ms().as_f64() > b) {
-                    over_budget += 1;
-                }
-                let kind = encoded.kind();
-                let mut payload = Vec::new();
-                container::mux_frame(&mut payload, &encoded);
-                if tx.send((frame_index, kind, payload)).is_err() {
-                    // The transmit side died; encoding on would be wasted work.
-                    break;
-                }
-                sent += 1;
-            }
-            // thread::scope unblocks when this closure returns, before the
-            // thread-local buffers' Drop flush — publish spans now so a
-            // take_report() right after stream_video sees them.
-            pcc_probe::flush_thread();
-            (sent, over_budget, encode_ns)
-        });
-
-        let mut send_ns = 0u64;
-        let mut transmit = |send_ns: &mut u64| -> io::Result<()> {
-            writer.write_chunk(&header_chunk(stream_id, codec.design(), depth))?;
-            writer.flush()?;
-            let mut seq = 1u32;
-            while let Some((frame_index, kind, payload)) = rx.recv() {
-                let sp = pcc_probe::span("stream/send");
-                writer.write_chunk(&Chunk {
-                    kind: ChunkKind::Frame,
-                    frame_kind: Some(kind),
-                    stream_id,
-                    seq,
-                    frame_index,
-                    payload,
-                })?;
-                seq += 1;
-                if kind == FrameKind::Intra {
-                    writer.flush()?;
-                }
-                *send_ns += sp.stop();
-            }
-            writer.write_chunk(&end_chunk(stream_id, seq, video.len() as u32))?;
-            writer.flush()?;
-            Ok(())
-        };
-        let result = transmit(&mut send_ns);
-        // On a transport error the receiver half of the queue is dropped
-        // here, which makes the encoder's next send fail and stop early.
-        drop(rx);
-        let (sent, over_budget, encode_ns) =
-            encode.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-        stats.frames_sent = sent;
-        stats.frames_over_budget = over_budget;
-        stats.add_stage_ns("stream/encode", encode_ns);
-        stats.add_stage_ns("stream/send", send_ns);
-        result
-    });
-
-    stats.chunks_sent = writer.chunks_written() as usize;
-    stats.bytes_sent = writer.bytes_written();
-    io_result?;
-    stats.clean_shutdown = true;
-    Ok((writer.into_inner(), stats))
+    // The unsupervised path is the supervised one with every control
+    // mechanism off — byte- and stats-identical to the historical
+    // implementation (`tests/overload_soak.rs` pins this).
+    crate::supervise::stream_video_supervised(
+        codec,
+        video,
+        depth,
+        device,
+        writer,
+        config,
+        &mut crate::supervise::Supervisor::passthrough(),
+    )
 }
 
 /// One frame delivered by a [`Receiver`].
@@ -363,6 +289,8 @@ pub struct Receiver<'d, R: Read> {
     /// read again.
     pending: VecDeque<Chunk>,
     arq: Option<ArqState>,
+    /// Counter snapshots published to the sender side after every frame.
+    feedback: Option<SharedStats>,
     /// Whether the decoder holds the reference the next P-frame needs.
     synced: bool,
     /// Whether any frame has been lost since the last resync point.
@@ -376,6 +304,10 @@ pub struct Receiver<'d, R: Read> {
 struct ArqState {
     source: Box<dyn Retransmit + Send>,
     config: ArqConfig,
+    /// Timebase for retry backoff and the recovery deadline. The system
+    /// clock in production; a [`FakeClock`](pcc_adapt::FakeClock) in
+    /// timing tests, which makes the NACK/degrade sequence deterministic.
+    clock: Arc<dyn Clock>,
 }
 
 impl std::fmt::Debug for ArqState {
@@ -412,6 +344,7 @@ impl<'d, R: Read> Receiver<'d, R> {
             next_seq: 0,
             pending: VecDeque::new(),
             arq: None,
+            feedback: None,
             synced: false,
             loss_since_sync: false,
             done: false,
@@ -424,8 +357,30 @@ impl<'d, R: Read> Receiver<'d, R> {
     /// bounds in `config`. Chunks that cannot be recovered fall back to
     /// the base skip-and-resync handling and are counted in
     /// [`StreamStats::arq_degraded`].
-    pub fn with_arq<S: Retransmit + Send + 'static>(mut self, source: S, config: ArqConfig) -> Self {
-        self.arq = Some(ArqState { source: Box::new(source), config });
+    pub fn with_arq<S: Retransmit + Send + 'static>(self, source: S, config: ArqConfig) -> Self {
+        self.with_arq_clock(source, config, Arc::new(SystemClock::default()))
+    }
+
+    /// [`with_arq`](Self::with_arq) with an explicit timebase for retry
+    /// backoff and the recovery deadline. Tests drive this with a
+    /// [`FakeClock`](pcc_adapt::FakeClock) so ARQ timing decisions are
+    /// deterministic and wall-clock-free.
+    pub fn with_arq_clock<S: Retransmit + Send + 'static>(
+        mut self,
+        source: S,
+        config: ArqConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        self.arq = Some(ArqState { source: Box::new(source), config, clock });
+        self
+    }
+
+    /// Publishes the receiver's counters into `feedback` after every
+    /// [`recv_frame`](Self::recv_frame), so a sender-side overload
+    /// controller (see [`Supervisor`](crate::Supervisor)) can react to
+    /// drops and ARQ degradation it observes.
+    pub fn with_feedback(mut self, feedback: SharedStats) -> Self {
+        self.feedback = Some(feedback);
         self
     }
 
@@ -463,6 +418,14 @@ impl<'d, R: Read> Receiver<'d, R> {
     ///
     /// Propagates transport errors only.
     pub fn recv_frame(&mut self) -> io::Result<Option<Delivered>> {
+        let result = self.recv_frame_inner();
+        if let Some(feedback) = &self.feedback {
+            feedback.publish(&self.stats);
+        }
+        result
+    }
+
+    fn recv_frame_inner(&mut self) -> io::Result<Option<Delivered>> {
         if self.done {
             return Ok(None);
         }
@@ -527,7 +490,7 @@ impl<'d, R: Read> Receiver<'d, R> {
         if chunk.seq <= self.next_seq {
             return;
         }
-        let gap_start = Instant::now();
+        let gap_start = arq.clock.now();
         let first_missing = self.next_seq;
         let gap = (chunk.seq - first_missing) as usize;
         // Only the newest `ring_chunks` sequence numbers can still be in
@@ -541,7 +504,7 @@ impl<'d, R: Read> Receiver<'d, R> {
         for seq in (chunk.seq - reachable as u32)..chunk.seq {
             let mut recovered = false;
             for attempt in 0..arq.config.retry_budget.max(1) {
-                if attempt > 0 && gap_start.elapsed() >= arq.config.deadline {
+                if attempt > 0 && arq.clock.now().saturating_sub(gap_start) >= arq.config.deadline {
                     // Deadline spent: degrade instead of stalling the
                     // playhead any longer.
                     break;
@@ -561,7 +524,7 @@ impl<'d, R: Read> Receiver<'d, R> {
                 if attempt + 1 < arq.config.retry_budget {
                     let backoff = arq.config.backoff_after(attempt);
                     if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
+                        arq.clock.sleep(backoff);
                     }
                 }
             }

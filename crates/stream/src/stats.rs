@@ -1,5 +1,7 @@
 //! Delivery accounting for a streaming session.
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 /// Counters a streaming session exposes.
 ///
 /// A [`Sender`](crate::Sender) fills the send-side fields and a
@@ -44,6 +46,18 @@ pub struct StreamStats {
     /// or aged out of the retransmit ring); these fall back to
     /// skip-and-resync loss handling.
     pub arq_degraded: usize,
+    /// Frames encoded (or shed) below the quality ladder's top rung by
+    /// the overload controller.
+    pub frames_degraded: usize,
+    /// Quality-ladder rung changes the controller applied (each lands on
+    /// a GOF boundary).
+    pub rung_changes: usize,
+    /// Frames the deadline watchdog abandoned after encoding because
+    /// they blew the frame budget (P-frames only; never transmitted).
+    pub watchdog_skips: usize,
+    /// Encode-worker panics converted into a single dropped frame by the
+    /// supervision boundary instead of killing the session.
+    pub panics_contained: usize,
     /// Measured wall-clock nanoseconds per pipeline stage, accumulated
     /// only while `pcc-probe` recording is on (`PCC_PROBE=1`); empty
     /// otherwise. Stages appear in first-recorded order.
@@ -69,6 +83,10 @@ impl PartialEq for StreamStats {
             && self.arq_nacks == other.arq_nacks
             && self.arq_recovered == other.arq_recovered
             && self.arq_degraded == other.arq_degraded
+            && self.frames_degraded == other.frames_degraded
+            && self.rung_changes == other.rung_changes
+            && self.watchdog_skips == other.watchdog_skips
+            && self.panics_contained == other.panics_contained
     }
 }
 
@@ -92,6 +110,10 @@ impl StreamStats {
         self.arq_nacks += other.arq_nacks;
         self.arq_recovered += other.arq_recovered;
         self.arq_degraded += other.arq_degraded;
+        self.frames_degraded += other.frames_degraded;
+        self.rung_changes += other.rung_changes;
+        self.watchdog_skips += other.watchdog_skips;
+        self.panics_contained += other.panics_contained;
         for &(stage, ns) in &other.stage_ns {
             self.add_stage_ns(stage, ns);
         }
@@ -116,6 +138,34 @@ impl StreamStats {
         } else {
             self.frames_delivered as f64 / self.frames_sent as f64
         }
+    }
+}
+
+/// A cloneable, thread-safe [`StreamStats`] snapshot slot — the feedback
+/// channel from a receiver to the sender-side overload controller.
+///
+/// A [`Receiver`](crate::Receiver) given a handle
+/// ([`with_feedback`](crate::Receiver::with_feedback)) publishes its
+/// counters after every `recv_frame`; a supervisor holding a clone
+/// samples them per encoded frame. Snapshots are whole-struct copies, so
+/// a sampled view is always internally consistent.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStats(Arc<Mutex<StreamStats>>);
+
+impl SharedStats {
+    /// An empty snapshot slot.
+    pub fn new() -> Self {
+        SharedStats::default()
+    }
+
+    /// Replaces the published snapshot.
+    pub fn publish(&self, stats: &StreamStats) {
+        *self.0.lock().unwrap_or_else(PoisonError::into_inner) = stats.clone();
+    }
+
+    /// The latest published snapshot.
+    pub fn snapshot(&self) -> StreamStats {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 }
 

@@ -9,6 +9,12 @@
 //! wire costs whole GOFs) and once with an ARQ back channel (every
 //! dropped chunk is retransmitted and the delivery is bit-exact).
 //!
+//! A final *overload leg* runs a longer capture under a supervised
+//! session: a scripted 2× encode overload with a throttled transport
+//! and an injected worker panic. The session degrades down the quality
+//! ladder instead of stalling, contains the panic as one dropped frame,
+//! and climbs back to full quality when the load lifts.
+//!
 //! Run with:
 //!
 //! ```sh
@@ -16,16 +22,20 @@
 //! ```
 
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use pcc::adapt::{Controller, ControllerConfig, FakeClock, QualityLadder};
 use pcc::core::{Design, PccCodec};
 use pcc::datasets::catalog;
 use pcc::edge::{Device, PowerMode};
-use pcc::fault::{FaultConfig, FaultyTransport};
+use pcc::fault::{panic_on_frames, FaultConfig, FaultyTransport, ThrottledTransport};
+use pcc::inter::InterConfig;
 use pcc::metrics::attribute_psnr;
 use pcc::stream::{
-    stream_video, ArqConfig, Receiver, Sender, SharedRing, StreamConfig,
+    stream_video, stream_video_supervised, ArqConfig, Receiver, Sender, SharedRing, StreamConfig,
+    Supervisor,
 };
 use pcc::types::{FrameKind, Video, VoxelizedCloud};
 
@@ -119,6 +129,7 @@ fn main() {
     println!("minimum delivered PSNR: {min_psnr:.1} dB");
 
     lossy_legs(&codec, &video, depth, &device, &delivered);
+    overload_leg(&device);
 }
 
 /// Replays the clip over a 10%-loss seeded transport, without and with
@@ -203,4 +214,92 @@ fn lossy_legs(
         );
     }
     println!("ARQ delivery is bit-exact against the clean TCP run");
+}
+
+/// A 36-frame session at a sustained 2× encode overload (scripted, so
+/// the run is deterministic) over a throttled transport, with a worker
+/// panic injected mid-stream. The supervisor walks the quality ladder
+/// down and back, abandons nothing it should not, and the session
+/// finishes cleanly with every I-frame delivered.
+fn overload_leg(device: &Device) {
+    const BUDGET_MS: f64 = 33.34;
+    let spec = catalog::by_name("Andrew10").expect("Andrew10 is in Table I");
+    let video = spec.generate_scaled(36, 1_500);
+    let depth = pcc::datasets::density_matched_depth(video.mean_points_per_frame());
+    let codec = PccCodec::new(Design::IntraInterV1);
+
+    // The fake clock makes the throttled link and the deadline math
+    // deterministic and instantaneous — the decisions are identical to
+    // a wall-clock run under the same load.
+    let clock = FakeClock::new();
+    let transport = ThrottledTransport::new(Vec::new(), Arc::new(clock.clone()), 2_000);
+    let controller = Controller::new(
+        QualityLadder::standard(InterConfig::v1()),
+        ControllerConfig {
+            frame_budget_ms: BUDGET_MS,
+            degrade_after: 2,
+            upgrade_after: 2,
+            headroom: 0.9,
+        },
+    );
+    let mut supervisor = Supervisor::new(controller)
+        .with_clock(Arc::new(clock.clone()))
+        .with_abandon_factor(3.0)
+        // Frames 6..18 model a 2× overload (70 ms against the 33 ms
+        // budget); frame 31's worker panics outright.
+        .with_load_profile(|idx, _| if (6..18).contains(&idx) { 70.0 } else { 15.0 })
+        .with_encode_fault(panic_on_frames(&[31]));
+
+    let config = StreamConfig {
+        queue_depth: 128,
+        frame_budget_ms: Some(BUDGET_MS),
+        ..StreamConfig::default()
+    };
+    let (transport, tx) =
+        stream_video_supervised(&codec, &video, depth, device, transport, &config, &mut supervisor)
+            .expect("supervised stream");
+    let wire = transport.into_inner();
+
+    let trace = supervisor.controller().expect("armed controller").trace().to_vec();
+    println!(
+        "\noverload leg: 2x overload on frames 6..18, worker panic at frame 31 \
+         ({} frames, {:.0} ms budget)",
+        video.len(),
+        BUDGET_MS
+    );
+    println!(
+        "sender: {} sent, {} degraded, {} rung changes, {} watchdog skips, {} panics contained",
+        tx.frames_sent, tx.frames_degraded, tx.rung_changes, tx.watchdog_skips, tx.panics_contained
+    );
+    println!("rung trace (frame -> rung): {trace:?}");
+    assert!(
+        trace.iter().any(|&(_, r)| r >= 2),
+        "a sustained 2x overload must cost at least two rungs"
+    );
+    assert_eq!(trace.last().map(|&(_, r)| r), Some(0), "the session must recover to full quality");
+    assert!(trace.iter().all(|&(i, _)| i % 3 == 0), "rung changes land on I-frames only");
+    assert_eq!(tx.panics_contained, 1, "the injected panic must be contained, not fatal");
+    assert!(tx.clean_shutdown, "overload must never kill the session");
+
+    let mut rx = Receiver::new(wire.as_slice(), device);
+    let mut delivered = Vec::new();
+    while let Some(frame) = rx.recv_frame().expect("receive supervised wire") {
+        delivered.push(frame.frame_index);
+    }
+    let rx_stats = rx.into_stats();
+    println!(
+        "receiver: {}/{} frames, {} dropped (shed + panicked), {} resyncs",
+        delivered.len(),
+        video.len(),
+        rx_stats.frames_dropped,
+        rx_stats.resyncs
+    );
+    assert_eq!(delivered.len(), tx.frames_sent, "every transmitted frame must decode");
+    for gof_start in (0..video.len()).step_by(3) {
+        assert!(delivered.contains(&gof_start), "I-frame {gof_start} must be delivered");
+    }
+    let max_gap = delivered.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(1);
+    assert!(max_gap <= 2, "no stall may span more than one missing frame: {delivered:?}");
+    assert!(rx_stats.clean_shutdown);
+    println!("degraded gracefully and recovered; no stall exceeded one frame interval");
 }

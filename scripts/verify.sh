@@ -38,6 +38,17 @@ echo "== live streaming over loopback TCP + seeded-loss ARQ legs =="
 # them bit-exact.
 cargo run -q --release --offline --example live_stream
 
+echo "== overload soak: degradation ladder, watchdog, panic containment =="
+# A supervised session under a scripted 2x encode overload on a
+# throttled transport must degrade >=2 rungs, recover to the top rung
+# when the load lifts, deliver every I-frame with no gap over one
+# frame, and convert an injected worker panic into exactly one skipped
+# frame — all on a FakeClock, so the rung traces are asserted exactly.
+# With the controller off, output stays byte-identical to stream_video
+# (the golden digests above already pin the wire). The ARQ timing suite
+# rides along: backoff/deadline sequences replay on the same clock.
+cargo test -q --offline --release --test overload_soak --test arq_timing
+
 echo "== fuzz smoke: seeded decode-surface mutations =="
 # Fixed-seed corpus (no time, no randomness source beyond the seed):
 # 10k+ mutated bitstreams through demux / decode_frame /
@@ -52,6 +63,6 @@ echo "== clippy: no unchecked indexing on the decode path =="
 # carry a local, justified allow. This invocation makes the deny fire.
 cargo clippy -q --offline \
     -p pcc-types -p pcc-entropy -p pcc-octree -p pcc-intra -p pcc-inter \
-    -p pcc-core -p pcc-stream -p pcc-fault
+    -p pcc-core -p pcc-stream -p pcc-fault -p pcc-adapt
 
 echo "verify: all gates passed"

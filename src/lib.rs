@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pcc_adapt as adapt;
 pub use pcc_baseline as baseline;
 pub use pcc_core as core;
 pub use pcc_datasets as datasets;

@@ -1,0 +1,192 @@
+//! ARQ timing determinism: backoff sleeps and the recovery deadline run
+//! on an injected clock, so a test can pin the *exact* NACK/recover/
+//! degrade sequence — including one that would take 20 real seconds of
+//! sleeping — and have it replay identically, instantly, on any machine.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pcc::adapt::{Clock, FakeClock};
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::stream::{ArqConfig, Receiver, Retransmit, Sender, SharedRing, StreamConfig};
+use pcc::types::Video;
+use std::io::{self, Write};
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn clip() -> Video {
+    catalog::by_name("Soldier").unwrap().generate_scaled(9, 1_000)
+}
+
+/// A transport that keeps each `write` call as one record — the chunk
+/// layer issues exactly one write per chunk, so records line up with
+/// chunks and individual chunks can be dropped from the rebuilt wire.
+#[derive(Default)]
+struct RecordWire {
+    records: Vec<Vec<u8>>,
+}
+
+impl Write for RecordWire {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.records.push(buf.to_vec());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Records every NACKed sequence number on its way to the inner source.
+struct Recording<T> {
+    inner: T,
+    log: Arc<Mutex<Vec<u32>>>,
+}
+
+impl<T: Retransmit> Retransmit for Recording<T> {
+    fn retransmit(&mut self, seq: u32) -> Option<Vec<u8>> {
+        self.log.lock().unwrap().push(seq);
+        self.inner.retransmit(seq)
+    }
+}
+
+/// A back channel that never delivers — every NACK burns a retry.
+struct Never;
+
+impl Retransmit for Never {
+    fn retransmit(&mut self, _seq: u32) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Streams the clip, capturing per-chunk records and parking everything
+/// in a retransmit ring. Record `i` carries wire seq `i` (header is
+/// seq 0, frames follow, the end chunk is last).
+fn recorded_session(video: &Video) -> (Vec<Vec<u8>>, SharedRing) {
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let d = device();
+    let ring = SharedRing::new(64);
+    let mut sender = Sender::new(&codec, 7, &d, RecordWire::default(), &StreamConfig::default())
+        .unwrap()
+        .with_bounding_box(video.bounding_box().unwrap())
+        .with_arq(ring.clone());
+    for frame in video.iter() {
+        sender.send_frame(&frame.cloud).unwrap();
+    }
+    let (wire, _) = sender.finish().unwrap();
+    (wire.records, ring)
+}
+
+/// The wire with the chunks at `dropped` record indices removed.
+fn wire_without(records: &[Vec<u8>], dropped: &[usize]) -> Vec<u8> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .flat_map(|(_, r)| r.iter().copied())
+        .collect()
+}
+
+#[test]
+fn successful_recovery_pins_the_exact_nack_sequence_and_spends_no_time() {
+    let video = clip();
+    let (records, ring) = recorded_session(&video);
+    assert_eq!(records.len(), video.len() + 2, "header + frames + end");
+    let wire = wire_without(&records, &[2, 5]);
+
+    let clock = FakeClock::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let d = device();
+    let mut rx = Receiver::new(wire.as_slice(), &d).with_arq_clock(
+        Recording { inner: ring, log: Arc::clone(&log) },
+        ArqConfig::default(),
+        Arc::new(clock.clone()),
+    );
+    let mut delivered = Vec::new();
+    while let Some(f) = rx.recv_frame().unwrap() {
+        delivered.push(f.frame_index);
+    }
+    let stats = rx.into_stats();
+
+    assert_eq!(*log.lock().unwrap(), vec![2, 5], "exactly the two gaps, in order");
+    assert_eq!(stats.arq_nacks, 2);
+    assert_eq!(stats.arq_recovered, 2);
+    assert_eq!(stats.arq_degraded, 0);
+    assert_eq!(stats.frames_dropped, 0);
+    assert_eq!(delivered, (0..video.len()).collect::<Vec<_>>());
+    // First-attempt recoveries never back off: the clock must not move.
+    assert_eq!(clock.now(), Duration::ZERO);
+}
+
+#[test]
+fn the_deadline_cuts_retries_short_with_seconds_long_backoffs() {
+    // 10 s backoffs against a 15 s deadline: attempt 0 fails and sleeps
+    // 10 s, attempt 1 fails and sleeps another 10 s (capped), attempt 2
+    // finds the deadline spent and degrades. Two NACKs, 20 s of modeled
+    // time — a sequence no wall-clock test could afford to run.
+    let video = clip();
+    let (records, _ring) = recorded_session(&video);
+    let wire = wire_without(&records, &[2]);
+    let cfg = ArqConfig {
+        retry_budget: 3,
+        backoff_base: Duration::from_secs(10),
+        backoff_cap: Duration::from_secs(10),
+        deadline: Duration::from_secs(15),
+        ..ArqConfig::default()
+    };
+
+    let run = || {
+        let clock = FakeClock::new();
+        let d = device();
+        let mut rx = Receiver::new(wire.as_slice(), &d).with_arq_clock(
+            Never,
+            cfg.clone(),
+            Arc::new(clock.clone()),
+        );
+        let mut delivered = 0usize;
+        while let Some(_f) = rx.recv_frame().unwrap() {
+            delivered += 1;
+        }
+        (delivered, rx.into_stats(), clock.now())
+    };
+
+    let (delivered, stats, elapsed) = run();
+    assert_eq!(stats.arq_nacks, 2, "the deadline fires before the third retry: {stats:?}");
+    assert_eq!(stats.arq_degraded, 1);
+    assert_eq!(stats.arq_recovered, 0);
+    assert_eq!(elapsed, Duration::from_secs(20), "two capped backoffs, nothing more");
+    // The unrecovered chunk is a P-frame: it degrades to exactly one
+    // dropped frame through the base skip-and-resync path.
+    assert_eq!(stats.frames_dropped, 1);
+    assert_eq!(delivered, video.len() - 1);
+
+    // The whole timing sequence replays exactly.
+    let again = run();
+    assert_eq!((delivered, stats, elapsed), again);
+}
+
+#[test]
+fn receiver_feedback_publishes_counters_per_frame() {
+    let video = clip();
+    let (records, _ring) = recorded_session(&video);
+    let wire = wire_without(&records, &[]);
+
+    let feedback = pcc::stream::SharedStats::new();
+    let d = device();
+    let mut rx = Receiver::new(wire.as_slice(), &d).with_feedback(feedback.clone());
+    let mut seen = 0usize;
+    while let Some(_f) = rx.recv_frame().unwrap() {
+        seen += 1;
+        assert_eq!(
+            feedback.snapshot().frames_delivered,
+            seen,
+            "each recv_frame must publish a fresh snapshot"
+        );
+    }
+    assert!(feedback.snapshot().clean_shutdown);
+    assert_eq!(feedback.snapshot().frames_delivered, video.len());
+}
