@@ -252,6 +252,8 @@ impl PccCodec {
             pending_config: None,
             reference_colors: None,
             reference_cloud: None,
+            intra_arena: pcc_intra::FrameArena::new(),
+            inter_arena: pcc_inter::InterArena::new(),
         }
     }
 
@@ -333,6 +335,14 @@ pub struct FrameEncoder<'d> {
     pending_config: Option<InterConfig>,
     reference_colors: Option<Vec<Rgb>>,
     reference_cloud: Option<VoxelizedCloud>,
+    /// Per-session scratch for the intra pipeline: every per-frame
+    /// intermediate (sort staging, octree levels, layer buffers) is
+    /// reused across frames, so the encode hot path stops allocating
+    /// once the buffers warm to the working-set size.
+    intra_arena: pcc_intra::FrameArena,
+    /// Per-session scratch for the inter pipeline (superset of the intra
+    /// arena's role: adds the match table and delta-layer buffers).
+    inter_arena: pcc_inter::InterArena,
 }
 
 impl<'d> FrameEncoder<'d> {
@@ -445,12 +455,18 @@ impl<'d> FrameEncoder<'d> {
                 }
             }
             (Design::IntraOnly, _) => {
-                EncodedFrame::Intra(IntraCodec::default().encode(&vox, device))
+                // The returned frame is owned by the caller, so its own
+                // payload vectors are per-frame; every intermediate goes
+                // through the session arena and is reused.
+                let mut f = IntraFrame::default();
+                IntraCodec::default().encode_into(&vox, device, &mut self.intra_arena, &mut f);
+                EncodedFrame::Intra(f)
             }
             (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Intra) => {
                 let cfg = self.inter_config;
                 let intra = IntraCodec::new(cfg.intra);
-                let f = intra.encode(&vox, device);
+                let mut f = IntraFrame::default();
+                intra.encode_into(&vox, device, &mut self.intra_arena, &mut f);
                 self.scratch.reset();
                 self.reference_colors =
                     intra.decode(&f, &self.scratch).ok().map(|d| d.colors().to_vec());
@@ -459,8 +475,27 @@ impl<'d> FrameEncoder<'d> {
             (Design::IntraInterV1 | Design::IntraInterV2, FrameKind::Predicted) => {
                 let cfg = self.inter_config;
                 match &self.reference_colors {
-                    Some(r) => EncodedFrame::Inter(InterCodec::new(cfg).encode(&vox, r, device)),
-                    None => EncodedFrame::Intra(IntraCodec::new(cfg.intra).encode(&vox, device)),
+                    Some(r) => {
+                        let mut enc = InterEncoded::default();
+                        InterCodec::new(cfg).encode_into(
+                            &vox,
+                            r,
+                            device,
+                            &mut self.inter_arena,
+                            &mut enc,
+                        );
+                        EncodedFrame::Inter(enc)
+                    }
+                    None => {
+                        let mut f = IntraFrame::default();
+                        IntraCodec::new(cfg.intra).encode_into(
+                            &vox,
+                            device,
+                            &mut self.intra_arena,
+                            &mut f,
+                        );
+                        EncodedFrame::Intra(f)
+                    }
                 }
             }
         };

@@ -179,7 +179,7 @@ impl Device {
     /// Modeled time is `launch_overhead + items × cycles / (cores × clock)`;
     /// energy is that time times the GPU-pipeline rail power
     /// (static + GPU + DRAM + host CPU).
-    pub fn charge_gpu(&self, stage: &str, kernel: &KernelProfile, items: usize) -> Millis {
+    pub fn charge_gpu(&self, stage: &'static str, kernel: &KernelProfile, items: usize) -> Millis {
         let clock_hz = self.spec.gpu_clock_ghz * 1e9 * self.mode.clock_scale();
         let throughput = self.spec.gpu_cores as f64 * clock_hz;
         let compute_s = items as f64 * kernel.cycles_per_item / throughput;
@@ -193,7 +193,7 @@ impl Device {
             * self.mode.power_scale();
         let energy = Joules::from_power(power_mw, time);
         self.push(StageRecord {
-            stage: stage.to_owned(),
+            stage,
             op: kernel.name,
             unit: ExecUnit::Gpu,
             items,
@@ -209,7 +209,7 @@ impl Device {
     /// # Panics
     ///
     /// Panics if `threads` is zero or exceeds the device's core count.
-    pub fn charge_cpu(&self, stage: &str, op: &CpuOp, ops: usize, threads: u32) -> Millis {
+    pub fn charge_cpu(&self, stage: &'static str, op: &CpuOp, ops: usize, threads: u32) -> Millis {
         assert!(
             threads >= 1 && threads <= self.spec.cpu_cores,
             "thread count {threads} outside 1..={}",
@@ -221,7 +221,7 @@ impl Device {
         let power_mw = (self.spec.static_mw + self.spec.cpu_mw(threads)) * self.mode.power_scale();
         let energy = Joules::from_power(power_mw, time);
         self.push(StageRecord {
-            stage: stage.to_owned(),
+            stage,
             op: op.name,
             unit: ExecUnit::Cpu,
             items: ops,
@@ -253,7 +253,7 @@ impl Device {
     /// full core count either way.
     pub fn launch_map<T: Sync, R: Send>(
         &self,
-        stage: &str,
+        stage: &'static str,
         kernel: &KernelProfile,
         items: &[T],
         f: impl Fn(&T) -> R + Sync,

@@ -14,11 +14,16 @@ pub enum ExecUnit {
 }
 
 /// One charged unit of work.
+///
+/// The stage label is a `&'static str`: every pipeline call site charges
+/// with a literal, so recording a frame's work never allocates — a
+/// requirement of the zero-alloc steady state asserted by
+/// `tests/alloc_steady_state.rs` in the workspace root.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StageRecord {
     /// Stage label, e.g. `"geometry/octree"` — slash-separated prefixes
     /// group related records.
-    pub stage: String,
+    pub stage: &'static str,
     /// Kernel or CPU-op name.
     pub op: &'static str,
     /// Unit the work ran on.
@@ -87,7 +92,7 @@ impl Timeline {
     pub fn by_stage(&self) -> BTreeMap<String, (Millis, Joules)> {
         let mut map: BTreeMap<String, (Millis, Joules)> = BTreeMap::new();
         for r in &self.records {
-            let top = r.stage.split('/').next().unwrap_or(&r.stage).to_owned();
+            let top = r.stage.split('/').next().unwrap_or(r.stage).to_owned();
             let e = map.entry(top).or_insert((Millis::ZERO, Joules::ZERO));
             e.0 += r.modeled;
             e.1 += r.energy;
@@ -132,7 +137,7 @@ impl Timeline {
             .by_stage()
             .into_iter()
             .map(|s| StageRecord {
-                stage: s.stage.to_owned(),
+                stage: s.stage,
                 op: "measured",
                 unit: ExecUnit::Cpu,
                 items: s.calls,
@@ -167,9 +172,9 @@ impl Timeline {
 mod tests {
     use super::*;
 
-    fn rec(stage: &str, op: &'static str, ms: f64, j: f64) -> StageRecord {
+    fn rec(stage: &'static str, op: &'static str, ms: f64, j: f64) -> StageRecord {
         StageRecord {
-            stage: stage.to_owned(),
+            stage,
             op,
             unit: ExecUnit::Gpu,
             items: 1,

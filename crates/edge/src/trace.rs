@@ -48,7 +48,7 @@ pub fn to_chrome_trace(timeline: &Timeline) -> String {
              \"ts\":{ts:.3},\"dur\":{dur_us:.3},\
              \"args\":{{\"items\":{},\"energy_mj\":{:.4}}}}}",
             record.op,
-            escape(&record.stage),
+            escape(record.stage),
             record.items,
             record.energy.as_f64() * 1e3,
         );

@@ -1,21 +1,48 @@
 //! The inter-frame (P-frame) codec facade.
 
 use crate::config::InterConfig;
-use crate::matching::{self, match_blocks_with, MatchOutcome, ReuseStats};
+use crate::matching::{self, match_blocks_into, BlockMatch, MatchOutcome, ReuseStats};
 use pcc_edge::{calib, Device};
 use pcc_entropy::varint;
 use pcc_intra::{
-    decode_layer_threaded, encode_layer_with_starts_threaded, IntraCodec, LayerEncoded,
+    decode_layer_threaded, encode_layer_with_starts_into, geometry::GeometryEncoded,
+    segment_starts, segment_starts_into, write_layer, GeometryScratch, IntraCodec, LayerEncoded,
 };
 use pcc_types::{Point3, Rgb, VoxelizedCloud};
 use std::fmt;
 use std::num::NonZeroUsize;
 
-/// Stage label prefix used in device timelines.
-const STAGE: &str = "inter_attr";
+/// Per-session scratch for the inter encoder — a superset of the intra
+/// arena: geometry buffers plus the gather accumulators, block-match
+/// table, and delta-layer buffers. Owned by session-long encoders (the
+/// `FrameEncoder` in `pcc-core`) so the per-frame steady state is
+/// allocation-free on the single-threaded path.
+#[derive(Debug, Default)]
+pub struct InterArena {
+    geom: GeometryScratch,
+    geo: GeometryEncoded,
+    sums: Vec<[u32; 3]>,
+    counts: Vec<u32>,
+    p_colors: Vec<Rgb>,
+    p_starts: Vec<u32>,
+    i_starts: Vec<u32>,
+    matches: Vec<BlockMatch>,
+    delta_values: Vec<[i32; 3]>,
+    delta_starts: Vec<u32>,
+    bases: Vec<[i32; 3]>,
+    residuals: Vec<[i32; 3]>,
+    median: Vec<i32>,
+}
+
+impl InterArena {
+    /// Creates an empty arena; buffers grow on first use and then stick.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// An encoded P-frame: intra-coded geometry plus inter-coded attributes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct InterEncoded {
     /// The underlying frame payloads (geometry stream + inter attribute
     /// payload in `attribute`).
@@ -115,74 +142,114 @@ impl InterCodec {
         reference: &[Rgb],
         device: &Device,
     ) -> InterEncoded {
+        let mut arena = InterArena::new();
+        let mut out = InterEncoded::default();
+        self.encode_into(cloud, reference, device, &mut arena, &mut out);
+        out
+    }
+
+    /// [`encode`](Self::encode) writing into arena-owned buffers — the
+    /// allocation-free per-frame entry point. `arena` carries every
+    /// intermediate across frames; `out` is cleared and refilled. The
+    /// bitstream is byte-identical to [`encode`](Self::encode), and the
+    /// single-threaded entropy-off steady state performs no heap
+    /// allocation (asserted by `tests/alloc_steady_state.rs`).
+    pub fn encode_into(
+        &self,
+        cloud: &VoxelizedCloud,
+        reference: &[Rgb],
+        device: &Device,
+        arena: &mut InterArena,
+        out: &mut InterEncoded,
+    ) {
         let threads = self.threads_for(device);
-        let geo =
-            pcc_intra::geometry::encode_with(cloud, self.config.intra.entropy, device, threads);
+        pcc_intra::geometry::encode_in(
+            cloud,
+            self.config.intra.entropy,
+            device,
+            threads,
+            &mut arena.geom,
+            &mut arena.geo,
+        );
 
         // Per-voxel colors in Morton order (averaging duplicate points),
         // identical to the intra attribute path's view.
-        let p_colors = pcc_intra::attribute::gather_voxel_colors_with(cloud, &geo, threads);
-        device.charge_gpu(&format!("{STAGE}/gather"), &calib::GATHER, cloud.len().max(1));
+        pcc_intra::attribute::gather_voxel_colors_into(
+            cloud,
+            &arena.geo,
+            threads,
+            &mut arena.sums,
+            &mut arena.counts,
+            &mut arena.p_colors,
+        );
+        device.charge_gpu("inter_attr/gather", &calib::GATHER, cloud.len().max(1));
 
-        let (payload, stats) = self.encode_attributes(&p_colors, reference, device, threads);
-        InterEncoded {
-            frame: pcc_intra::IntraFrame {
-                geometry: geo.stream,
-                attribute: payload,
-                unique_voxels: geo.unique_voxels,
-                raw_points: cloud.len(),
-            },
-            stats,
-        }
+        let stats =
+            self.encode_attributes_in(reference, device, threads, arena, &mut out.frame.attribute);
+        out.frame.geometry.clear();
+        out.frame.geometry.extend_from_slice(&arena.geo.stream);
+        out.frame.unique_voxels = arena.geo.unique_voxels;
+        out.frame.raw_points = cloud.len();
+        out.stats = stats;
     }
 
-    /// Attribute-only inter encoding of a Morton-ordered color sequence.
+    /// Attribute-only inter encoding of the arena's gathered
+    /// Morton-ordered color sequence, appending to `payload` (cleared
+    /// first).
     // Encoder side: block ranges come from segment_starts over the same
     // color arrays, so every slice below is in range by construction.
     #[allow(clippy::indexing_slicing)]
-    fn encode_attributes(
+    fn encode_attributes_in(
         &self,
-        p_colors: &[Rgb],
         reference: &[Rgb],
         device: &Device,
         threads: NonZeroUsize,
-    ) -> (Vec<u8>, ReuseStats) {
+        arena: &mut InterArena,
+        payload: &mut Vec<u8>,
+    ) -> ReuseStats {
+        let InterArena {
+            p_colors,
+            p_starts,
+            i_starts,
+            matches,
+            delta_values,
+            delta_starts,
+            bases,
+            residuals,
+            median,
+            ..
+        } = arena;
+        let p_colors: &[Rgb] = p_colors;
         let m = p_colors.len();
         let blocks = self.config.blocks_for(m);
-        let p_starts = segment_starts(m, blocks);
-        let i_starts = segment_starts(reference.len(), self.config.blocks_for(reference.len()));
+        segment_starts_into(m, blocks, p_starts);
+        segment_starts_into(reference.len(), self.config.blocks_for(reference.len()), i_starts);
 
         // Block matching (the Diff_Squared / Squared_Sum kernels).
         let match_sp = pcc_probe::span("inter/match");
-        let (matches, stats, charge) = match_blocks_with(
+        let (stats, charge) = match_blocks_into(
             p_colors,
             reference,
-            &p_starts,
-            &i_starts,
+            p_starts,
+            i_starts,
             self.config.candidates,
             self.config.reuse_threshold,
             threads,
+            matches,
         );
-        device.charge_gpu(
-            &format!("{STAGE}/diff_squared"),
-            &calib::DIFF_SQUARED,
-            charge.pair_items.max(1),
-        );
-        device.charge_gpu(
-            &format!("{STAGE}/squared_sum"),
-            &calib::SQUARED_SUM,
-            charge.block_pairs.max(1),
-        );
+        device.charge_gpu("inter_attr/diff_squared", &calib::DIFF_SQUARED, charge.pair_items.max(1));
+        device.charge_gpu("inter_attr/squared_sum", &calib::SQUARED_SUM, charge.block_pairs.max(1));
         match_sp.stop();
 
         // Assemble deltas for non-reused blocks (address generation).
         let _delta_sp = pcc_probe::span("inter/delta");
-        let mut delta_values: Vec<[i32; 3]> = Vec::new();
-        let mut delta_starts: Vec<u32> = vec![0];
-        for (p_idx, m) in matches.iter().enumerate() {
-            if m.outcome == MatchOutcome::Delta {
-                let p_range = block_range(&p_starts, p_colors.len(), p_idx);
-                let i_range = block_range(&i_starts, reference.len(), m.i_block as usize);
+        delta_values.clear();
+        delta_starts.clear();
+        delta_starts.push(0);
+        for (p_idx, mt) in matches.iter().enumerate() {
+            if mt.outcome == MatchOutcome::Delta {
+                let p_range = block_range(p_starts, p_colors.len(), p_idx);
+                let i_range = block_range(i_starts, reference.len(), mt.i_block as usize);
                 let i_block = &reference[i_range];
                 let len_p = p_range.len();
                 for (k, &pc) in p_colors[p_range].iter().enumerate() {
@@ -196,34 +263,34 @@ impl InterCodec {
         if delta_starts.is_empty() {
             delta_starts.push(0);
         }
-        device.charge_gpu(&format!("{STAGE}/addr_gen"), &calib::ADDR_GEN, m.max(1));
+        device.charge_gpu("inter_attr/addr_gen", &calib::ADDR_GEN, m.max(1));
 
         // Compress deltas with the intra Base+Delta layer (segment = block).
-        let delta_layer = encode_layer_with_starts_threaded(
-            &delta_values,
+        let quant_step = self.config.intra.quant_step();
+        encode_layer_with_starts_into(
+            delta_values,
             delta_starts,
-            self.config.intra.quant_step(),
+            quant_step,
             threads,
+            bases,
+            residuals,
+            median,
         );
-        device.charge_gpu(
-            &format!("{STAGE}/delta_encode"),
-            &calib::DELTA_QUANT,
-            delta_values.len().max(1),
-        );
+        device.charge_gpu("inter_attr/delta_encode", &calib::DELTA_QUANT, delta_values.len().max(1));
 
         // Serialize: counts, flags + pointers, then the delta layer.
-        let mut payload = Vec::new();
-        varint::write_u64(&mut payload, m as u64);
-        varint::write_u64(&mut payload, matches.len() as u64);
-        for mt in &matches {
+        payload.clear();
+        varint::write_u64(payload, m as u64);
+        varint::write_u64(payload, matches.len() as u64);
+        for mt in matches.iter() {
             let reuse_bit = (mt.outcome == MatchOutcome::Reuse) as u64;
-            varint::write_u64(&mut payload, (mt.window_offset as u64) << 1 | reuse_bit);
+            varint::write_u64(payload, (mt.window_offset as u64) << 1 | reuse_bit);
         }
-        payload.extend_from_slice(&delta_layer.to_bytes());
-        device.charge_gpu(&format!("{STAGE}/reuse_encode"), &calib::REUSE_ENCODE, matches.len());
+        write_layer(payload, quant_step, delta_starts, bases, residuals);
+        device.charge_gpu("inter_attr/reuse_encode", &calib::REUSE_ENCODE, matches.len());
         pcc_probe::add_bytes("inter/attribute", payload.len() as u64);
 
-        (payload, stats)
+        stats
     }
 
     /// Decodes a P-frame against the same reference sequence the encoder
@@ -326,11 +393,6 @@ impl InterCodec {
     pub fn encode_intra(&self, cloud: &VoxelizedCloud, device: &Device) -> pcc_intra::IntraFrame {
         IntraCodec::new(self.config.intra).encode(cloud, device)
     }
-}
-
-fn segment_starts(len: usize, segments: usize) -> Vec<u32> {
-    let segments = segments.clamp(1, len.max(1));
-    (0..segments).map(|s| (s * len / segments) as u32).collect()
 }
 
 fn block_range(starts: &[u32], len: usize, idx: usize) -> std::ops::Range<usize> {

@@ -61,6 +61,8 @@ mod codec;
 mod config;
 mod matching;
 
-pub use codec::{InterCodec, InterEncoded, InterError};
+pub use codec::{InterArena, InterCodec, InterEncoded, InterError};
 pub use config::InterConfig;
-pub use matching::{match_blocks, match_blocks_with, BlockMatch, MatchOutcome, ReuseStats};
+pub use matching::{
+    match_blocks, match_blocks_into, match_blocks_with, BlockMatch, MatchOutcome, ReuseStats,
+};

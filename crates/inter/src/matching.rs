@@ -136,9 +136,7 @@ pub fn match_blocks(
 /// independently, and the per-chunk matches/stats/charges are merged in
 /// chunk order — so the result (and any stream derived from it) is
 /// byte-identical at every thread count.
-// Encoder side: `starts` come from segment_starts over these exact
-// color arrays, so block ranges are in bounds by construction.
-#[allow(clippy::too_many_arguments, clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments)]
 pub fn match_blocks_with(
     p_colors: &[Rgb],
     i_colors: &[Rgb],
@@ -148,8 +146,40 @@ pub fn match_blocks_with(
     threshold: u32,
     threads: NonZeroUsize,
 ) -> (Vec<BlockMatch>, ReuseStats, MatchCharge) {
+    let mut matches = Vec::new();
+    let (stats, charge) = match_blocks_into(
+        p_colors,
+        i_colors,
+        p_starts,
+        i_starts,
+        candidates,
+        threshold,
+        threads,
+        &mut matches,
+    );
+    (matches, stats, charge)
+}
+
+/// [`match_blocks_with`] writing the matches into a caller-owned buffer
+/// (cleared first). The single-threaded path fills `matches` in place
+/// with no heap allocation once its capacity has warmed, which keeps the
+/// inter encoder's steady state allocation-free.
+// Encoder side: `starts` come from segment_starts over these exact
+// color arrays, so block ranges are in bounds by construction.
+#[allow(clippy::too_many_arguments, clippy::indexing_slicing)]
+pub fn match_blocks_into(
+    p_colors: &[Rgb],
+    i_colors: &[Rgb],
+    p_starts: &[u32],
+    i_starts: &[u32],
+    candidates: usize,
+    threshold: u32,
+    threads: NonZeroUsize,
+    matches: &mut Vec<BlockMatch>,
+) -> (ReuseStats, MatchCharge) {
     let p_blocks = p_starts.len();
     let i_blocks = i_starts.len();
+    matches.clear();
 
     let block_of = |starts: &[u32], colors: &[Rgb], idx: usize| -> std::ops::Range<usize> {
         let start = starts[idx] as usize;
@@ -157,8 +187,7 @@ pub fn match_blocks_with(
         start..end
     };
 
-    let match_range = |range: std::ops::Range<usize>| {
-        let mut matches = Vec::with_capacity(range.len());
+    let match_range = |range: std::ops::Range<usize>, matches: &mut Vec<BlockMatch>| {
         let mut stats = ReuseStats::default();
         let mut charge = MatchCharge::default();
         for p_idx in range {
@@ -190,7 +219,7 @@ pub fn match_blocks_with(
                 outcome,
             });
         }
-        (matches, stats, charge)
+        (stats, charge)
     };
 
     // Per-block work is ~candidates × block-size comparisons, so weight
@@ -198,12 +227,16 @@ pub fn match_blocks_with(
     let weight = p_blocks.saturating_mul(candidates.min(i_blocks.max(1)));
     let fan = pcc_parallel::effective_threads(threads, weight).min(p_blocks.max(1));
     if fan <= 1 {
-        return match_range(0..p_blocks);
+        return match_range(0..p_blocks, matches);
     }
     let ranges = pcc_parallel::chunk_ranges(p_blocks, fan);
-    let partials = pcc_parallel::scope_map(&ranges, |_, r| match_range(r));
+    let partials = pcc_parallel::scope_map(&ranges, |_, r| {
+        let mut part = Vec::with_capacity(r.len());
+        let (stats, charge) = match_range(r, &mut part);
+        (part, stats, charge)
+    });
 
-    let mut matches = Vec::with_capacity(p_blocks);
+    matches.reserve(p_blocks);
     let mut stats = ReuseStats::default();
     let mut charge = MatchCharge::default();
     for (part_matches, part_stats, part_charge) in partials {
@@ -213,7 +246,7 @@ pub fn match_blocks_with(
         charge.pair_items += part_charge.pair_items;
         charge.block_pairs += part_charge.block_pairs;
     }
-    (matches, stats, charge)
+    (stats, charge)
 }
 
 #[cfg(test)]

@@ -1,0 +1,90 @@
+//! Per-session scratch arenas for the per-frame encode hot path.
+//!
+//! Every buffer the intra encoder touches per frame lives here, owned by
+//! the session-long encoder object (`FrameEncoder` in `pcc-core` holds
+//! one [`FrameArena`] and the inter codec holds its own superset). The
+//! first few frames grow the vectors to the working-set size; after that
+//! warm-up, encoding a frame performs **zero heap allocations** on the
+//! single-threaded path — asserted by the counting-allocator test in
+//! `tests/alloc_steady_state.rs` at the workspace root and tracked in
+//! `BENCH_hotpath.json`.
+//!
+//! The arena types deliberately expose their fields only `pub(crate)`:
+//! the layout is an implementation detail of the encode pipeline, and
+//! callers interact with it solely through
+//! [`crate::IntraCodec::encode_into`].
+
+use pcc_morton::{MortonCode, SortedCodes};
+use pcc_octree::ParallelOctree;
+use pcc_parallel::SortScratch;
+use pcc_types::Rgb;
+
+use crate::geometry::GeometryEncoded;
+
+/// Reusable buffers for the geometry pipeline
+/// ([`crate::geometry::encode_in`]): Morton codegen, radix sort, octree
+/// rebuild, and occupancy extraction.
+#[derive(Debug, Default)]
+pub struct GeometryScratch {
+    /// Radix-sort key/payload/count/staging buffers.
+    pub(crate) sort: SortScratch,
+    /// Unsorted Morton codes for the current frame.
+    pub(crate) codes: Vec<MortonCode>,
+    /// Sorted codes + permutation (the sort output).
+    pub(crate) sorted: SortedCodes,
+    /// Octree rebuilt in place each frame.
+    pub(crate) tree: ParallelOctree,
+    /// Per-node occupancy bytes before packing.
+    pub(crate) occupancy: Vec<u8>,
+}
+
+/// Reusable buffers for the attribute pipeline
+/// ([`crate::attribute::encode_in`]): color gather, segmentation, and the
+/// two-layer base/residual quantization.
+#[derive(Debug, Default)]
+pub struct AttributeScratch {
+    /// Per-voxel color sums (gather accumulator).
+    pub(crate) sums: Vec<[u32; 3]>,
+    /// Per-voxel point counts (gather accumulator).
+    pub(crate) counts: Vec<u32>,
+    /// Averaged per-voxel colors.
+    pub(crate) voxel_colors: Vec<Rgb>,
+    /// Colors widened to i32 triples in sorted-voxel order.
+    pub(crate) values: Vec<[i32; 3]>,
+    /// Segment start indices.
+    pub(crate) starts: Vec<u32>,
+    /// Layer-1 per-segment median bases.
+    pub(crate) bases: Vec<[i32; 3]>,
+    /// Layer-1 quantized residuals.
+    pub(crate) residuals: Vec<[i32; 3]>,
+    /// Layer-2 bases (two-layer mode re-encodes layer-1 residuals).
+    pub(crate) bases2: Vec<[i32; 3]>,
+    /// Layer-2 residuals.
+    pub(crate) residuals2: Vec<[i32; 3]>,
+    /// Channel scratch for the per-segment median reduction.
+    pub(crate) median: Vec<i32>,
+    /// Serialized outer layer (two-layer mode length-prefixes it).
+    pub(crate) outer_bytes: Vec<u8>,
+}
+
+/// All per-frame scratch for one intra (or inter base) encode session.
+///
+/// Construct once per encoder, pass to
+/// [`crate::IntraCodec::encode_into`] every frame.
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    /// Geometry-pipeline buffers.
+    pub(crate) geom: GeometryScratch,
+    /// Geometry output (stream + permutation + voxel maps), reused so the
+    /// attribute pass can read it without a fresh allocation.
+    pub(crate) geo: GeometryEncoded,
+    /// Attribute-pipeline buffers.
+    pub(crate) attr: AttributeScratch,
+}
+
+impl FrameArena {
+    /// Creates an empty arena; buffers grow on first use and then stick.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,16 +1,17 @@
 //! Proposed intra-frame attribute compression (paper Fig. 4d):
 //! sort → segment → Mid + Residual → quantize.
 
+use crate::arena::AttributeScratch;
 use crate::config::IntraConfig;
 use crate::geometry::GeometryEncoded;
-use crate::layer::{decode_layer_threaded, encode_layer_threaded, LayerEncoded};
+use crate::layer::{
+    decode_layer_threaded, encode_layer_with_starts_into, segment_starts_into, write_layer,
+    LayerEncoded,
+};
 use pcc_edge::{calib, Device};
 use pcc_entropy::{varint, ByteModel, RangeDecoder, RangeEncoder};
 use pcc_types::{Rgb, VoxelizedCloud};
 use std::num::NonZeroUsize;
-
-/// Stage label prefix used in device timelines.
-const STAGE: &str = "attribute";
 
 /// Encodes the attributes of a voxelized cloud, reusing the geometry
 /// pass's Morton order (`geo.perm`) and voxel mapping at no extra cost —
@@ -24,47 +25,99 @@ pub fn encode(
     config: &IntraConfig,
     device: &Device,
 ) -> Vec<u8> {
+    let mut scratch = AttributeScratch::default();
+    let mut payload = Vec::new();
+    encode_in(cloud, geo, config, device, &mut scratch, &mut payload);
+    payload
+}
+
+/// [`encode`] writing into arena-owned buffers — the allocation-free core
+/// of the attribute pipeline. `scratch` carries the gather accumulators,
+/// segment starts, and both layers' base/residual buffers across frames;
+/// `payload` is cleared and refilled. The single-threaded entropy-off
+/// path performs no heap allocation once the buffers have warmed
+/// (asserted by `tests/alloc_steady_state.rs`).
+pub fn encode_in(
+    cloud: &VoxelizedCloud,
+    geo: &GeometryEncoded,
+    config: &IntraConfig,
+    device: &Device,
+    scratch: &mut AttributeScratch,
+    payload: &mut Vec<u8>,
+) {
     let n = cloud.len();
     let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
+    let q = config.quant_step();
 
     // 1. Gather colors into Morton order through the geometry permutation,
     //    averaging duplicates per voxel. Chunk boundaries are aligned to
     //    voxel runs, so every thread count yields identical sums.
-    let voxel_colors = gather_voxel_colors_with(cloud, geo, threads);
-    device.charge_gpu(&format!("{STAGE}/gather"), &calib::GATHER, n.max(1));
+    gather_voxel_colors_into(
+        cloud,
+        geo,
+        threads,
+        &mut scratch.sums,
+        &mut scratch.counts,
+        &mut scratch.voxel_colors,
+    );
+    device.charge_gpu("attribute/gather", &calib::GATHER, n.max(1));
 
     // 2-3. Segment + per-segment median (base), chunk-parallel per
-    //       segment group.
-    let m = voxel_colors.len();
+    //       segment group, quantized by the batched kernel.
+    let m = scratch.voxel_colors.len();
     let segments = config.segments_for(m);
-    let values: Vec<[i32; 3]> = voxel_colors.iter().map(|c| c.to_i32()).collect();
-    let layer1 = encode_layer_threaded(&values, segments, config.quant_step(), threads);
-    device.charge_gpu(&format!("{STAGE}/median"), &calib::SEGMENT_MEDIAN, m.max(1));
-    device.charge_gpu(&format!("{STAGE}/delta"), &calib::DELTA_QUANT, m.max(1));
+    scratch.values.clear();
+    scratch.values.extend(scratch.voxel_colors.iter().map(|c| c.to_i32()));
+    segment_starts_into(m, segments, &mut scratch.starts);
+    encode_layer_with_starts_into(
+        &scratch.values,
+        &scratch.starts,
+        q,
+        threads,
+        &mut scratch.bases,
+        &mut scratch.residuals,
+        &mut scratch.median,
+    );
+    device.charge_gpu("attribute/median", &calib::SEGMENT_MEDIAN, m.max(1));
+    device.charge_gpu("attribute/delta", &calib::DELTA_QUANT, m.max(1));
 
     // 4. Optional second layer: re-encode the residual stream as new
     //    attributes (lossless inner layer).
-    let mut payload = Vec::new();
+    payload.clear();
     payload.push(config.two_layer as u8);
     if config.two_layer {
-        let layer2 = encode_layer_threaded(&layer1.residuals, segments, 1, threads);
-        device.charge_gpu(&format!("{STAGE}/delta2"), &calib::DELTA_QUANT, m.max(1));
-        let outer = LayerEncoded { residuals: Vec::new(), ..layer1 };
-        let outer_bytes = outer.to_bytes();
-        varint::write_u64(&mut payload, outer_bytes.len() as u64);
-        payload.extend_from_slice(&outer_bytes);
-        payload.extend_from_slice(&layer2.to_bytes());
+        encode_layer_with_starts_into(
+            &scratch.residuals,
+            &scratch.starts,
+            1,
+            threads,
+            &mut scratch.bases2,
+            &mut scratch.residuals2,
+            &mut scratch.median,
+        );
+        device.charge_gpu("attribute/delta2", &calib::DELTA_QUANT, m.max(1));
+        // The outer layer serializes with its residuals stripped (they
+        // live on in the inner layer) — byte-identical to the old
+        // `LayerEncoded { residuals: vec![], ..layer1 }.to_bytes()`.
+        scratch.outer_bytes.clear();
+        write_layer(&mut scratch.outer_bytes, q, &scratch.starts, &scratch.bases, &[]);
+        varint::write_u64(payload, scratch.outer_bytes.len() as u64);
+        payload.extend_from_slice(&scratch.outer_bytes);
+        write_layer(payload, 1, &scratch.starts, &scratch.bases2, &scratch.residuals2);
     } else {
-        payload.extend_from_slice(&layer1.to_bytes());
+        write_layer(payload, q, &scratch.starts, &scratch.bases, &scratch.residuals);
     }
-    device.charge_gpu(&format!("{STAGE}/pack"), &calib::ATTR_PACK, m.max(1));
+    device.charge_gpu("attribute/pack", &calib::ATTR_PACK, m.max(1));
 
+    // Entropy coding allocates (range-coder output); the zero-alloc
+    // guarantee covers the default entropy-off configuration.
     if config.entropy {
-        payload = entropy_wrap(&payload);
-        device.charge_gpu(&format!("{STAGE}/entropy"), &calib::ENTROPY_GPU, payload.len());
+        let wrapped = entropy_wrap(payload);
+        payload.clear();
+        payload.extend_from_slice(&wrapped);
+        device.charge_gpu("attribute/entropy", &calib::ENTROPY_GPU, payload.len());
     }
     pcc_probe::add_bytes("intra/attribute", payload.len() as u64);
-    payload
 }
 
 /// Decodes an attribute payload back to per-voxel colors (Morton order,
@@ -130,19 +183,41 @@ pub fn gather_voxel_colors(cloud: &VoxelizedCloud, geo: &GeometryEncoded) -> Vec
 /// aligned to voxel boundaries accumulate into disjoint contiguous slices
 /// of the per-voxel sums — no atomics, and identical sums (hence bytes)
 /// at every thread count.
-// Encoder side: ranks/perm/point_to_voxel come from the geometry pass
-// over the same cloud, so every index is in range by construction.
-#[allow(clippy::indexing_slicing)]
 pub fn gather_voxel_colors_with(
     cloud: &VoxelizedCloud,
     geo: &GeometryEncoded,
     threads: NonZeroUsize,
 ) -> Vec<Rgb> {
+    let mut sums = Vec::new();
+    let mut counts = Vec::new();
+    let mut out = Vec::new();
+    gather_voxel_colors_into(cloud, geo, threads, &mut sums, &mut counts, &mut out);
+    out
+}
+
+/// [`gather_voxel_colors_with`] writing into caller-owned buffers.
+/// `sums`/`counts` are the per-voxel accumulators, `out` the averaged
+/// colors; all three are cleared and refilled, so their capacity persists
+/// across frames and the single-threaded path is allocation-free once
+/// warm.
+// Encoder side: ranks/perm/point_to_voxel come from the geometry pass
+// over the same cloud, so every index is in range by construction.
+#[allow(clippy::indexing_slicing)]
+pub fn gather_voxel_colors_into(
+    cloud: &VoxelizedCloud,
+    geo: &GeometryEncoded,
+    threads: NonZeroUsize,
+    sums: &mut Vec<[u32; 3]>,
+    counts: &mut Vec<u32>,
+    out: &mut Vec<Rgb>,
+) {
     let _sp = pcc_probe::span("intra/gather");
     let m = geo.unique_voxels;
     let n = geo.perm.len();
-    let mut sums = vec![[0u32; 3]; m];
-    let mut counts = vec![0u32; m];
+    sums.clear();
+    sums.resize(m, [0u32; 3]);
+    counts.clear();
+    counts.resize(m, 0u32);
     let p2v = &geo.point_to_voxel;
     let colors = cloud.colors();
 
@@ -162,33 +237,43 @@ pub fn gather_voxel_colors_with(
 
     let fan = pcc_parallel::effective_threads(threads, n);
     if fan <= 1 {
-        accumulate(0..n, &mut sums, &mut counts);
+        accumulate(0..n, sums, counts);
     } else {
         let ranges = pcc_parallel::aligned_chunk_ranges(n, fan, |i| p2v[i] != p2v[i - 1]);
         let voxel_cuts: Vec<usize> =
             ranges[1..].iter().map(|r| p2v[r.start] as usize).collect();
-        let sums_parts = pcc_parallel::split_at_many(&mut sums, &voxel_cuts);
-        let counts_parts = pcc_parallel::split_at_many(&mut counts, &voxel_cuts);
+        let sums_parts = pcc_parallel::split_at_many(sums, &voxel_cuts);
+        let counts_parts = pcc_parallel::split_at_many(counts, &voxel_cuts);
         let ctxs: Vec<_> = ranges.into_iter().zip(counts_parts).collect();
         pcc_parallel::scope_run(sums_parts, ctxs, |_, (rank_range, counts_part), sums_part| {
             accumulate(rank_range, sums_part, counts_part);
         });
     }
 
-    let mut out = vec![Rgb::BLACK; m];
-    let voxel_ranges = pcc_parallel::chunk_ranges(m, pcc_parallel::effective_threads(threads, m));
-    pcc_parallel::par_fill(&mut out, &voxel_ranges, |_, range, part| {
-        for (slot, v) in part.iter_mut().zip(range) {
-            let s = sums[v];
-            let k = counts[v].max(1);
-            *slot = Rgb::new(
-                ((s[0] + k / 2) / k) as u8,
-                ((s[1] + k / 2) / k) as u8,
-                ((s[2] + k / 2) / k) as u8,
-            );
-        }
-    });
-    out
+    let average = |s: &[u32; 3], c: u32| {
+        let k = c.max(1);
+        Rgb::new(
+            ((s[0] + k / 2) / k) as u8,
+            ((s[1] + k / 2) / k) as u8,
+            ((s[2] + k / 2) / k) as u8,
+        )
+    };
+    out.clear();
+    let avg_fan = pcc_parallel::effective_threads(threads, m);
+    if avg_fan <= 1 {
+        // Plain sequential extend: the parallel plumbing below allocates
+        // its range list even for one chunk, which would break the
+        // zero-alloc steady state.
+        out.extend(sums.iter().zip(counts.iter()).map(|(s, &c)| average(s, c)));
+    } else {
+        out.resize(m, Rgb::BLACK);
+        let voxel_ranges = pcc_parallel::chunk_ranges(m, avg_fan);
+        pcc_parallel::par_fill(out, &voxel_ranges, |_, range, part| {
+            for (slot, v) in part.iter_mut().zip(range) {
+                *slot = average(&sums[v], counts[v]);
+            }
+        });
+    }
 }
 
 fn entropy_wrap(payload: &[u8]) -> Vec<u8> {

@@ -1,5 +1,6 @@
 //! The intra-frame codec facade.
 
+use crate::arena::FrameArena;
 use crate::config::IntraConfig;
 use crate::{attribute, geometry};
 use pcc_edge::Device;
@@ -7,7 +8,7 @@ use pcc_types::{Point3, VoxelizedCloud};
 use std::fmt;
 
 /// One intra-coded frame: independent geometry and attribute payloads.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IntraFrame {
     /// Compressed geometry stream.
     pub geometry: Vec<u8>,
@@ -120,15 +121,49 @@ impl IntraCodec {
 
     /// Encodes one voxelized frame, charging every stage to `device`.
     pub fn encode(&self, cloud: &VoxelizedCloud, device: &Device) -> IntraFrame {
-        let geo =
-            geometry::encode_with(cloud, self.config.entropy, device, self.threads_for(device));
-        let attr = attribute::encode(cloud, &geo, &self.config, device);
-        IntraFrame {
-            geometry: geo.stream,
-            attribute: attr,
-            unique_voxels: geo.unique_voxels,
-            raw_points: cloud.len(),
-        }
+        let mut arena = FrameArena::new();
+        let mut out = IntraFrame::default();
+        self.encode_into(cloud, device, &mut arena, &mut out);
+        out
+    }
+
+    /// [`encode`](Self::encode) writing into arena-owned buffers — the
+    /// allocation-free per-frame entry point. `arena` carries every
+    /// intermediate across frames (the session-long encoder in `pcc-core`
+    /// owns one); `out` is cleared and refilled. After a few warm-up
+    /// frames the single-threaded entropy-off path performs zero heap
+    /// allocations (asserted by `tests/alloc_steady_state.rs`); the
+    /// bitstream is byte-identical to [`encode`](Self::encode).
+    pub fn encode_into(
+        &self,
+        cloud: &VoxelizedCloud,
+        device: &Device,
+        arena: &mut FrameArena,
+        out: &mut IntraFrame,
+    ) {
+        geometry::encode_in(
+            cloud,
+            self.config.entropy,
+            device,
+            self.threads_for(device),
+            &mut arena.geom,
+            &mut arena.geo,
+        );
+        attribute::encode_in(
+            cloud,
+            &arena.geo,
+            &self.config,
+            device,
+            &mut arena.attr,
+            &mut out.attribute,
+        );
+        // Copy (not swap) the stream: arena.geo must stay intact so
+        // callers that also want the intermediates (the inter codec) can
+        // read them after this returns.
+        out.geometry.clear();
+        out.geometry.extend_from_slice(&arena.geo.stream);
+        out.unique_voxels = arena.geo.unique_voxels;
+        out.raw_points = cloud.len();
     }
 
     /// Encodes a frame and also returns the geometry intermediates (Morton
@@ -139,16 +174,10 @@ impl IntraCodec {
         cloud: &VoxelizedCloud,
         device: &Device,
     ) -> (IntraFrame, geometry::GeometryEncoded) {
-        let geo =
-            geometry::encode_with(cloud, self.config.entropy, device, self.threads_for(device));
-        let attr = attribute::encode(cloud, &geo, &self.config, device);
-        let frame = IntraFrame {
-            geometry: geo.stream.clone(),
-            attribute: attr,
-            unique_voxels: geo.unique_voxels,
-            raw_points: cloud.len(),
-        };
-        (frame, geo)
+        let mut arena = FrameArena::new();
+        let mut frame = IntraFrame::default();
+        self.encode_into(cloud, device, &mut arena, &mut frame);
+        (frame, arena.geo)
     }
 
     /// Decodes a frame back to a voxelized cloud (one color per unique
@@ -271,6 +300,23 @@ mod tests {
         assert_eq!(plain, frame);
         assert_eq!(geo.unique_voxels, frame.unique_voxels);
         assert_eq!(geo.perm.len(), c.len());
+    }
+
+    #[test]
+    fn encode_into_reused_arena_matches_encode() {
+        // Three frames of different sizes through ONE arena must each be
+        // byte-identical to a fresh encode — stale buffer contents from a
+        // larger previous frame must never leak into a smaller one.
+        let codec = IntraCodec::default();
+        let d = device();
+        let mut arena = FrameArena::new();
+        let mut frame = IntraFrame::default();
+        for n in [500usize, 120, 333] {
+            let vox = VoxelizedCloud::from_cloud(&cloud(n), 6);
+            codec.encode_into(&vox, &d, &mut arena, &mut frame);
+            let fresh = codec.encode(&vox, &d);
+            assert_eq!(frame, fresh, "n={n}");
+        }
     }
 
     #[test]

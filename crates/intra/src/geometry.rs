@@ -2,14 +2,15 @@
 
 use pcc_edge::{calib, Device};
 use pcc_entropy::{ByteModel, RangeDecoder, RangeEncoder};
-use pcc_morton::{sort_codes_with, MortonCode, SortScratch};
-use pcc_octree::ParallelOctree;
+use pcc_morton::MortonCode;
 use pcc_types::{Limits, VoxelCoord, VoxelizedCloud};
 use std::num::NonZeroUsize;
 
+use crate::arena::GeometryScratch;
+
 /// The outcome of geometry encoding: the compressed stream plus the
 /// intermediate results the attribute pipeline reuses for free.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GeometryEncoded {
     /// The compressed geometry stream.
     pub stream: Vec<u8>,
@@ -24,9 +25,6 @@ pub struct GeometryEncoded {
     /// Sorted unique leaf codes (the octree's leaf level).
     pub leaf_codes: Vec<MortonCode>,
 }
-
-/// Stage label prefix used in device timelines.
-const STAGE: &str = "geometry";
 
 /// Encodes the geometry of a voxelized cloud with the Morton-parallel
 /// pipeline, charging each kernel to `device`.
@@ -46,55 +44,87 @@ pub fn encode_with(
     device: &Device,
     threads: NonZeroUsize,
 ) -> GeometryEncoded {
+    let mut scratch = GeometryScratch::default();
+    let mut out = GeometryEncoded::default();
+    encode_in(cloud, entropy, device, threads, &mut scratch, &mut out);
+    out
+}
+
+/// [`encode_with`] writing into arena-owned buffers — the allocation-free
+/// core of the geometry pipeline. `scratch` carries every intermediate
+/// (codes, sort staging, octree levels, occupancy bytes) across frames;
+/// `out` is cleared and refilled. After the buffers warm to the
+/// working-set size, the single-threaded path performs no heap
+/// allocation (asserted by `tests/alloc_steady_state.rs`).
+pub fn encode_in(
+    cloud: &VoxelizedCloud,
+    entropy: bool,
+    device: &Device,
+    threads: NonZeroUsize,
+    scratch: &mut GeometryScratch,
+    out: &mut GeometryEncoded,
+) {
     let n = cloud.len();
 
     // 1. Morton code generation — one independent item per point, run as
-    //    a data-parallel kernel launch (chunked across host threads).
-    let codes = pcc_morton::codes_of_with(cloud, threads);
-    device.charge_gpu(&format!("{STAGE}/morton"), &calib::MORTON_GEN, n.max(1));
+    //    a data-parallel kernel launch (chunked across host threads; SWAR
+    //    batched, AVX2 under the `simd` feature).
+    pcc_morton::codes_of_into(cloud, threads, &mut scratch.codes);
+    device.charge_gpu("geometry/morton", &calib::MORTON_GEN, n.max(1));
 
-    // 2. Radix sort of the codes (parallel LSD passes, stable merge).
-    let sorted = sort_codes_with(&codes, threads, &mut SortScratch::new());
-    device.charge_gpu(&format!("{STAGE}/sort"), &calib::RADIX_SORT, n);
+    // 2. Radix sort of the codes (parallel LSD passes, stable merge),
+    //    reusing the arena's key/payload/count staging.
+    pcc_morton::sort_codes_into(&scratch.codes, threads, &mut scratch.sort, &mut scratch.sorted);
+    device.charge_gpu("geometry/sort", &calib::RADIX_SORT, n);
 
     // 3. Deduplicate to unique leaves, remembering each point's voxel —
     //    a run compaction over the sorted codes, chunk-parallel with
     //    run-aligned boundaries.
-    let (leaf_codes, point_to_voxel) =
-        pcc_parallel::compact_runs(&sorted.codes, |&c| c, threads);
+    pcc_parallel::compact_runs_into(
+        &scratch.sorted.codes,
+        |&c| c,
+        threads,
+        &mut out.leaf_codes,
+        &mut out.point_to_voxel,
+    );
+    // The permutation moves to the output wholesale; the sort rebuilds
+    // scratch.sorted.perm from scratch next frame, so handing back last
+    // frame's buffer keeps both sides allocation-free.
+    std::mem::swap(&mut out.perm, &mut scratch.sorted.perm);
+    out.unique_voxels = out.leaf_codes.len();
 
-    // 4. Parallel octree construction over the sorted unique codes.
-    let tree = ParallelOctree::from_sorted_codes_with(leaf_codes.clone(), cloud.depth(), threads);
-    device.charge_gpu(&format!("{STAGE}/octree"), &calib::OCTREE_BUILD, tree.node_count().max(1));
+    // 4. Parallel octree construction over the sorted unique codes,
+    //    rebuilt in place into the arena's level arrays.
+    scratch.tree.rebuild_from_sorted_codes(&out.leaf_codes, cloud.depth(), threads);
+    device.charge_gpu("geometry/octree", &calib::OCTREE_BUILD, scratch.tree.node_count().max(1));
 
     // 5. Occupancy-byte post-processing (Algorithm 1).
-    let occupancy = tree.occupancy_with(threads);
-    device.charge_gpu(&format!("{STAGE}/occupy"), &calib::OCCUPY_POST, tree.node_count().max(1));
+    scratch.tree.occupancy_into(threads, &mut scratch.occupancy);
+    device.charge_gpu("geometry/occupy", &calib::OCCUPY_POST, scratch.tree.node_count().max(1));
 
     // 6. Stream packing (+ grid metadata so the decoder can restore world
     //    coordinates).
-    let mut stream = header_bytes(cloud);
-    stream.extend_from_slice(&pcc_octree::serialize_occupancy(
+    out.stream.clear();
+    write_header(cloud, &mut out.stream);
+    pcc_octree::serialize_occupancy_into(
         cloud.depth(),
-        tree.leaf_count(),
-        &occupancy,
-    ));
-    device.charge_gpu(&format!("{STAGE}/pack"), &calib::STREAM_PACK, n);
+        scratch.tree.leaf_count(),
+        &scratch.occupancy,
+        &mut out.stream,
+    );
+    device.charge_gpu("geometry/pack", &calib::STREAM_PACK, n);
 
-    // 7. Optional entropy coding of the payload.
+    // 7. Optional entropy coding of the payload. This path allocates (the
+    //    range coder's output is unbounded up front); the zero-alloc
+    //    guarantee covers the default entropy-off configuration.
     if entropy {
-        stream = entropy_wrap(&stream);
-        device.charge_gpu(&format!("{STAGE}/entropy"), &calib::ENTROPY_GPU, stream.len());
+        let wrapped = entropy_wrap(&out.stream);
+        out.stream.clear();
+        out.stream.extend_from_slice(&wrapped);
+        device.charge_gpu("geometry/entropy", &calib::ENTROPY_GPU, out.stream.len());
     }
 
-    pcc_probe::add_bytes("intra/geometry", stream.len() as u64);
-    GeometryEncoded {
-        stream,
-        perm: sorted.perm,
-        point_to_voxel,
-        unique_voxels: leaf_codes.len(),
-        leaf_codes,
-    }
+    pcc_probe::add_bytes("intra/geometry", out.stream.len() as u64);
 }
 
 /// The decoded geometry: unique voxels in Morton order plus the grid
@@ -163,14 +193,12 @@ struct Header {
     voxel_size: f32,
 }
 
-fn header_bytes(cloud: &VoxelizedCloud) -> Vec<u8> {
-    let mut out = Vec::with_capacity(17);
+fn write_header(cloud: &VoxelizedCloud, out: &mut Vec<u8>) {
     out.push(cloud.depth());
     let o = cloud.origin();
     for v in [o.x, o.y, o.z, cloud.voxel_size()] {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out
 }
 
 fn parse_header(input: &[u8]) -> Result<(Header, &[u8]), pcc_octree::StreamError> {

@@ -24,51 +24,9 @@ impl LayerEncoded {
     /// triple)` pairs — locality makes most residual triples all-zero, so
     /// runs dominate and the stream approaches a fraction of a byte per
     /// point on smooth content.
-    // Serializer over self-owned arrays; loop indices are bounded by
-    // the length checks in the while conditions.
-    #[allow(clippy::indexing_slicing)]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        varint::write_u64(&mut out, self.quant_step as u64);
-        varint::write_u64(&mut out, self.residuals.len() as u64);
-        varint::write_u64(&mut out, self.bases.len() as u64);
-        for s in &self.starts {
-            varint::write_u64(&mut out, *s as u64);
-        }
-        for b in &self.bases {
-            for &v in b {
-                varint::write_i64(&mut out, v as i64);
-            }
-        }
-        // Pick the cheaper residual coding: zero-run pairs win when
-        // locality zeroes out most triples; plain triples win on
-        // gradient-heavy segments where runs would just add overhead.
-        let zeros = self.residuals.iter().filter(|r| **r == [0; 3]).count();
-        let zero_run_mode = zeros * 4 >= self.residuals.len();
-        out.push(zero_run_mode as u8);
-        if zero_run_mode {
-            let mut i = 0;
-            while i < self.residuals.len() {
-                let mut zrun = 0u64;
-                while i < self.residuals.len() && self.residuals[i] == [0; 3] {
-                    zrun += 1;
-                    i += 1;
-                }
-                varint::write_u64(&mut out, zrun);
-                if i < self.residuals.len() {
-                    for ch in 0..3 {
-                        varint::write_i64(&mut out, self.residuals[i][ch] as i64);
-                    }
-                    i += 1;
-                }
-            }
-        } else {
-            for r in &self.residuals {
-                for &v in r {
-                    varint::write_i64(&mut out, v as i64);
-                }
-            }
-        }
+        write_layer(&mut out, self.quant_step, &self.starts, &self.bases, &self.residuals);
         out
     }
 
@@ -126,7 +84,10 @@ impl LayerEncoded {
         }
         let (&mode, mut input) =
             input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
-        let mut residuals = Vec::with_capacity(n.min(1 << 20));
+        // `n` was already bounded by the check_alloc call above (12 bytes
+        // per residual), so reserving it exactly is safe and avoids the
+        // grow-by-doubling churn a capped reserve caused on large frames.
+        let mut residuals = Vec::with_capacity(n);
         if mode != 0 {
             while residuals.len() < n {
                 let zrun = varint::read_u64(&mut input)? as usize;
@@ -155,11 +116,76 @@ impl LayerEncoded {
     }
 }
 
+/// Serializes one layer payload (see [`LayerEncoded::to_bytes`] for the
+/// wire layout), appending to `out`. This free-function form lets frame
+/// arenas serialize straight from reused base/residual buffers without
+/// materializing a `LayerEncoded`; `to_bytes` delegates here, so there is
+/// exactly one serializer.
+// Serializer over caller arrays; loop indices are bounded by the length
+// checks in the while conditions.
+#[allow(clippy::indexing_slicing)]
+pub fn write_layer(
+    out: &mut Vec<u8>,
+    quant_step: i32,
+    starts: &[u32],
+    bases: &[[i32; 3]],
+    residuals: &[[i32; 3]],
+) {
+    varint::write_u64(out, quant_step as u64);
+    varint::write_u64(out, residuals.len() as u64);
+    varint::write_u64(out, bases.len() as u64);
+    for s in starts {
+        varint::write_u64(out, *s as u64);
+    }
+    for b in bases {
+        for &v in b {
+            varint::write_i64(out, v as i64);
+        }
+    }
+    // Pick the cheaper residual coding: zero-run pairs win when
+    // locality zeroes out most triples; plain triples win on
+    // gradient-heavy segments where runs would just add overhead.
+    let zeros = residuals.iter().filter(|r| **r == [0; 3]).count();
+    let zero_run_mode = zeros * 4 >= residuals.len();
+    out.push(zero_run_mode as u8);
+    if zero_run_mode {
+        let mut i = 0;
+        while i < residuals.len() {
+            let mut zrun = 0u64;
+            while i < residuals.len() && residuals[i] == [0; 3] {
+                zrun += 1;
+                i += 1;
+            }
+            varint::write_u64(out, zrun);
+            if i < residuals.len() {
+                for &v in &residuals[i] {
+                    varint::write_i64(out, v as i64);
+                }
+                i += 1;
+            }
+        }
+    } else {
+        for r in residuals {
+            for &v in r {
+                varint::write_i64(out, v as i64);
+            }
+        }
+    }
+}
+
 /// Splits `len` values into `segments` near-equal contiguous ranges,
 /// returning the start index of each.
 pub fn segment_starts(len: usize, segments: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    segment_starts_into(len, segments, &mut out);
+    out
+}
+
+/// [`segment_starts`] writing into a caller-owned buffer (cleared first).
+pub fn segment_starts_into(len: usize, segments: usize, out: &mut Vec<u32>) {
+    out.clear();
     let segments = segments.clamp(1, len.max(1));
-    (0..segments).map(|s| (s * len / segments) as u32).collect()
+    out.extend((0..segments).map(|s| (s * len / segments) as u32));
 }
 
 /// Encodes one base+delta layer: per segment, the per-channel median is
@@ -207,15 +233,51 @@ pub fn encode_layer_with_starts(
 /// disjoint slice of the base and residual arrays (every segment belongs
 /// to exactly one chunk), so the output is byte-identical at every thread
 /// count.
-// Encoder side: the segment-start preconditions are asserted on entry,
-// so every index below is in range.
-#[allow(clippy::indexing_slicing)]
 pub fn encode_layer_with_starts_threaded(
     values: &[[i32; 3]],
     starts: Vec<u32>,
     quant_step: i32,
     threads: NonZeroUsize,
 ) -> LayerEncoded {
+    let mut bases = Vec::new();
+    let mut residuals = Vec::new();
+    let mut median_scratch = Vec::new();
+    encode_layer_with_starts_into(
+        values,
+        &starts,
+        quant_step,
+        threads,
+        &mut bases,
+        &mut residuals,
+        &mut median_scratch,
+    );
+    LayerEncoded { bases, residuals, starts, quant_step }
+}
+
+/// [`encode_layer_with_starts_threaded`] writing into caller-owned
+/// buffers — the allocation-free core every layer-encode entry point
+/// funnels through. `bases`/`residuals` are cleared and refilled;
+/// `median_scratch` is the per-segment channel scratch reused across
+/// segments (it grows to the largest segment and then stays put).
+///
+/// On the single-threaded path this performs no heap allocation once the
+/// three buffers have warmed to the working-set size.
+///
+/// # Panics
+///
+/// Same preconditions as [`encode_layer_with_starts`].
+// Encoder side: the segment-start preconditions are asserted on entry,
+// so every index below is in range.
+#[allow(clippy::indexing_slicing)]
+pub fn encode_layer_with_starts_into(
+    values: &[[i32; 3]],
+    starts: &[u32],
+    quant_step: i32,
+    threads: NonZeroUsize,
+    bases: &mut Vec<[i32; 3]>,
+    residuals: &mut Vec<[i32; 3]>,
+    median_scratch: &mut Vec<i32>,
+) {
     let _sp = pcc_probe::span("intra/layer_encode");
     assert!(quant_step >= 1, "quantization step must be >= 1");
     assert!(!starts.is_empty() && starts[0] == 0, "segment starts must begin at 0");
@@ -223,49 +285,97 @@ pub fn encode_layer_with_starts_threaded(
         starts.windows(2).all(|w| w[0] <= w[1]) && *starts.last().expect("non-empty") as usize <= values.len(),
         "segment starts must ascend within the value range"
     );
-    let mut bases = vec![[0i32; 3]; starts.len()];
-    let mut residuals = vec![[0i32; 3]; values.len()];
+    bases.clear();
+    bases.resize(starts.len(), [0i32; 3]);
+    residuals.clear();
+    residuals.resize(values.len(), [0i32; 3]);
 
     // One chunk handles segments seg_range = [s0, s1): it owns
     // bases[s0..s1] and residuals[starts[s0]..starts[s1]] — disjoint
-    // contiguous slices across chunks.
+    // contiguous slices across chunks. Every segment runs median (a small
+    // local reduction) then the batched quantize kernel over its whole
+    // slice.
     let encode_group = |seg_range: std::ops::Range<usize>,
                         bases_part: &mut [[i32; 3]],
-                        resid_part: &mut [[i32; 3]]| {
+                        resid_part: &mut [[i32; 3]],
+                        scratch: &mut Vec<i32>| {
         let value_base = starts[seg_range.start] as usize;
         for (local_s, s) in seg_range.enumerate() {
             let start = starts[s] as usize;
             let end = starts.get(s + 1).map_or(values.len(), |&e| e as usize);
             let seg = &values[start..end];
-            let base = median3(seg);
+            let base = median3(seg, scratch);
             bases_part[local_s] = base;
-            for (i, v) in seg.iter().enumerate() {
-                let r = [v[0] - base[0], v[1] - base[1], v[2] - base[2]];
-                resid_part[start - value_base + i] = [
-                    div_round(r[0], quant_step),
-                    div_round(r[1], quant_step),
-                    div_round(r[2], quant_step),
-                ];
-            }
+            let lo = start - value_base;
+            quantize_segment(seg, base, quant_step, &mut resid_part[lo..lo + seg.len()]);
         }
     };
 
     let fan = pcc_parallel::effective_threads(threads, values.len()).min(starts.len());
     if fan <= 1 {
-        encode_group(0..starts.len(), &mut bases, &mut residuals);
+        encode_group(0..starts.len(), bases, residuals, median_scratch);
     } else {
         let seg_ranges = pcc_parallel::chunk_ranges(starts.len(), fan);
         let seg_cuts: Vec<usize> = seg_ranges[1..].iter().map(|r| r.start).collect();
         let value_cuts: Vec<usize> =
             seg_ranges[1..].iter().map(|r| starts[r.start] as usize).collect();
-        let bases_parts = pcc_parallel::split_at_many(&mut bases, &seg_cuts);
-        let resid_parts = pcc_parallel::split_at_many(&mut residuals, &value_cuts);
+        let bases_parts = pcc_parallel::split_at_many(bases, &seg_cuts);
+        let resid_parts = pcc_parallel::split_at_many(residuals, &value_cuts);
         let ctxs: Vec<_> = seg_ranges.into_iter().zip(bases_parts).collect();
         pcc_parallel::scope_run(resid_parts, ctxs, |_, (seg_range, bases_part), resid_part| {
-            encode_group(seg_range, bases_part, resid_part);
+            let mut scratch = Vec::new();
+            encode_group(seg_range, bases_part, resid_part, &mut scratch);
         });
     }
-    LayerEncoded { bases, residuals, starts, quant_step }
+}
+
+/// Quantizes one segment against its base in a single batched pass over
+/// the slice, with the per-step branches hoisted out of the inner loop:
+///
+/// * `q == 1` — a pure subtract, which the compiler auto-vectorizes;
+/// * `q` a power of two (the only steps [`crate::IntraConfig`] produces)
+///   — a branch-free sign/shift sequence, also vectorizable;
+/// * general `q` — the reference [`div_round`] with the rounding bias
+///   hoisted.
+///
+/// All three produce results identical to `div_round(v - base, q)` per
+/// channel (asserted by the `quantize_segment_matches_div_round`
+/// proptest below).
+// Fixed-size [i32; 3] lanes indexed by a 0..3 loop.
+#[allow(clippy::indexing_slicing)]
+fn quantize_segment(seg: &[[i32; 3]], base: [i32; 3], q: i32, out: &mut [[i32; 3]]) {
+    debug_assert_eq!(seg.len(), out.len());
+    if q == 1 {
+        for (o, v) in out.iter_mut().zip(seg) {
+            *o = [v[0] - base[0], v[1] - base[1], v[2] - base[2]];
+        }
+    } else if q.count_ones() == 1 {
+        let shift = q.trailing_zeros();
+        let half = (q - 1) / 2;
+        for (o, v) in out.iter_mut().zip(seg) {
+            let mut r = [0i32; 3];
+            for ch in 0..3 {
+                let d = v[ch] - base[ch];
+                // Ties toward zero via sign-magnitude: m is 0 or -1, so
+                // `(x ^ m) - m` is |x| going in and restores the sign
+                // coming out — no data-dependent branch in the loop body.
+                let m = d >> 31;
+                let mag = (d ^ m) - m;
+                r[ch] = (((mag + half) >> shift) ^ m) - m;
+            }
+            *o = r;
+        }
+    } else {
+        let half = (q - 1) / 2;
+        for (o, v) in out.iter_mut().zip(seg) {
+            let mut r = [0i32; 3];
+            for ch in 0..3 {
+                let d = v[ch] - base[ch];
+                r[ch] = if d >= 0 { (d + half) / q } else { -((-d + half) / q) };
+            }
+            *o = r;
+        }
+    }
 }
 
 /// Decodes one layer back to its (quantization-rounded) values.
@@ -343,15 +453,15 @@ fn decode_layer_sequential(layer: &LayerEncoded) -> Vec<[i32; 3]> {
 }
 
 /// Per-channel median of a non-empty slice (midpoint element of the sorted
-/// channel values). Returns zeros for an empty slice.
+/// channel values). Returns zeros for an empty slice. `scratch` is reused
+/// across calls so the steady-state encode path never reallocates it.
 // `ch` walks 0..3 into fixed [i32; 3] arrays.
 #[allow(clippy::indexing_slicing)]
-fn median3(seg: &[[i32; 3]]) -> [i32; 3] {
+fn median3(seg: &[[i32; 3]], scratch: &mut Vec<i32>) -> [i32; 3] {
     if seg.is_empty() {
         return [0; 3];
     }
     let mut base = [0i32; 3];
-    let mut scratch: Vec<i32> = Vec::with_capacity(seg.len());
     for ch in 0..3 {
         scratch.clear();
         scratch.extend(seg.iter().map(|v| v[ch]));
@@ -364,6 +474,10 @@ fn median3(seg: &[[i32; 3]]) -> [i32; 3] {
 
 /// Rounds `v / q` to the nearest integer, ties toward zero (the paper's
 /// Fig. 6 example quantizes a residual of −2 at step 4 to 0).
+///
+/// Kept as the scalar reference for [`quantize_segment`]'s batched
+/// branches; the proptest pins them element-for-element to this.
+#[cfg_attr(not(test), allow(dead_code))]
 fn div_round(v: i32, q: i32) -> i32 {
     if q == 1 {
         return v;
@@ -517,6 +631,54 @@ mod tests {
             // Bytes round-trip too.
             let back = LayerEncoded::from_bytes(&enc.to_bytes()).unwrap();
             prop_assert_eq!(back, enc);
+        }
+
+        // The batched kernel's three branches (q == 1, power-of-two shift,
+        // generic divide) must all agree with the scalar reference
+        // `div_round` on every channel.
+        #[test]
+        fn quantize_segment_matches_div_round(
+            values in prop::collection::vec((-5000i32..5000, -5000i32..5000, -5000i32..5000), 1..80),
+            base in (-500i32..500, -500i32..500, -500i32..500),
+            qi in 0usize..9,
+        ) {
+            let q = [1i32, 2, 4, 8, 16, 3, 5, 7, 100][qi];
+            let seg: Vec<[i32; 3]> = values.into_iter().map(|(a, b, c)| [a, b, c]).collect();
+            let base = [base.0, base.1, base.2];
+            let mut out = vec![[0i32; 3]; seg.len()];
+            quantize_segment(&seg, base, q, &mut out);
+            for (v, o) in seg.iter().zip(&out) {
+                for ch in 0..3 {
+                    prop_assert_eq!(o[ch], div_round(v[ch] - base[ch], q));
+                }
+            }
+        }
+
+        // The zero-alloc entry point, the legacy wrapper, and every thread
+        // count must produce the exact same layer.
+        #[test]
+        fn encode_into_identical_across_threads(
+            values in prop::collection::vec((-300i32..300, -300i32..300, -300i32..300), 1..200),
+            segments in 1usize..12,
+            qi in 0usize..4,
+        ) {
+            let q = [1i32, 2, 4, 8][qi];
+            let values: Vec<[i32; 3]> = values.into_iter().map(|(a, b, c)| [a, b, c]).collect();
+            let starts = segment_starts(values.len(), segments);
+            let one = NonZeroUsize::new(1).unwrap();
+            let reference =
+                encode_layer_with_starts_threaded(&values, starts.clone(), q, one);
+            let mut bases = Vec::new();
+            let mut residuals = Vec::new();
+            let mut scratch = Vec::new();
+            for t in [1usize, 2, 3, 8] {
+                let threads = NonZeroUsize::new(t).unwrap();
+                encode_layer_with_starts_into(
+                    &values, &starts, q, threads, &mut bases, &mut residuals, &mut scratch,
+                );
+                prop_assert_eq!(&bases, &reference.bases);
+                prop_assert_eq!(&residuals, &reference.residuals);
+            }
         }
     }
 }

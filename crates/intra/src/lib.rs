@@ -45,15 +45,19 @@
 // reachable fault on wire data.
 #![cfg_attr(test, allow(clippy::indexing_slicing))]
 
+pub mod arena;
 pub mod attribute;
 mod config;
 mod frame;
 pub mod geometry;
 mod layer;
 
+pub use arena::{AttributeScratch, FrameArena, GeometryScratch};
 pub use config::IntraConfig;
 pub use frame::{IntraCodec, IntraError, IntraFrame};
 pub use layer::{
     decode_layer, decode_layer_threaded, encode_layer, encode_layer_threaded,
-    encode_layer_with_starts, encode_layer_with_starts_threaded, LayerEncoded,
+    encode_layer_with_starts, encode_layer_with_starts_into,
+    encode_layer_with_starts_threaded, segment_starts, segment_starts_into, write_layer,
+    LayerEncoded,
 };

@@ -27,14 +27,19 @@
 //! assert_eq!(decode(code), VoxelCoord::new(3, 5, 1));
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the optional AVX2 lane kernel in
+// `code::simd`, which exists only under the `simd` feature: the default
+// build keeps the blanket forbid, while the simd build downgrades it to
+// deny so that one module can carry a scoped, justified allow.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod code;
 pub mod sort;
 
-pub use code::{decode, encode, MortonCode, MAX_BITS_PER_AXIS};
+pub use code::{decode, encode, encode_slice, MortonCode, MAX_BITS_PER_AXIS};
 pub use sort::{
-    codes_of, codes_of_with, sort_codes, sort_codes_with, sorted_permutation, SortScratch,
-    SortedCodes,
+    codes_of, codes_of_into, codes_of_with, sort_codes, sort_codes_into, sort_codes_with,
+    sorted_permutation, SortScratch, SortedCodes,
 };

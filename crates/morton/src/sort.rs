@@ -8,14 +8,14 @@
 //! attributes can be gathered once, later, through
 //! [`pcc_types::VoxelizedCloud::gather`].
 
-use crate::{encode, MortonCode};
+use crate::{encode_slice, MortonCode};
 use pcc_types::VoxelizedCloud;
 use std::num::NonZeroUsize;
 
 pub use pcc_parallel::SortScratch;
 
 /// The result of Morton-sorting a voxelized cloud.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SortedCodes {
     /// Morton codes in ascending order (one per input voxel; duplicates
     /// preserved).
@@ -50,21 +50,34 @@ pub fn codes_of(cloud: &VoxelizedCloud) -> Vec<MortonCode> {
 /// thread. Chunking is by index, so the output is byte-identical to the
 /// sequential pass at every thread count.
 pub fn codes_of_with(cloud: &VoxelizedCloud, threads: NonZeroUsize) -> Vec<MortonCode> {
+    let mut out = Vec::new();
+    codes_of_into(cloud, threads, &mut out);
+    out
+}
+
+/// [`codes_of_with`] writing into a caller-owned buffer.
+///
+/// `out` is cleared and refilled; its capacity persists across calls, so
+/// a steady-state caller (one codegen per frame, buffer owned by the
+/// frame arena) performs no heap allocation once the buffer has warmed
+/// to the frame size. The codes themselves come from the batched SWAR /
+/// SIMD kernel [`crate::encode_slice`], byte-identical to the scalar
+/// reference at every thread count.
+pub fn codes_of_into(cloud: &VoxelizedCloud, threads: NonZeroUsize, out: &mut Vec<MortonCode>) {
     let _sp = pcc_probe::span("morton/codegen");
     let coords = cloud.coords();
     let n = coords.len();
+    out.clear();
+    out.resize(n, MortonCode::ZERO);
     let fan = pcc_parallel::effective_threads(threads, n);
     if fan <= 1 {
-        return coords.iter().map(|&c| encode(c)).collect();
+        encode_slice(coords, out);
+        return;
     }
-    let mut out = vec![MortonCode::from_raw(0); n];
     let ranges = pcc_parallel::chunk_ranges(n, fan);
-    pcc_parallel::par_fill(&mut out, &ranges, |_, range, part| {
-        for (slot, &c) in part.iter_mut().zip(&coords[range]) {
-            *slot = encode(c);
-        }
+    pcc_parallel::par_fill(out, &ranges, |_, range, part| {
+        encode_slice(&coords[range], part);
     });
-    out
 }
 
 /// Sorts `codes` ascending with an LSD radix sort, returning the sorted
@@ -91,15 +104,37 @@ pub fn sort_codes_with(
     threads: NonZeroUsize,
     scratch: &mut SortScratch,
 ) -> SortedCodes {
+    let mut out = SortedCodes::default();
+    sort_codes_into(codes, threads, scratch, &mut out);
+    out
+}
+
+/// [`sort_codes_with`] writing into a caller-owned result.
+///
+/// `out.codes` / `out.perm` are cleared and refilled, and the `u64` key
+/// array the radix sort works on is borrowed from the scratch's staging
+/// buffer — so once every buffer has warmed to the frame size, a sort
+/// performs no heap allocation at all.
+pub fn sort_codes_into(
+    codes: &[MortonCode],
+    threads: NonZeroUsize,
+    scratch: &mut SortScratch,
+    out: &mut SortedCodes,
+) {
     let _sp = pcc_probe::span("morton/radix_sort");
     let n = codes.len();
-    let mut perm: Vec<u32> = (0..n as u32).collect();
+    out.perm.clear();
+    out.perm.extend(0..n as u32);
+    out.codes.clear();
     if n <= 1 {
-        return SortedCodes { codes: codes.to_vec(), perm };
+        out.codes.extend_from_slice(codes);
+        return;
     }
-    let mut keys: Vec<u64> = codes.iter().map(|c| c.value()).collect();
-    pcc_parallel::radix_sort_pairs(&mut keys, &mut perm, scratch, threads);
-    SortedCodes { codes: keys.into_iter().map(MortonCode::from_raw).collect(), perm }
+    let mut keys = scratch.take_staging();
+    keys.extend(codes.iter().map(|c| c.value()));
+    pcc_parallel::radix_sort_pairs(&mut keys, &mut out.perm, scratch, threads);
+    out.codes.extend(keys.iter().copied().map(MortonCode::from_raw));
+    scratch.restore_staging(keys);
 }
 
 /// Convenience: computes codes for `cloud` and sorts them in one call.
@@ -110,6 +145,7 @@ pub fn sorted_permutation(cloud: &VoxelizedCloud) -> SortedCodes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encode;
     use pcc_types::{Rgb, VoxelCoord};
     use proptest::prelude::*;
     use rand::rngs::SmallRng;
@@ -219,6 +255,34 @@ mod tests {
         for threads in [2usize, 5, 8] {
             let par = codes_of_with(&cloud, NonZeroUsize::new(threads).unwrap());
             assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_owned_api() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut scratch = SortScratch::new();
+        let mut codes_buf = Vec::new();
+        let mut sorted_buf = SortedCodes::default();
+        for round in 0..3 {
+            let coords: Vec<VoxelCoord> = (0..8_000)
+                .map(|_| {
+                    VoxelCoord::new(
+                        rng.random_range(0..1 << 12),
+                        rng.random_range(0..1 << 12),
+                        rng.random_range(0..1 << 12),
+                    )
+                })
+                .collect();
+            let cloud = cloud_from(coords);
+            for threads in [1usize, 2, 4] {
+                let t = NonZeroUsize::new(threads).unwrap();
+                codes_of_into(&cloud, t, &mut codes_buf);
+                assert_eq!(codes_buf, codes_of_with(&cloud, t), "round={round} threads={threads}");
+                sort_codes_into(&codes_buf, t, &mut scratch, &mut sorted_buf);
+                let owned = sort_codes_with(&codes_buf, t, &mut SortScratch::new());
+                assert_eq!(sorted_buf, owned, "round={round} threads={threads}");
+            }
         }
     }
 

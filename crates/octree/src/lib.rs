@@ -55,6 +55,7 @@ mod serialize;
 pub use parallel::{LevelArrays, ParallelOctree};
 pub use sequential::SequentialOctree;
 pub use serialize::{
-    decode_occupancy, decode_occupancy_with, parse_stream, serialize_occupancy, OccupancyStream,
+    decode_occupancy, decode_occupancy_with, parse_stream, serialize_occupancy,
+    serialize_occupancy_into, OccupancyStream,
     StreamError,
 };

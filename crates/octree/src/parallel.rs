@@ -50,7 +50,7 @@ pub struct LevelArrays {
 /// assert_eq!(tree.leaf_count(), 2);
 /// assert_eq!(tree.occupancy()[0], 0b1000_0001); // root byte
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParallelOctree {
     depth: u8,
     /// `levels[0]` is the root level (1 node); `levels[depth]` the leaves.
@@ -87,6 +87,31 @@ impl ParallelOctree {
         depth: u8,
         threads: NonZeroUsize,
     ) -> Self {
+        let mut tree = ParallelOctree { depth, levels: Vec::new() };
+        tree.rebuild_from_sorted_codes(&codes, depth, threads);
+        tree
+    }
+
+    /// Rebuilds this tree in place from *sorted, deduplicated* leaf Morton
+    /// codes, reusing every per-level allocation from the previous build.
+    ///
+    /// This is the frame-arena entry point: an encoder that keeps one
+    /// `ParallelOctree` alive across a video session performs no heap
+    /// allocation for tree construction once the level buffers have warmed
+    /// to the working-set size. The resulting tree is byte-identical to
+    /// [`from_sorted_codes_with`](Self::from_sorted_codes_with) — both run
+    /// the same per-level [`pcc_parallel::compact_runs_into`] compaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is outside `1..=21`, if the codes are not
+    /// strictly ascending, or if any code exceeds the depth.
+    pub fn rebuild_from_sorted_codes(
+        &mut self,
+        codes: &[MortonCode],
+        depth: u8,
+        threads: NonZeroUsize,
+    ) {
         assert!((1..=21).contains(&depth), "octree depth {depth} outside 1..=21");
         assert!(
             codes.windows(2).all(|w| w[0] < w[1]),
@@ -99,40 +124,48 @@ impl ParallelOctree {
             );
         }
 
+        self.depth = depth;
+        self.levels
+            .resize_with(depth as usize + 1, || LevelArrays { codes: Vec::new(), parent: Vec::new() });
+
         if codes.is_empty() {
             // Degenerate tree: an (empty) root node so the occupancy
             // stream still carries one root byte, matching the sequential
             // builder.
-            let mut levels =
-                vec![LevelArrays { codes: vec![MortonCode::ZERO], parent: vec![u32::MAX] }];
-            levels.extend(
-                (0..depth).map(|_| LevelArrays { codes: Vec::new(), parent: Vec::new() }),
-            );
-            return ParallelOctree { depth, levels };
+            for level in &mut self.levels {
+                level.codes.clear();
+                level.parent.clear();
+            }
+            self.levels[0].codes.push(MortonCode::ZERO);
+            self.levels[0].parent.push(u32::MAX);
+            return;
         }
 
-        let mut levels = Vec::with_capacity(depth as usize + 1);
-        levels.push(LevelArrays { codes, parent: Vec::new() });
+        let leaf = &mut self.levels[depth as usize];
+        leaf.codes.clear();
+        leaf.codes.extend_from_slice(codes);
+        leaf.parent.clear();
 
         // Derive each shallower level by compacting `code >> 3`: a map
         // producing parent codes, then a run-compaction scan. The scan is
         // chunk-parallel with chunks aligned to parent-run boundaries, so
         // every thread count produces the identical arrays.
         let _sp = pcc_probe::span("octree/compact");
-        for _ in 0..depth {
-            let child = levels.last().expect("at least the leaf level exists");
-            let (parent_codes, parent_index) =
-                pcc_parallel::compact_runs(&child.codes, |c| c.parent(), threads);
-            let child_level = levels.len() - 1;
-            levels[child_level].parent = parent_index;
-            levels.push(LevelArrays { codes: parent_codes, parent: Vec::new() });
+        for level in (0..depth as usize).rev() {
+            let (upper, lower) = self.levels.split_at_mut(level + 1);
+            let parent_level = &mut upper[level];
+            let child_level = &mut lower[0];
+            pcc_parallel::compact_runs_into(
+                &child_level.codes,
+                |c| c.parent(),
+                threads,
+                &mut parent_level.codes,
+                &mut child_level.parent,
+            );
         }
-
-        // levels currently run leaf -> root; flip to root -> leaf and fix
-        // the root's parent sentinel.
-        levels.reverse();
-        levels[0].parent = vec![u32::MAX; levels[0].codes.len()];
-        ParallelOctree { depth, levels }
+        let root_len = self.levels[0].codes.len();
+        self.levels[0].parent.clear();
+        self.levels[0].parent.resize(root_len, u32::MAX);
     }
 
     /// Builds the tree from unsorted voxel coordinates (sorts and
@@ -205,12 +238,28 @@ impl ParallelOctree {
     /// `split_at_mut` partition, no atomics) and the output is
     /// byte-identical at every thread count.
     pub fn occupancy_with(&self, threads: NonZeroUsize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        self.occupancy_into(threads, &mut bytes);
+        bytes
+    }
+
+    /// [`occupancy_with`](Self::occupancy_with) writing into a caller-owned
+    /// buffer: `out` is cleared, zero-filled to
+    /// [`occupancy_len`](Self::occupancy_len) and each level's bytes are
+    /// OR-ed directly into their final region — no per-level staging
+    /// vector, and no heap allocation at all on the single-thread path
+    /// once `out` has warmed to the frame size.
+    pub fn occupancy_into(&self, threads: NonZeroUsize, out: &mut Vec<u8>) {
         let _sp = pcc_probe::span("octree/occupancy");
-        let mut bytes = Vec::with_capacity(self.occupancy_len());
+        out.clear();
+        out.resize(self.occupancy_len(), 0);
+        let mut rest: &mut [u8] = out.as_mut_slice();
         for level in 0..self.depth as usize {
             let child = &self.levels[level + 1];
             let n = child.codes.len();
-            let mut level_bytes = vec![0u8; self.levels[level].codes.len()];
+            let (level_bytes, tail) =
+                std::mem::take(&mut rest).split_at_mut(self.levels[level].codes.len());
+            rest = tail;
             let fan = pcc_parallel::effective_threads(threads, n);
             if fan <= 1 {
                 for (code, &parent) in child.codes.iter().zip(&child.parent) {
@@ -222,7 +271,7 @@ impl ParallelOctree {
                 });
                 let cuts: Vec<usize> =
                     ranges[1..].iter().map(|r| child.parent[r.start] as usize).collect();
-                let parts = pcc_parallel::split_at_many(&mut level_bytes, &cuts);
+                let parts = pcc_parallel::split_at_many(level_bytes, &cuts);
                 pcc_parallel::scope_run(parts, ranges, |_, range, part| {
                     let base = child.parent[range.start] as usize;
                     for i in range {
@@ -230,9 +279,7 @@ impl ParallelOctree {
                     }
                 });
             }
-            bytes.extend_from_slice(&level_bytes);
         }
-        bytes
     }
 
     /// Number of occupancy bytes [`occupancy`](Self::occupancy) produces
@@ -409,6 +456,35 @@ mod tests {
             assert_eq!(tree, base, "threads={threads}");
             assert_eq!(tree.occupancy_with(nz(threads)), base_occ, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn rebuild_reuses_levels_and_matches_constructor() {
+        let nz = |n| NonZeroUsize::new(n).unwrap();
+        let mut tree = ParallelOctree::from_sorted_codes(Vec::new(), 1);
+        let mut occ = Vec::new();
+        // Alternate between a large tree, a smaller one and the empty one so
+        // stale level arrays and occupancy bytes from a previous (bigger)
+        // frame must not leak into the next build.
+        let clouds: Vec<Vec<MortonCode>> = vec![
+            (0..30_000u64).map(|i| MortonCode::from_raw(i * 4 + (i % 3))).collect(),
+            (0..500u64).map(|i| MortonCode::from_raw(i * 9)).collect(),
+            Vec::new(),
+            (0..20_000u64).map(|i| MortonCode::from_raw(i * 7 + (i % 5))).collect(),
+        ];
+        for codes in &clouds {
+            for threads in [1usize, 2, 8] {
+                tree.rebuild_from_sorted_codes(codes, 7, nz(threads));
+                let fresh = ParallelOctree::from_sorted_codes_with(codes.clone(), 7, nz(threads));
+                assert_eq!(tree, fresh, "threads={threads} n={}", codes.len());
+                tree.occupancy_into(nz(threads), &mut occ);
+                assert_eq!(occ, fresh.occupancy_with(nz(threads)), "threads={threads}");
+            }
+        }
+        // Depth changes must also be tracked by the reused tree.
+        tree.rebuild_from_sorted_codes(&clouds[1], 5, nz(1));
+        let fresh = ParallelOctree::from_sorted_codes_with(clouds[1].clone(), 5, nz(1));
+        assert_eq!(tree, fresh);
     }
 
     #[test]

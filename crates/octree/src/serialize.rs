@@ -79,11 +79,23 @@ pub struct OccupancyStream<'a> {
 /// magic, depth, varint leaf count, then the occupancy bytes.
 pub fn serialize_occupancy(depth: u8, leaf_count: usize, occupancy: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(occupancy.len() + 8);
+    serialize_occupancy_into(depth, leaf_count, occupancy, &mut out);
+    out
+}
+
+/// [`serialize_occupancy`] appending into a caller-owned buffer — the
+/// allocation-free variant frame arenas use (the buffer is *not* cleared,
+/// so a stream header can precede the occupancy section).
+pub fn serialize_occupancy_into(
+    depth: u8,
+    leaf_count: usize,
+    occupancy: &[u8],
+    out: &mut Vec<u8>,
+) {
     out.push(MAGIC);
     out.push(depth);
-    write_varint(&mut out, leaf_count as u64);
+    write_varint(out, leaf_count as u64);
     out.extend_from_slice(occupancy);
-    out
 }
 
 /// Decodes an occupancy stream back to its voxel set, in Morton order.

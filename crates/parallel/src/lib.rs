@@ -303,18 +303,42 @@ const RADIX_BUCKETS: usize = 256;
 /// Reusable buffers for [`radix_sort_pairs`], so repeated sorts (one per
 /// frame in video mode) do not reallocate the ping-pong arrays or the
 /// per-thread histograms. Buffers grow on demand and persist between calls.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct SortScratch {
     keys_tmp: Vec<u64>,
     payload_tmp: Vec<u32>,
-    /// Flattened `[thread][bucket]` histogram / offset matrix.
+    /// Flattened `[thread][bucket]` histogram / offset matrix (sequential
+    /// path: `[byte][bucket]`).
     counts: Vec<usize>,
+    /// Spare key buffer loaned to callers via [`SortScratch::take_staging`],
+    /// so call sites that must build a `u64` key array before sorting (e.g.
+    /// Morton codes unwrapped to raw values) can reuse one allocation across
+    /// frames.
+    staging: Vec<u64>,
 }
 
 impl SortScratch {
     /// An empty scratch; buffers are grown by the first sort that uses it.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Detaches the spare staging buffer (cleared, capacity preserved).
+    ///
+    /// Callers build their key array in it, sort, and hand it back with
+    /// [`SortScratch::restore_staging`] so the capacity survives to the
+    /// next frame. Taking twice without restoring simply yields a fresh
+    /// empty buffer.
+    pub fn take_staging(&mut self) -> Vec<u64> {
+        let mut buf = std::mem::take(&mut self.staging);
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer obtained from [`SortScratch::take_staging`],
+    /// preserving its capacity for the next frame.
+    pub fn restore_staging(&mut self, buf: Vec<u64>) {
+        self.staging = buf;
     }
 }
 
@@ -348,6 +372,9 @@ pub fn radix_sort_pairs(
     scratch.keys_tmp.resize(n, 0);
     scratch.payload_tmp.resize(n, 0);
     let fan = effective_threads(threads, n);
+    if fan <= 1 {
+        return radix_sort_pairs_seq(keys, payload, scratch, used_bytes);
+    }
     let ranges = chunk_ranges(n, fan);
     let fan = ranges.len();
     scratch.counts.clear();
@@ -419,6 +446,70 @@ pub fn radix_sort_pairs(
     used_bytes
 }
 
+/// Single-thread radix kernel: one read sweep builds the digit histograms
+/// for *every* significant byte at once (digit frequencies are
+/// permutation-invariant, so histograms computed on the unsorted input
+/// stay valid for every later pass), then each pass prefix-sums its
+/// histogram into stack cursors and scatters sequentially. Passes whose
+/// digit is constant across all keys are skipped — a stable scatter on a
+/// constant digit is the identity permutation, so the output is
+/// byte-identical to performing it. Performs zero heap allocations once
+/// the scratch buffers have warmed to the input size.
+fn radix_sort_pairs_seq(
+    keys: &mut Vec<u64>,
+    payload: &mut Vec<u32>,
+    scratch: &mut SortScratch,
+    used_bytes: usize,
+) -> usize {
+    let n = keys.len();
+    let SortScratch { keys_tmp, payload_tmp, counts, .. } = scratch;
+    counts.clear();
+    counts.resize(used_bytes * RADIX_BUCKETS, 0);
+    for &k in keys.iter() {
+        let bytes = k.to_le_bytes();
+        for (b, &byte) in bytes.iter().take(used_bytes).enumerate() {
+            counts[b * RADIX_BUCKETS + byte as usize] += 1;
+        }
+    }
+
+    let mut flipped = false;
+    {
+        let mut src_k: &mut [u64] = keys;
+        let mut src_p: &mut [u32] = payload;
+        let mut dst_k: &mut [u64] = keys_tmp;
+        let mut dst_p: &mut [u32] = payload_tmp;
+        for pass in 0..used_bytes {
+            let hist = &counts[pass * RADIX_BUCKETS..(pass + 1) * RADIX_BUCKETS];
+            if hist.contains(&n) {
+                continue; // constant digit: stable scatter is the identity
+            }
+            let mut cursors = [0usize; RADIX_BUCKETS];
+            let mut acc = 0usize;
+            for (cursor, &count) in cursors.iter_mut().zip(hist) {
+                *cursor = acc;
+                acc += count;
+            }
+            debug_assert_eq!(acc, n);
+            let shift = pass * 8;
+            for (&k, &p) in src_k.iter().zip(src_p.iter()) {
+                let d = (k >> shift) as usize & 0xff;
+                let dest = cursors[d];
+                cursors[d] += 1;
+                dst_k[dest] = k;
+                dst_p[dest] = p;
+            }
+            std::mem::swap(&mut src_k, &mut dst_k);
+            std::mem::swap(&mut src_p, &mut dst_p);
+            flipped = !flipped;
+        }
+    }
+    if flipped {
+        std::mem::swap(keys, keys_tmp);
+        std::mem::swap(payload, payload_tmp);
+    }
+    used_bytes
+}
+
 /// Compacts consecutive runs of equal *mapped* values in parallel.
 ///
 /// For a slice whose mapped values are non-decreasing under `map` (e.g.
@@ -435,11 +526,48 @@ where
     K: Copy + Default + Eq + Send + Sync,
     F: Fn(&T) -> K + Sync,
 {
+    let mut unique = Vec::new();
+    let mut run_of = Vec::new();
+    compact_runs_into(items, map, threads, &mut unique, &mut run_of);
+    (unique, run_of)
+}
+
+/// [`compact_runs`] writing into caller-owned buffers, which are cleared
+/// and refilled; capacity persists across calls, so a steady-state caller
+/// (one compaction per frame) performs no heap allocation once the
+/// buffers have warmed to the working-set size. The single-thread path
+/// builds both outputs in one sweep with no intermediate partitioning.
+pub fn compact_runs_into<T, K, F>(
+    items: &[T],
+    map: F,
+    threads: NonZeroUsize,
+    unique: &mut Vec<K>,
+    run_of: &mut Vec<u32>,
+) where
+    T: Sync,
+    K: Copy + Default + Eq + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    unique.clear();
+    run_of.clear();
     let n = items.len();
     if n == 0 {
-        return (Vec::new(), Vec::new());
+        return;
     }
     let fan = effective_threads(threads, n);
+    if fan <= 1 {
+        run_of.reserve(n);
+        let mut prev: Option<K> = None;
+        for item in items {
+            let k = map(item);
+            if prev != Some(k) {
+                unique.push(k);
+                prev = Some(k);
+            }
+            run_of.push(unique.len() as u32 - 1);
+        }
+        return;
+    }
     let ranges = aligned_chunk_ranges(n, fan, |i| map(&items[i]) != map(&items[i - 1]));
 
     // Pass A: count runs per chunk (chunks start at run boundaries, so runs
@@ -465,8 +593,8 @@ where
     bases.push(total);
 
     // Pass B: each chunk writes its contiguous region of both outputs.
-    let mut unique = vec![K::default(); total];
-    let mut run_of = vec![0u32; n];
+    unique.resize(total, K::default());
+    run_of.resize(n, 0);
     let unique_cuts: Vec<usize> = bases[1..ranges.len()].to_vec();
     let item_cuts: Vec<usize> = ranges[1..].iter().map(|r| r.start).collect();
     let unique_parts = split_at_many(unique.as_mut_slice(), &unique_cuts);
@@ -509,8 +637,6 @@ where
             }
         }
     });
-
-    (unique, run_of)
 }
 
 #[cfg(test)]
@@ -680,6 +806,60 @@ mod tests {
         let mut p: Vec<u32> = (0..10).collect();
         assert_eq!(radix_sort_pairs(&mut k, &mut p, &mut scratch, nz(4)), 0);
         assert_eq!(p, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn radix_sort_skips_constant_digit_passes_correctly() {
+        // Byte 1 is constant (0xAA) across all keys: the sequential kernel
+        // skips that pass, and the result must still match the reference.
+        let keys: Vec<u64> = (0..9000u64).map(|i| (i.wrapping_mul(2654435761) % 251) | 0xAA00).collect();
+        let payload: Vec<u32> = (0..9000u32).collect();
+        let (want_k, want_p) = ref_sort(&keys, &payload);
+        for threads in [1usize, 4] {
+            let mut k = keys.clone();
+            let mut p = payload.clone();
+            let mut scratch = SortScratch::new();
+            radix_sort_pairs(&mut k, &mut p, &mut scratch, nz(threads));
+            assert_eq!(k, want_k, "threads={threads}");
+            assert_eq!(p, want_p, "threads={threads}");
+        }
+        // High-byte-only variation: three significant bytes with the low two
+        // constant, so two passes are skipped and parity flips only once.
+        let keys: Vec<u64> = (0..9000u64).map(|i| ((i % 100) << 16) | 0x5511).collect();
+        let payload: Vec<u32> = (0..9000u32).collect();
+        let (want_k, want_p) = ref_sort(&keys, &payload);
+        let mut k = keys;
+        let mut p = payload;
+        let mut scratch = SortScratch::new();
+        radix_sort_pairs(&mut k, &mut p, &mut scratch, nz(1));
+        assert_eq!(k, want_k);
+        assert_eq!(p, want_p);
+    }
+
+    #[test]
+    fn staging_buffer_round_trips_with_capacity() {
+        let mut scratch = SortScratch::new();
+        let mut buf = scratch.take_staging();
+        buf.extend(0..1000u64);
+        let cap = buf.capacity();
+        scratch.restore_staging(buf);
+        let buf = scratch.take_staging();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "staging capacity must survive the round trip");
+        scratch.restore_staging(buf);
+    }
+
+    #[test]
+    fn compact_runs_into_reuses_buffers() {
+        let items: Vec<u64> = (0..10_000u64).map(|i| i / 5).collect();
+        let (want_unique, want_runs) = compact_runs(&items, |v| *v, nz(2));
+        let mut unique = Vec::new();
+        let mut run_of = Vec::new();
+        for threads in [1usize, 2, 1, 4] {
+            compact_runs_into(&items, |v| *v, nz(threads), &mut unique, &mut run_of);
+            assert_eq!(unique, want_unique, "threads={threads}");
+            assert_eq!(run_of, want_runs, "threads={threads}");
+        }
     }
 
     #[test]

@@ -307,6 +307,14 @@ mod imp {
         spans.sort_by_key(|s| (s.start_ns, s.lane));
         Report { spans, gauges }
     }
+
+    pub fn discard_thread() {
+        let _ = BUF.try_with(|b| {
+            let mut b = b.borrow_mut();
+            b.spans.clear();
+            b.gauges.clear();
+        });
+    }
 }
 
 /// A live stage-scoped span guard: records a [`SpanRecord`] when dropped
@@ -455,6 +463,18 @@ pub fn set_enabled(on: bool) {
 pub fn flush_thread() {
     #[cfg(feature = "capture")]
     imp::flush_thread();
+}
+
+/// Discards the current thread's buffered events *without* publishing
+/// them, keeping the buffers' capacity. Steady-state measurement loops
+/// (the workspace's `tests/alloc_steady_state.rs`) call this between
+/// frames so recording with probes enabled stays allocation-free: a
+/// `clear()` retains capacity where draining via [`take_report`] would
+/// `mem::take` the buffers and force a fresh allocation on the next
+/// span. No-op without the `capture` feature.
+pub fn discard_thread() {
+    #[cfg(feature = "capture")]
+    imp::discard_thread();
 }
 
 /// Flushes the calling thread, then drains the process sink into a

@@ -30,6 +30,23 @@ cargo check -q --offline -p pcc --no-default-features
 echo "== bench targets compile =="
 cargo check -q --offline -p pcc-bench --benches
 
+echo "== simd feature matrix =="
+# The AVX2 Morton lane path must keep compiling with the feature on and
+# off (it is runtime-detected, so one binary serves both hosts), and its
+# byte-identity proptests must hold with the lanes actually enabled.
+cargo check -q --offline -p pcc-morton
+cargo check -q --offline -p pcc-morton --features simd
+cargo check -q --offline -p pcc-bench --features simd
+cargo test -q --offline -p pcc-morton --features simd
+
+echo "== perf trajectory: hot-path benchmark gate =="
+# Re-measures the per-kernel ns/point, steady-state allocs/frame, and
+# end-to-end frame latency of BENCH_hotpath.json; any timed metric more
+# than 15% over the committed baseline (PCC_BENCH_TOLERANCE overrides),
+# or a steady-state frame that starts allocating, fails the gate.
+# Re-baseline an intentional change with PCC_BENCH_REFRESH=1.
+cargo run -q --release --offline -p pcc-bench --features simd --bin hotpath -- --check
+
 echo "== live streaming over loopback TCP + seeded-loss ARQ legs =="
 # The example asserts 12/12 frames delivered in order, a clean shutdown,
 # zero drops/resyncs, and a minimum delivered attribute PSNR — then
@@ -63,6 +80,7 @@ echo "== clippy: no unchecked indexing on the decode path =="
 # carry a local, justified allow. This invocation makes the deny fire.
 cargo clippy -q --offline \
     -p pcc-types -p pcc-entropy -p pcc-octree -p pcc-intra -p pcc-inter \
-    -p pcc-core -p pcc-stream -p pcc-fault -p pcc-adapt
+    -p pcc-core -p pcc-stream -p pcc-fault -p pcc-adapt \
+    -p pcc-morton -p pcc-parallel
 
 echo "verify: all gates passed"

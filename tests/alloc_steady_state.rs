@@ -1,0 +1,151 @@
+//! Zero-allocation steady-state guarantee for the per-frame encode hot
+//! path (the PR-6 perf tentpole).
+//!
+//! A counting global allocator wraps the system allocator; after a few
+//! warm-up frames through a session arena, encoding further frames on
+//! the single-threaded entropy-off path must perform **zero** heap
+//! allocations (`alloc`, `alloc_zeroed`, and `realloc` all count) — for
+//! the intra and inter codecs, with probes off and on.
+//!
+//! Everything lives in ONE `#[test]` function: the counter is global, so
+//! a second test running on a sibling harness thread would pollute the
+//! measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pcc_edge::{Device, PowerMode};
+use pcc_inter::{InterArena, InterCodec, InterConfig, InterEncoded};
+use pcc_intra::{FrameArena, IntraCodec, IntraConfig, IntraFrame};
+use pcc_types::{Point3, PointCloud, Rgb, VoxelizedCloud};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, only adding a relaxed
+// counter bump — layout contracts are untouched.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const WARMUP_FRAMES: usize = 8;
+const MEASURED_FRAMES: usize = 4;
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+/// A deterministic synthetic frame; `phase` varies geometry and colors so
+/// consecutive frames differ (stale-buffer reuse would corrupt output and
+/// trip the byte-identity tests, and varying sizes exercise resize paths).
+fn frame(phase: usize) -> VoxelizedCloud {
+    let n = 3000 + (phase % 3) * 500;
+    let cloud: PointCloud = (0..n)
+        .map(|i| {
+            let x = ((i + phase * 7) % 50) as f32;
+            let y = ((i / 50) % 40) as f32;
+            let z = (i / 2000) as f32;
+            let c = ((i * 3 + phase * 11) % 256) as u8;
+            (Point3::new(x, y, z), Rgb::new(c, 255 - c, 128))
+        })
+        .collect();
+    VoxelizedCloud::from_cloud(&cloud, 6)
+}
+
+fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn encode_hot_path_is_allocation_free_after_warmup() {
+    // Single-threaded, entropy off — the configuration the zero-alloc
+    // guarantee covers (parallel fan-out spawns scoped threads whose
+    // stacks allocate; entropy coding's output is unbounded up front).
+    let intra_cfg = IntraConfig::paper().with_threads(1);
+    let d = device();
+
+    // Pre-build every frame: voxelization allocates by design (it is
+    // per-capture input conversion, not part of the encode hot path).
+    let frames: Vec<VoxelizedCloud> =
+        (0..WARMUP_FRAMES + MEASURED_FRAMES).map(frame).collect();
+
+    // Reference colors for the inter legs: the decoded I-frame, exactly
+    // what a session's decoder would hold.
+    let intra = IntraCodec::new(intra_cfg);
+    let reference: Vec<Rgb> = {
+        let f = intra.encode(&frames[0], &d);
+        d.reset();
+        intra.decode(&f, &d).unwrap().colors().to_vec()
+    };
+
+    let inter_cfg = InterConfig { intra: intra_cfg, ..InterConfig::v1() };
+    let inter = InterCodec::new(inter_cfg);
+
+    for probes in [false, true] {
+        pcc_probe::set_enabled(probes);
+
+        // ---- Intra leg ----
+        let mut arena = FrameArena::new();
+        let mut out = IntraFrame::default();
+        let mut measured = 0u64;
+        for (i, vox) in frames.iter().enumerate() {
+            d.reset();
+            let before = alloc_count();
+            intra.encode_into(vox, &d, &mut arena, &mut out);
+            let after = alloc_count();
+            // Drain thread-local probe buffers without dropping their
+            // capacity (take_report would mem::take them away).
+            pcc_probe::discard_thread();
+            if i >= WARMUP_FRAMES {
+                measured += after - before;
+            }
+        }
+        assert_eq!(
+            measured, 0,
+            "intra encode allocated {measured} times across {MEASURED_FRAMES} \
+             steady-state frames (probes={probes})"
+        );
+
+        // ---- Inter leg ----
+        let mut arena = InterArena::new();
+        let mut out = InterEncoded::default();
+        let mut measured = 0u64;
+        for (i, vox) in frames.iter().enumerate() {
+            d.reset();
+            let before = alloc_count();
+            inter.encode_into(vox, &reference, &d, &mut arena, &mut out);
+            let after = alloc_count();
+            pcc_probe::discard_thread();
+            if i >= WARMUP_FRAMES {
+                measured += after - before;
+            }
+        }
+        assert_eq!(
+            measured, 0,
+            "inter encode allocated {measured} times across {MEASURED_FRAMES} \
+             steady-state frames (probes={probes})"
+        );
+    }
+    pcc_probe::set_enabled(false);
+}
