@@ -24,7 +24,8 @@ use pcc_intra::{
     IntraFrame,
 };
 use pcc_morton::{encode, encode_slice, sort_codes_into, MortonCode, SortScratch, SortedCodes};
-use pcc_types::{Point3, PointCloud, Rgb, VoxelCoord, VoxelizedCloud};
+use pcc_stream::{Chunk, ChunkKind, FramePayload, Subscription};
+use pcc_types::{FrameKind, Point3, PointCloud, Rgb, VoxelCoord, VoxelizedCloud};
 
 // ---------------------------------------------------------------------------
 // Counting allocator (same pattern as tests/alloc_steady_state.rs): lets the
@@ -77,6 +78,10 @@ const FRAME_DEPTH: u8 = 8;
 const REPS: usize = 9;
 const FRAMES: usize = 10;
 const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Broadcast fan-out leg: subscribers stamping one shared coded payload
+/// each, at a realistic chunk size (~8.5 KiB/frame, see live_stream).
+const FANOUT_SUBSCRIBERS: usize = 64;
+const FANOUT_PAYLOAD_BYTES: usize = 8_704;
 
 struct XorShift(u64);
 
@@ -170,6 +175,7 @@ struct Report {
     intra_allocs_per_frame: f64,
     inter_frame_ms: f64,
     inter_allocs_per_frame: f64,
+    fanout_chunk_ns_per_subscriber: f64,
 }
 
 /// Timed metrics the `--check` gate compares (lower is better).
@@ -180,6 +186,7 @@ const GATED: &[&str] = &[
     "layer_quantize_ns_per_point",
     "intra_frame_ms",
     "inter_frame_ms",
+    "fanout_chunk_ns_per_subscriber",
 ];
 
 impl Report {
@@ -191,6 +198,7 @@ impl Report {
             "layer_quantize_ns_per_point" => self.layer_quantize_ns_per_point,
             "intra_frame_ms" => self.intra_frame_ms,
             "inter_frame_ms" => self.inter_frame_ms,
+            "fanout_chunk_ns_per_subscriber" => self.fanout_chunk_ns_per_subscriber,
             _ => unreachable!("unknown gated metric {key}"),
         }
     }
@@ -205,7 +213,8 @@ impl Report {
              \"morton_batch_ns_per_point\": {:.3},\n  \"morton_speedup\": {:.2},\n  \
              \"radix_sort_ns_per_point\": {:.3},\n  \"layer_quantize_ns_per_point\": {:.3},\n  \
              \"intra_frame_ms\": {:.3},\n  \"intra_allocs_per_frame\": {:.2},\n  \
-             \"inter_frame_ms\": {:.3},\n  \"inter_allocs_per_frame\": {:.2}\n}}\n",
+             \"inter_frame_ms\": {:.3},\n  \"inter_allocs_per_frame\": {:.2},\n  \
+             \"fanout_chunk_ns_per_subscriber\": {:.1}\n}}\n",
             cfg!(feature = "simd"),
             KERNEL_POINTS,
             FRAME_POINTS,
@@ -218,6 +227,7 @@ impl Report {
             self.intra_allocs_per_frame,
             self.inter_frame_ms,
             self.inter_allocs_per_frame,
+            self.fanout_chunk_ns_per_subscriber,
         )
     }
 }
@@ -314,6 +324,35 @@ fn run() -> Report {
         inter.encode_into(vox, &reference, &device, &mut inter_arena, &mut inter_out);
     });
 
+    // -- Broadcast fan-out: one shared coded payload stamped into many
+    //    subscribers' chunk framing (seq numbering + CRC reuse + write).
+    //    The payload CRC is computed once in FramePayload; per subscriber
+    //    only header assembly, the payload memcpy, and the sink write
+    //    remain — the cost the encode-once architecture pays per viewer.
+    let mut rng = XorShift(SEED ^ 0x0FA9);
+    let payload: Vec<u8> = (0..FANOUT_PAYLOAD_BYTES).map(|_| rng.next() as u8).collect();
+    let header = Chunk {
+        kind: ChunkKind::StreamHeader,
+        frame_kind: None,
+        stream_id: 1,
+        seq: 0,
+        frame_index: 0,
+        payload: vec![1, 3, FRAME_DEPTH],
+    };
+    let mut subs: Vec<Subscription<std::io::Sink>> = (0..FANOUT_SUBSCRIBERS)
+        .map(|_| Subscription::attach(std::io::sink(), &header).expect("sink cannot fail"))
+        .collect();
+    let mut frame_index = 0u32;
+    let fanout_ns = min_ns(|| {
+        // P-frame kind: the steady-state (non-flushing) fan-out cost.
+        let shared = FramePayload::from_bytes(frame_index, FrameKind::Predicted, payload.clone());
+        frame_index += 1;
+        for sub in &mut subs {
+            sub.send_payload(black_box(&shared)).expect("sink cannot fail");
+        }
+        black_box(&subs);
+    });
+
     let per_point = KERNEL_POINTS as f64;
     Report {
         morton_scalar_ns_per_point: scalar_ns / per_point,
@@ -325,6 +364,7 @@ fn run() -> Report {
         intra_allocs_per_frame: intra_allocs,
         inter_frame_ms: inter_frame_ns / 1e6,
         inter_allocs_per_frame: inter_allocs,
+        fanout_chunk_ns_per_subscriber: fanout_ns / FANOUT_SUBSCRIBERS as f64,
     }
 }
 

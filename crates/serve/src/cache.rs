@@ -1,0 +1,113 @@
+//! The per-stream resync cache: the current GOF, replayable on join.
+//!
+//! A subscriber that joins mid-stream would otherwise show nothing
+//! until the next I-frame (up to a full GOF of latency). The broadcast
+//! keeps the last intact I-frame payload plus the P-frame payloads
+//! encoded after it; a late joiner's stream opens with
+//! `[header, cached I, cached P...]` and is bit-exact with the live
+//! fan-out from its join point onward. Memory is bounded by one GOF:
+//! each new I-frame replaces the whole cache.
+
+use pcc_stream::FramePayload;
+use pcc_types::FrameKind;
+
+/// Rolling cache of the current group of frames, newest GOF only.
+#[derive(Debug, Default)]
+pub struct ResyncCache {
+    /// The GOF's I-frame payload, then its P-frames in display order.
+    frames: Vec<FramePayload>,
+}
+
+impl ResyncCache {
+    /// An empty cache (joins before the first I-frame get no replay).
+    pub fn new() -> Self {
+        ResyncCache::default()
+    }
+
+    /// Folds one encoded frame into the cache: an I-frame starts a new
+    /// GOF (dropping the previous one), a P-frame extends the current
+    /// GOF. Out-of-order P-frames (impossible from a healthy source,
+    /// cheap to guard) clear the cache rather than caching a stream a
+    /// joiner could not decode.
+    pub fn observe(&mut self, frame: &FramePayload) {
+        match frame.kind {
+            FrameKind::Intra => {
+                self.frames.clear();
+                self.frames.push(frame.clone());
+            }
+            FrameKind::Predicted => {
+                let contiguous = self
+                    .frames
+                    .last()
+                    .is_some_and(|last| last.frame_index + 1 == frame.frame_index);
+                if contiguous {
+                    self.frames.push(frame.clone());
+                } else {
+                    self.frames.clear();
+                }
+            }
+        }
+    }
+
+    /// Display index of the cached I-frame — the join point a replayed
+    /// subscriber starts at.
+    pub fn join_index(&self) -> Option<u32> {
+        self.frames.first().map(|f| f.frame_index)
+    }
+
+    /// The replay sequence: cached I-frame, then its P-frames in order.
+    /// Empty before the first I-frame lands.
+    pub fn frames(&self) -> &[FramePayload] {
+        &self.frames
+    }
+
+    /// Number of cached frame payloads.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(index: u32, kind: FrameKind) -> FramePayload {
+        FramePayload::from_bytes(index, kind, vec![index as u8; 4])
+    }
+
+    #[test]
+    fn cache_holds_exactly_the_current_gof() {
+        let mut cache = ResyncCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.join_index(), None);
+
+        cache.observe(&payload(0, FrameKind::Intra));
+        cache.observe(&payload(1, FrameKind::Predicted));
+        cache.observe(&payload(2, FrameKind::Predicted));
+        assert_eq!(cache.join_index(), Some(0));
+        assert_eq!(cache.len(), 3);
+
+        // The next GOF evicts the previous one wholesale.
+        cache.observe(&payload(4, FrameKind::Intra));
+        assert_eq!(cache.join_index(), Some(4));
+        assert_eq!(cache.len(), 1);
+        let indices: Vec<u32> = cache.frames().iter().map(|f| f.frame_index).collect();
+        assert_eq!(indices, vec![4]);
+    }
+
+    #[test]
+    fn non_contiguous_p_frames_clear_instead_of_caching_garbage() {
+        let mut cache = ResyncCache::new();
+        cache.observe(&payload(0, FrameKind::Intra));
+        cache.observe(&payload(3, FrameKind::Predicted));
+        assert!(cache.is_empty());
+        // A P-frame with no I-frame at all is equally unusable.
+        cache.observe(&payload(5, FrameKind::Predicted));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Broadcast-level accounting on top of per-subscriber [`StreamStats`].
+
+use pcc_stream::StreamStats;
+
+/// Counters for one broadcast session.
+///
+/// The encode-side facts (`frames_encoded`) are properties of the
+/// shared source; the fan-out facts are sums over subscribers. The
+/// `aggregate` field merges every subscriber's [`StreamStats`] — its
+/// `frames_sent` is therefore the *fan-out* total (frames × reachable
+/// subscribers), which is exactly the number the encode-once claim is
+/// checked against: `frames_encoded` stays flat while `aggregate`
+/// scales with the audience.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Frames the shared encoder coded — exactly one per pushed frame,
+    /// no matter how many subscribers received it.
+    pub frames_encoded: u64,
+    /// Subscribers that ever attached to the session.
+    pub subscribers_joined: usize,
+    /// Subscribers detached cleanly via unsubscribe.
+    pub subscribers_left: usize,
+    /// Subscribers dropped after a transport error (the broadcast keeps
+    /// serving everyone else).
+    pub subscribers_failed: usize,
+    /// Subscribers that attached after the first frame and were
+    /// resynced from the cache.
+    pub late_joins: usize,
+    /// Cached frame payloads replayed to late joiners in total.
+    pub replayed_frames: usize,
+    /// I-frames sent with the refinement attribute layer stripped
+    /// (counted per subscriber per frame).
+    pub sheds_refinement: usize,
+    /// P-frames withheld from strided subscribers (counted per
+    /// subscriber per frame).
+    pub sheds_p_stride: usize,
+    /// Every subscriber's [`StreamStats`] merged (live subscribers
+    /// included when sampled mid-session via
+    /// [`Broadcast::serve_stats`](crate::Broadcast::serve_stats)).
+    pub aggregate: StreamStats,
+}
+
+impl ServeStats {
+    /// Subscribers currently being served.
+    pub fn subscribers_active(&self) -> usize {
+        self.subscribers_joined - self.subscribers_left - self.subscribers_failed
+    }
+
+    /// Mean number of wires each encoded frame was stamped onto — the
+    /// fan-out amplification the single encode bought.
+    pub fn fanout_ratio(&self) -> f64 {
+        if self.frames_encoded == 0 {
+            0.0
+        } else {
+            self.aggregate.frames_sent as f64 / self.frames_encoded as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_ratio_measures_amplification() {
+        let mut stats = ServeStats::default();
+        assert_eq!(stats.fanout_ratio(), 0.0);
+        stats.frames_encoded = 10;
+        stats.aggregate.frames_sent = 30;
+        assert!((stats.fanout_ratio() - 3.0).abs() < 1e-12);
+        stats.subscribers_joined = 5;
+        stats.subscribers_failed = 1;
+        stats.subscribers_left = 1;
+        assert_eq!(stats.subscribers_active(), 3);
+    }
+}

@@ -106,18 +106,46 @@ pub struct Chunk {
 
 /// Serializes a chunk to its wire bytes.
 pub fn encode_chunk(chunk: &Chunk) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + chunk.payload.len() + 4);
+    encode_chunk_parts(
+        chunk.kind,
+        chunk.frame_kind,
+        chunk.stream_id,
+        chunk.seq,
+        chunk.frame_index,
+        &chunk.payload,
+        crc32(&chunk.payload),
+    )
+}
+
+/// [`encode_chunk`] from loose fields and a precomputed payload CRC.
+///
+/// A broadcast fan-out stamps the *same* frame payload with a different
+/// sequence number per subscriber; the payload CRC depends only on the
+/// payload bytes, so computing it once at encode time and reusing it
+/// here keeps the per-subscriber cost at header-size work. The byte
+/// image is identical to [`encode_chunk`] when `payload_crc` is
+/// `crc32(payload)`.
+pub fn encode_chunk_parts(
+    kind: ChunkKind,
+    frame_kind: Option<FrameKind>,
+    stream_id: u32,
+    seq: u32,
+    frame_index: u32,
+    payload: &[u8],
+    payload_crc: u32,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     out.extend_from_slice(&SYNC);
-    out.push(chunk.kind.to_byte());
-    out.push(frame_kind_byte(chunk.frame_kind));
-    out.extend_from_slice(&chunk.stream_id.to_le_bytes());
-    out.extend_from_slice(&chunk.seq.to_le_bytes());
-    out.extend_from_slice(&chunk.frame_index.to_le_bytes());
-    out.extend_from_slice(&(chunk.payload.len() as u32).to_le_bytes());
+    out.push(kind.to_byte());
+    out.push(frame_kind_byte(frame_kind));
+    out.extend_from_slice(&stream_id.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&frame_index.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     let header_crc = crc32(&out);
     out.extend_from_slice(&header_crc.to_le_bytes());
-    out.extend_from_slice(&chunk.payload);
-    out.extend_from_slice(&crc32(&chunk.payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&payload_crc.to_le_bytes());
     out
 }
 

@@ -16,6 +16,11 @@
 //!   through a bounded queue. The receiver decodes incrementally,
 //!   drops frames it cannot trust (CRC failures, gaps, P-frames whose
 //!   I-frame was lost), and resynchronizes at the next intact I-frame.
+//! * [`source`] — the encode/transmit split behind broadcast fan-out:
+//!   a [`FrameSource`] runs the codec once per frame and any number of
+//!   [`Subscription`]s stamp the shared payload into their own wire
+//!   sequence space (the `pcc-serve` crate composes these into
+//!   multi-subscriber sessions; [`Sender`] is the 1:1 composition).
 //! * [`plan`] — pre-flight fitting of a session to a link rate and
 //!   frame-rate budget via the rate controller, plus mid-session
 //!   [`SessionPlan::replan`] from live observations.
@@ -68,13 +73,17 @@ pub mod chunk;
 pub mod crc;
 pub mod plan;
 pub mod session;
+pub mod source;
 pub mod stats;
 pub mod supervise;
 
 pub use arq::{ArqConfig, Retransmit, RetransmitRing, SharedRing};
-pub use chunk::{decode_chunk, encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
+pub use chunk::{
+    decode_chunk, encode_chunk, encode_chunk_parts, Chunk, ChunkKind, ChunkReader, ChunkWriter,
+};
 pub use crc::crc32;
-pub use plan::{plan_session, SessionPlan, MUX_OVERHEAD_BYTES};
+pub use plan::{plan_session, plan_subscribers, FanoutPlan, SessionPlan, MUX_OVERHEAD_BYTES};
 pub use session::{stream_video, Delivered, Receiver, Sender, StreamConfig, STREAM_VERSION};
+pub use source::{FramePayload, FrameSource, Subscription};
 pub use stats::{SharedStats, StreamStats};
 pub use supervise::{stream_video_supervised, Supervisor};

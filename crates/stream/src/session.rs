@@ -15,10 +15,10 @@
 //! intact I-frame (a *resync*).
 
 use crate::arq::{ArqConfig, Retransmit, SharedRing};
-use crate::chunk::{decode_chunk, encode_chunk, Chunk, ChunkKind, ChunkReader, ChunkWriter};
+use crate::chunk::{decode_chunk, Chunk, ChunkKind, ChunkReader};
 use crate::stats::{SharedStats, StreamStats};
 use pcc_adapt::{Clock, SystemClock};
-use pcc_core::{container, Design, FrameDecoder, FrameEncoder, PccCodec};
+use pcc_core::{container, Design, FrameDecoder, PccCodec};
 use pcc_edge::Device;
 use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Video};
 use std::collections::VecDeque;
@@ -74,25 +74,22 @@ pub(crate) fn end_chunk(stream_id: u32, seq: u32, total_frames: u32) -> Chunk {
 
 /// Push-style sending session: encode and emit one frame per call.
 ///
-/// Wraps a [`FrameEncoder`] and a [`ChunkWriter`]; the stream header is
-/// written on construction, each [`send_frame`](Self::send_frame) emits
-/// one frame chunk (flushing the transport at I-frames so resync points
-/// hit the wire immediately), and [`finish`](Self::finish) seals the
-/// stream with an end chunk.
+/// The trivial 1-subscriber composition of a
+/// [`FrameSource`](crate::FrameSource) (encoder + frame/GOF tracking)
+/// and a [`Subscription`](crate::Subscription) (writer, sequence space,
+/// ARQ ring, stats): the stream header is written on construction, each
+/// [`send_frame`](Self::send_frame) encodes once and emits one frame
+/// chunk (flushing the transport at I-frames so resync points hit the
+/// wire immediately), and [`finish`](Self::finish) seals the stream
+/// with an end chunk. Broadcast fan-out composes one source with many
+/// subscriptions instead (see the `pcc-serve` crate).
 ///
 /// For whole-video sending with encode/transmit overlap, use
 /// [`stream_video`].
 #[derive(Debug)]
 pub struct Sender<'d, W: Write> {
-    encoder: FrameEncoder<'d>,
-    writer: ChunkWriter<W>,
-    stream_id: u32,
-    seq: u32,
-    frame_budget_ms: Option<f64>,
-    stats: StreamStats,
-    /// Encoded header chunk, kept so a late `with_arq` can park it.
-    header_bytes: Vec<u8>,
-    arq_ring: Option<SharedRing>,
+    source: crate::FrameSource<'d>,
+    sub: crate::Subscription<W>,
 }
 
 impl<'d, W: Write> Sender<'d, W> {
@@ -108,31 +105,15 @@ impl<'d, W: Write> Sender<'d, W> {
         writer: W,
         config: &StreamConfig,
     ) -> io::Result<Self> {
-        let mut writer = ChunkWriter::new(writer);
-        let header_bytes = encode_chunk(&header_chunk(config.stream_id, codec.design(), depth));
-        writer.write_encoded(&header_bytes)?;
-        writer.flush()?;
-        let stats = StreamStats {
-            chunks_sent: 1,
-            bytes_sent: writer.bytes_written(),
-            ..StreamStats::default()
-        };
-        Ok(Sender {
-            encoder: codec.frame_encoder(depth, device),
-            writer,
-            stream_id: config.stream_id,
-            seq: 1,
-            frame_budget_ms: config.frame_budget_ms,
-            stats,
-            header_bytes,
-            arq_ring: None,
-        })
+        let source = crate::FrameSource::new(codec, depth, device, config);
+        let sub = crate::Subscription::attach(writer, &source.header())?;
+        Ok(Sender { source, sub })
     }
 
     /// Voxelizes every frame in a common bounding box (see
     /// [`FrameEncoder::with_bounding_box`]).
     pub fn with_bounding_box(mut self, bb: Aabb) -> Self {
-        self.encoder = self.encoder.with_bounding_box(bb);
+        self.source = self.source.with_bounding_box(bb);
         self
     }
 
@@ -140,8 +121,7 @@ impl<'d, W: Write> Sender<'d, W> {
     /// header) in `ring` so an ARQ receiver holding a clone can NACK
     /// gaps against it. See [`crate::arq`].
     pub fn with_arq(mut self, ring: SharedRing) -> Self {
-        ring.insert(0, self.header_bytes.clone());
-        self.arq_ring = Some(ring);
+        self.sub = self.sub.with_arq(ring);
         self
     }
 
@@ -151,46 +131,15 @@ impl<'d, W: Write> Sender<'d, W> {
     ///
     /// Propagates transport errors.
     pub fn send_frame(&mut self, cloud: &PointCloud) -> io::Result<FrameKind> {
-        let frame_index = self.encoder.frame_index() as u32;
-        let encode_sp = pcc_probe::span("stream/encode");
-        let (encoded, timeline) = self.encoder.encode_frame(cloud);
-        self.stats.add_stage_ns("stream/encode", encode_sp.stop());
-        let modeled_ms = timeline.total_modeled_ms().as_f64();
-        if self.frame_budget_ms.is_some_and(|b| modeled_ms > b) {
-            self.stats.frames_over_budget += 1;
-        }
-        let kind = encoded.kind();
-        let send_sp = pcc_probe::span("stream/send");
-        let mut payload = Vec::new();
-        container::mux_frame(&mut payload, &encoded);
-        let bytes = encode_chunk(&Chunk {
-            kind: ChunkKind::Frame,
-            frame_kind: Some(kind),
-            stream_id: self.stream_id,
-            seq: self.seq,
-            frame_index,
-            payload,
-        });
-        if let Some(ring) = &self.arq_ring {
-            ring.insert(self.seq, bytes.clone());
-        }
-        self.writer.write_encoded(&bytes)?;
-        self.seq += 1;
-        if kind == FrameKind::Intra {
-            // GOF boundary: the resync anchor must not sit in a buffer
-            // while its group streams out behind it.
-            self.writer.flush()?;
-        }
-        self.stats.add_stage_ns("stream/send", send_sp.stop());
-        self.stats.frames_sent += 1;
-        self.stats.chunks_sent += 1;
-        self.stats.bytes_sent = self.writer.bytes_written();
-        Ok(kind)
+        let frame = self.source.encode_next(cloud);
+        self.sub.record_encode(&frame);
+        self.sub.send_payload(&frame)?;
+        Ok(frame.kind)
     }
 
     /// Counters so far.
     pub fn stats(&self) -> &StreamStats {
-        &self.stats
+        self.sub.stats()
     }
 
     /// Seals the stream with an end chunk and returns the transport.
@@ -198,18 +147,9 @@ impl<'d, W: Write> Sender<'d, W> {
     /// # Errors
     ///
     /// Propagates transport errors.
-    pub fn finish(mut self) -> io::Result<(W, StreamStats)> {
-        let bytes =
-            encode_chunk(&end_chunk(self.stream_id, self.seq, self.stats.frames_sent as u32));
-        if let Some(ring) = &self.arq_ring {
-            ring.insert(self.seq, bytes.clone());
-        }
-        self.writer.write_encoded(&bytes)?;
-        self.writer.flush()?;
-        self.stats.chunks_sent += 1;
-        self.stats.bytes_sent = self.writer.bytes_written();
-        self.stats.clean_shutdown = true;
-        Ok((self.writer.into_inner(), self.stats))
+    pub fn finish(self) -> io::Result<(W, StreamStats)> {
+        let total = self.sub.stats().frames_sent as u32;
+        self.sub.finish(total)
     }
 }
 
@@ -282,6 +222,13 @@ pub struct Receiver<'d, R: Read> {
     design: Option<Design>,
     /// Index the next in-order frame chunk should carry.
     next_frame: usize,
+    /// First frame index this receiver was meant to see. Frames below it
+    /// were produced before the subscriber joined — never sent, not
+    /// lost — and are excluded from loss accounting. Set by
+    /// [`with_join_at`](Self::with_join_at) or by the extended stream
+    /// header a broadcast writes for late joiners; 0 for from-the-start
+    /// sessions.
+    join_at: usize,
     /// Wire sequence number the next chunk should carry (ARQ gap
     /// detection).
     next_seq: u32,
@@ -341,6 +288,7 @@ impl<'d, R: Read> Receiver<'d, R> {
             depth: 0,
             design: None,
             next_frame: 0,
+            join_at: 0,
             next_seq: 0,
             pending: VecDeque::new(),
             arq: None,
@@ -372,6 +320,17 @@ impl<'d, R: Read> Receiver<'d, R> {
         clock: Arc<dyn Clock>,
     ) -> Self {
         self.arq = Some(ArqState { source: Box::new(source), config, clock });
+        self
+    }
+
+    /// Declares that this receiver joined the stream at display index
+    /// `frame`: frames before it were produced before the subscription
+    /// existed and must not be booked as loss. A broadcast replaying
+    /// its resync cache announces the same fact in the extended stream
+    /// header, so explicit use of this builder is only needed when the
+    /// join point is known out of band; the larger of the two wins.
+    pub fn with_join_at(mut self, frame: usize) -> Self {
+        self.join_at = self.join_at.max(frame);
         self
     }
 
@@ -562,6 +521,14 @@ impl<'d, R: Read> Receiver<'d, R> {
         self.stream_id = Some(chunk.stream_id);
         self.design = Some(design);
         self.depth = depth;
+        if let Some(bytes) = chunk.payload.get(3..7) {
+            if let Ok(raw) = <[u8; 4]>::try_from(bytes) {
+                // Extended header from a broadcast: the join point of a
+                // late subscriber. An explicit `with_join_at` value wins
+                // when larger (the application may know better).
+                self.join_at = self.join_at.max(u32::from_le_bytes(raw) as usize);
+            }
+        }
     }
 
     fn handle_end(&mut self, chunk: &Chunk) {
@@ -569,12 +536,20 @@ impl<'d, R: Read> Receiver<'d, R> {
         self.stats.clean_shutdown = true;
         if let Ok(total) = <[u8; 4]>::try_from(chunk.payload.as_slice()) {
             let total = u32::from_le_bytes(total) as usize;
-            if total > self.next_frame {
+            let baseline = self.loss_baseline(total);
+            if total > baseline {
                 // Frames lost at the very tail of the stream leave no
                 // later chunk to reveal the gap; the end chunk does.
-                self.stats.frames_dropped += total - self.next_frame;
+                self.stats.frames_dropped += total - baseline;
             }
         }
+    }
+
+    /// Where loss accounting starts for a gap that ends at `index`: the
+    /// playhead, or the join point for frames that predate this
+    /// receiver's subscription (never sent, so never lost).
+    fn loss_baseline(&self, index: usize) -> usize {
+        self.next_frame.max(self.join_at.min(index))
     }
 
     /// Processes one intact frame chunk; returns a frame when it decodes.
@@ -588,7 +563,7 @@ impl<'d, R: Read> Receiver<'d, R> {
             if index < self.next_frame {
                 self.stats.chunks_dropped += 1;
             } else {
-                self.stats.frames_dropped += index - self.next_frame + 1;
+                self.stats.frames_dropped += index - self.loss_baseline(index) + 1;
                 self.next_frame = index + 1;
                 self.loss_since_sync = true;
             }
@@ -608,13 +583,17 @@ impl<'d, R: Read> Receiver<'d, R> {
         // A gap means the frames in between are gone. Losing P-frames
         // costs only themselves (they reference the GOF's I-frame, not
         // each other); losing an I-frame breaks the reference chain.
-        let gap = index - self.next_frame;
-        if gap > 0 {
-            self.stats.frames_dropped += gap;
+        // Frames below the join point were never sent to this receiver,
+        // so they are skipped, not lost — but a skipped I-frame still
+        // strands the reference chain, so the desync check runs over
+        // the whole gap either way.
+        let counted_gap = index - self.loss_baseline(index);
+        if counted_gap > 0 {
+            self.stats.frames_dropped += counted_gap;
             self.loss_since_sync = true;
-            if self.gof.range_contains_intra(self.next_frame..index) {
-                self.desync();
-            }
+        }
+        if index > self.next_frame && self.gof.range_contains_intra(self.next_frame..index) {
+            self.desync();
         }
         self.next_frame = index + 1;
         let Some(decoder) = self.decoder.as_mut() else {

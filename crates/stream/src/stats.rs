@@ -92,6 +92,53 @@ impl PartialEq for StreamStats {
 
 impl Eq for StreamStats {}
 
+/// Compact per-session table: one row per counter family, fixed-width
+/// labels, and a trailing `stages` row only when probe timing was
+/// recorded. Examples print this instead of hand-formatting fields.
+impl std::fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "frames    sent {:>8}  delivered {:>8}  dropped {:>6}  over-budget {:>4}  degraded {:>4}",
+            self.frames_sent,
+            self.frames_delivered,
+            self.frames_dropped,
+            self.frames_over_budget,
+            self.frames_degraded,
+        )?;
+        writeln!(
+            f,
+            "chunks    sent {:>8}  dropped {:>6}  corrupt-events {:>6}",
+            self.chunks_sent, self.chunks_dropped, self.corrupt_events,
+        )?;
+        writeln!(
+            f,
+            "bytes     sent {:>8}  received {:>8}",
+            self.bytes_sent, self.bytes_received,
+        )?;
+        writeln!(
+            f,
+            "recovery  resyncs {:>5}  nacks {:>6}  recovered {:>6}  arq-degraded {:>4}",
+            self.resyncs, self.arq_nacks, self.arq_recovered, self.arq_degraded,
+        )?;
+        write!(
+            f,
+            "control   rung-changes {:>4}  watchdog-skips {:>4}  panics {:>4}  shutdown {}",
+            self.rung_changes,
+            self.watchdog_skips,
+            self.panics_contained,
+            if self.clean_shutdown { "clean" } else { "dirty" },
+        )?;
+        if !self.stage_ns.is_empty() {
+            write!(f, "\nstages  ")?;
+            for (stage, ns) in &self.stage_ns {
+                write!(f, "  {} {:.2} ms", stage, *ns as f64 / 1e6)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl StreamStats {
     /// Folds another side's counters into this one (loopback sessions
     /// combine the sender's and receiver's views).
@@ -196,6 +243,33 @@ mod tests {
         assert_eq!(tx.frames_dropped, 2);
         assert!(tx.clean_shutdown);
         assert!((tx.delivery_ratio() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_every_counter_family() {
+        let mut stats = StreamStats {
+            frames_sent: 12,
+            frames_delivered: 10,
+            frames_dropped: 2,
+            resyncs: 1,
+            chunks_sent: 14,
+            bytes_sent: 9000,
+            clean_shutdown: true,
+            ..StreamStats::default()
+        };
+        let plain = stats.to_string();
+        for needle in
+            ["frames", "chunks", "bytes", "recovery", "control", "12", "10", "9000", "clean"]
+        {
+            assert!(plain.contains(needle), "missing {needle:?} in:\n{plain}");
+        }
+        // The stages row appears only once timing was recorded.
+        assert!(!plain.contains("stages"));
+        stats.add_stage_ns("stream/encode", 2_500_000);
+        let timed = stats.to_string();
+        assert!(timed.contains("stages"));
+        assert!(timed.contains("stream/encode 2.50 ms"), "{timed}");
+        assert!(!stats.clean_shutdown || timed.contains("shutdown clean"));
     }
 
     #[test]

@@ -116,6 +116,8 @@ fn main() {
         rx_stats.resyncs,
         rx_stats.clean_shutdown
     );
+    println!("\nsender counters:\n{tx_stats}");
+    println!("receiver counters:\n{rx_stats}");
 
     // A lossless transport must deliver every frame, in order, watchable.
     assert_eq!(tx_stats.frames_sent, video.len());

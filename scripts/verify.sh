@@ -66,6 +66,17 @@ echo "== overload soak: degradation ladder, watchdog, panic containment =="
 # rides along: backoff/deadline sequences replay on the same clock.
 cargo test -q --offline --release --test overload_soak --test arq_timing
 
+echo "== broadcast soak: encode-once fan-out to 100+ subscribers =="
+# One shared encoder serving 112 heterogeneous subscribers (healthy,
+# seeded-lossy, fake-clock-throttled under per-subscriber degradation,
+# late joiners replayed from the resync cache, dead transports): exactly
+# one encode per frame, healthy wires byte-identical to the 1:1 sender,
+# throttled rung traces asserted exactly, late joiners lossless from the
+# cached I-frame. The broadcast example (1 source -> 4 viewers) rides
+# along with its own assertions.
+cargo test -q --offline --release --test broadcast_soak
+cargo run -q --release --offline --example broadcast
+
 echo "== fuzz smoke: seeded decode-surface mutations =="
 # Fixed-seed corpus (no time, no randomness source beyond the seed):
 # 10k+ mutated bitstreams through demux / decode_frame /
@@ -80,7 +91,7 @@ echo "== clippy: no unchecked indexing on the decode path =="
 # carry a local, justified allow. This invocation makes the deny fire.
 cargo clippy -q --offline \
     -p pcc-types -p pcc-entropy -p pcc-octree -p pcc-intra -p pcc-inter \
-    -p pcc-core -p pcc-stream -p pcc-fault -p pcc-adapt \
+    -p pcc-core -p pcc-stream -p pcc-serve -p pcc-fault -p pcc-adapt \
     -p pcc-morton -p pcc-parallel
 
 echo "verify: all gates passed"

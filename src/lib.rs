@@ -53,5 +53,6 @@ pub use pcc_octree as octree;
 pub use pcc_parallel as parallel;
 pub use pcc_probe as probe;
 pub use pcc_raht as raht;
+pub use pcc_serve as serve;
 pub use pcc_stream as stream;
 pub use pcc_types as types;

@@ -1,0 +1,347 @@
+//! Broadcast soak: one shared encoder serving 100+ heterogeneous
+//! subscribers — healthy sinks, seeded-lossy wires, fake-clock-throttled
+//! wires under per-subscriber degradation, late joiners resynced from
+//! the GOF cache, and transports that die mid-session.
+//!
+//! Everything is deterministic: loss comes from seeded
+//! `FaultyTransport`s, send timing from a `FakeClock` the throttled
+//! transports charge, and the degradation controllers are pure functions
+//! of their observations — so rung traces and every counter are asserted
+//! exactly.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use pcc::adapt::{Controller, ControllerConfig, FakeClock, QualityLadder};
+use pcc::core::{Design, PccCodec};
+use pcc::datasets::catalog;
+use pcc::edge::{Device, PowerMode};
+use pcc::fault::{FaultConfig, FaultyTransport, ThrottledTransport};
+use pcc::inter::InterConfig;
+use pcc::serve::{Broadcast, SubscriberConfig, SubscriberId};
+use pcc::stream::{ChunkKind, ChunkReader, Delivered, Receiver, Sender, StreamConfig, StreamStats};
+use pcc::types::Video;
+
+const FRAMES: usize = 12; // 4 IPP groups: I at 0, 3, 6, 9.
+const HEALTHY: usize = 40;
+const LOSSY: usize = 40;
+const THROTTLED: usize = 20;
+const LATE: usize = 10;
+const DOOMED: usize = 2;
+
+fn device() -> Device {
+    Device::jetson_agx_xavier(PowerMode::W15)
+}
+
+fn clip() -> Video {
+    catalog::by_name("Loot").unwrap().generate_scaled(FRAMES, 700)
+}
+
+/// A transport whose bytes outlive the broadcast (which consumes its
+/// writers): every clone appends to the same capture buffer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Accepts exactly one write (the stream header), then the connection
+/// "dies": every later write fails.
+#[derive(Default)]
+struct DeadAfterHeader {
+    writes: usize,
+}
+
+impl Write for DeadAfterHeader {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writes += 1;
+        if self.writes > 1 {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"));
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn receive_all(wire: &[u8], d: &Device) -> (Vec<Delivered>, StreamStats) {
+    let mut rx = Receiver::new(wire, d);
+    let mut out = Vec::new();
+    while let Some(frame) = rx.recv_frame().expect("in-memory transport cannot fail") {
+        out.push(frame);
+    }
+    (out, rx.into_stats())
+}
+
+/// A controller whose every observed frame overloads (the throttled
+/// wire charges far more fake-clock time than the budget), stepping
+/// down one rung per GOF: trace [(3,1), (6,2), (9,3)].
+fn slow_subscriber_controller() -> Controller {
+    Controller::new(
+        QualityLadder::standard(InterConfig::v1()),
+        ControllerConfig {
+            frame_budget_ms: 1.0,
+            degrade_after: 3,
+            upgrade_after: 100,
+            headroom: 0.9,
+        },
+    )
+}
+
+#[test]
+fn broadcast_serves_a_hundred_heterogeneous_subscribers_from_one_encode() {
+    let video = clip();
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let bb = video.bounding_box().unwrap();
+    let config = StreamConfig::default();
+
+    // Reference: the existing 1:1 sender over the same clip. Healthy
+    // broadcast subscribers must reproduce this wire bit for bit.
+    let mut solo = Sender::new(&codec, 6, &d, Vec::new(), &config).unwrap().with_bounding_box(bb);
+    for frame in video.iter() {
+        solo.send_frame(&frame.cloud).unwrap();
+    }
+    let (ref_wire, ref_tx) = solo.finish().unwrap();
+    assert_eq!(ref_tx.frames_sent, FRAMES);
+    let (clean, _) = receive_all(&ref_wire, &d);
+    assert_eq!(clean.len(), FRAMES);
+
+    let mut session = Broadcast::new(&codec, 6, &d, &config).with_bounding_box(bb);
+
+    let mut healthy: Vec<(SubscriberId, SharedBuf)> = Vec::new();
+    for _ in 0..HEALTHY {
+        let buf = SharedBuf::default();
+        let id = session.subscribe(buf.clone(), SubscriberConfig::default()).unwrap();
+        healthy.push((id, buf));
+    }
+
+    let mut lossy: Vec<SharedBuf> = Vec::new();
+    for i in 0..LOSSY {
+        let buf = SharedBuf::default();
+        let faults = FaultConfig {
+            drop: 0.08,
+            corrupt: 0.05,
+            immune_prefix: 1,
+            ..FaultConfig::default()
+        };
+        let transport = FaultyTransport::new(buf.clone(), faults, 0xB0A5 + i as u64);
+        session.subscribe(transport, SubscriberConfig::default()).unwrap();
+        lossy.push(buf);
+    }
+
+    // ~10 µs of fake-clock time per byte: the wire is hopelessly slower
+    // than the 1 ms budget, so every sent frame overloads the controller.
+    let clock = FakeClock::new();
+    let mut throttled: Vec<(SubscriberId, SharedBuf)> = Vec::new();
+    for _ in 0..THROTTLED {
+        let buf = SharedBuf::default();
+        let transport = ThrottledTransport::new(buf.clone(), Arc::new(clock.clone()), 10_000);
+        let id = session
+            .subscribe(
+                transport,
+                SubscriberConfig {
+                    controller: Some(slow_subscriber_controller()),
+                    clock: Some(Arc::new(clock.clone())),
+                    ..SubscriberConfig::default()
+                },
+            )
+            .unwrap();
+        throttled.push((id, buf));
+    }
+
+    for _ in 0..DOOMED {
+        session.subscribe(DeadAfterHeader::default(), SubscriberConfig::default()).unwrap();
+    }
+
+    // First five frames (GOF 0 and the start of GOF 1) go out live...
+    for frame in video.iter().take(5) {
+        session.push_frame(&frame.cloud);
+    }
+    // ...then late joiners attach mid-GOF. The cache replays [I3, P4],
+    // so each starts bit-exact at frame 3 without waiting for I6.
+    let mut late: Vec<SharedBuf> = Vec::new();
+    for _ in 0..LATE {
+        let buf = SharedBuf::default();
+        session.subscribe(buf.clone(), SubscriberConfig::default()).unwrap();
+        late.push(buf);
+    }
+    for frame in video.iter().skip(5) {
+        session.push_frame(&frame.cloud);
+    }
+    assert_eq!(session.frame_index(), FRAMES);
+
+    // Slow subscribers degrade per their own controller trace, one rung
+    // per GOF, each landing on an I-frame.
+    for (id, _) in &throttled {
+        assert_eq!(
+            session.controller_trace(*id).unwrap(),
+            &[(3, 1), (6, 2), (9, 3)],
+            "throttled subscriber walked an unexpected rung trace"
+        );
+    }
+    assert_eq!(session.subscriber_count(), HEALTHY + LOSSY + THROTTLED + LATE);
+
+    let stats = session.finish();
+
+    // The tentpole claim: the audience never multiplied the encode.
+    assert_eq!(stats.frames_encoded, FRAMES as u64, "exactly one encode per pushed frame");
+    assert_eq!(stats.subscribers_joined, HEALTHY + LOSSY + THROTTLED + LATE + DOOMED);
+    assert_eq!(stats.subscribers_failed, DOOMED);
+    assert_eq!(stats.late_joins, LATE);
+    assert_eq!(stats.replayed_frames, 2 * LATE, "each late joiner replays [I3, P4]");
+    // Rung 2 strips I6 and I9; rung 3 additionally strides out P11.
+    assert_eq!(stats.sheds_refinement, 2 * THROTTLED);
+    assert_eq!(stats.sheds_p_stride, THROTTLED);
+    assert_eq!(stats.aggregate.rung_changes, 3 * THROTTLED);
+    let expected_sent = (HEALTHY + LOSSY) * FRAMES // full streams
+        + THROTTLED * (FRAMES - 1) // P11 withheld
+        + LATE * (2 + FRAMES - 5); // replayed [I3, P4] + live 5..12
+    assert_eq!(stats.aggregate.frames_sent, expected_sent);
+    assert!(stats.fanout_ratio() > 100.0, "fan-out ratio: {}", stats.fanout_ratio());
+
+    // Healthy subscribers: byte-identical to the 1:1 sender — the shared
+    // payload bytes, CRCs and sequence numbering all line up.
+    for (i, (_, buf)) in healthy.iter().enumerate() {
+        assert_eq!(buf.take(), ref_wire, "healthy subscriber {i} wire diverged");
+    }
+    let (delivered, rx) = receive_all(&healthy[0].1.take(), &d);
+    assert_eq!(delivered.len(), FRAMES);
+    assert_eq!(rx.frames_dropped, 0);
+    assert!(rx.clean_shutdown);
+
+    // Lossy subscribers: seeded chunk loss/corruption costs them frames
+    // but never a panic or a wrong picture — and (proven by the healthy
+    // byte-equality above) never leaks into anyone else's stream.
+    let mut total_lossy_drops = 0usize;
+    for buf in &lossy {
+        let (delivered, rx) = receive_all(&buf.take(), &d);
+        total_lossy_drops += rx.frames_dropped;
+        for frame in &delivered {
+            assert_eq!(
+                frame.cloud, clean[frame.frame_index].cloud,
+                "lossy subscriber delivered a wrong frame {}",
+                frame.frame_index
+            );
+        }
+    }
+    assert!(total_lossy_drops > 0, "seeded loss should cost at least one frame somewhere");
+
+    // Throttled subscribers: frames 0..6 arrive at full quality, the
+    // stripped I6/I9 (and P-frames decoded against them) keep geometry
+    // but coarsen colors, and P11 never arrives.
+    for (_, buf) in &throttled {
+        let (delivered, rx) = receive_all(&buf.take(), &d);
+        let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+        let expected: Vec<usize> = (0..FRAMES).filter(|&i| i != 11).collect();
+        assert_eq!(indices, expected, "stride must withhold exactly P11");
+        assert_eq!(rx.frames_dropped, 1, "the strided frame is the only loss");
+        assert_eq!(rx.resyncs, 0, "degradation must never desync");
+        assert!(rx.clean_shutdown);
+        for frame in &delivered {
+            let reference = &clean[frame.frame_index].cloud;
+            if frame.frame_index < 6 {
+                assert_eq!(&frame.cloud, reference, "frame {} predates rung 2", frame.frame_index);
+            } else {
+                assert_eq!(frame.cloud.len(), reference.len());
+                assert_eq!(
+                    frame.cloud.positions(),
+                    reference.positions(),
+                    "shedding the refinement layer must not move geometry (frame {})",
+                    frame.frame_index
+                );
+            }
+        }
+    }
+
+    // Late joiners: zero booked loss (the announced join point excludes
+    // frames 0..3 from accounting) and bit-exact delivery from the
+    // cached I3 onward.
+    for (i, buf) in late.iter().enumerate() {
+        let wire = buf.take();
+        let (delivered, rx) = receive_all(&wire, &d);
+        assert_eq!(rx.frames_dropped, 0, "late joiner {i} booked pre-join frames as loss: {rx:?}");
+        assert_eq!(rx.resyncs, 0);
+        assert!(rx.clean_shutdown);
+        let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+        let expected: Vec<usize> = (3..FRAMES).collect();
+        assert_eq!(indices, expected, "late joiner {i} must start at the cached I-frame");
+        for frame in &delivered {
+            assert_eq!(
+                frame.cloud, clean[frame.frame_index].cloud,
+                "late joiner {i} frame {} diverged",
+                frame.frame_index
+            );
+        }
+    }
+
+    // Bit-exactness of the replay, at the chunk level: every frame chunk
+    // a joiner got carries the identical payload bytes the 1:1 sender
+    // put on its wire for that frame (only seq numbering differs).
+    let payloads_of = |wire: &[u8]| -> Vec<(u32, Vec<u8>)> {
+        let mut reader = ChunkReader::new(wire);
+        let mut out = Vec::new();
+        while let Some(c) = reader.next_chunk().unwrap() {
+            if c.kind == ChunkKind::Frame {
+                out.push((c.frame_index, c.payload));
+            }
+        }
+        out
+    };
+    let ref_payloads = payloads_of(&ref_wire);
+    for (frame_index, payload) in payloads_of(&late[0].take()) {
+        let reference = ref_payloads
+            .iter()
+            .find(|(i, _)| *i == frame_index)
+            .map(|(_, p)| p)
+            .expect("joiner frame must exist on the reference wire");
+        assert_eq!(&payload, reference, "replayed frame {frame_index} payload diverged");
+    }
+}
+
+/// A broadcast with zero subscribers is legal (everyone left, or nobody
+/// arrived yet): frames still encode, the cache still warms, and a
+/// subscriber arriving afterwards is served from it.
+#[test]
+fn an_audience_of_zero_still_warms_the_resync_cache() {
+    let video = clip();
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let mut session =
+        Broadcast::new(&codec, 6, &d, &StreamConfig::default()).with_bounding_box(video.bounding_box().unwrap());
+
+    for frame in video.iter().take(4) {
+        session.push_frame(&frame.cloud);
+    }
+    let buf = SharedBuf::default();
+    session.subscribe(buf.clone(), SubscriberConfig::default()).unwrap();
+    for frame in video.iter().skip(4) {
+        session.push_frame(&frame.cloud);
+    }
+    let stats = session.finish();
+    assert_eq!(stats.frames_encoded, FRAMES as u64);
+    assert_eq!(stats.late_joins, 1);
+
+    let (delivered, rx) = receive_all(&buf.take(), &d);
+    assert_eq!(rx.frames_dropped, 0, "{rx:?}");
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    let expected: Vec<usize> = (3..FRAMES).collect();
+    assert_eq!(indices, expected);
+    assert!(delivered.iter().all(|f| !f.cloud.is_empty()));
+}

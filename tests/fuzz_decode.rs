@@ -8,13 +8,16 @@
 //! reproduces exactly from the printed iteration number; there is no
 //! corpus directory and no time-dependent input.
 
+use std::io::{self, Write};
 use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex};
 
 use pcc::core::{container, Design, PccCodec};
 use pcc::datasets::catalog;
 use pcc::edge::{Device, PowerMode};
 use pcc::octree::{decode_occupancy_with, ParallelOctree};
-use pcc::stream::{Receiver, Sender, StreamConfig};
+use pcc::serve::{Broadcast, SubscriberConfig};
+use pcc::stream::{encode_chunk, ChunkKind, ChunkReader, Receiver, Sender, StreamConfig};
 use pcc::types::{Limits, Video, VoxelizedCloud};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -154,4 +157,114 @@ fn mutated_chunk_streams_never_panic_the_receiver() {
         // A finite wire must always terminate: clean end, or an error.
         while let Ok(Some(_)) = rx.recv_frame() {}
     }
+}
+
+/// Write-capture that outlives the broadcast consuming its writers.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn mutated_resync_replays_never_panic_a_joiner_or_desync_the_room() {
+    // A broadcast whose late joiner is served from the resync cache:
+    // its wire opens [extended header, cached I3, cached P4, live ...].
+    // That replayed prefix is attacker-visible bytes like any other —
+    // mutations must never panic the joiner's receiver, and since each
+    // subscriber has its own wire, can never touch the rest of the room.
+    let video = catalog::by_name("Longdress").unwrap().generate_scaled(5, 600);
+    let d = device(1);
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let mut session = Broadcast::new(&codec, 7, &d, &StreamConfig::default())
+        .with_bounding_box(video.bounding_box().unwrap());
+    let room = SharedBuf::default();
+    session.subscribe(room.clone(), SubscriberConfig::default()).unwrap();
+    for frame in video.iter().take(5) {
+        session.push_frame(&frame.cloud);
+    }
+    let joiner = SharedBuf::default();
+    session.subscribe(joiner.clone(), SubscriberConfig::default()).unwrap();
+    let stats = session.finish();
+    assert_eq!(stats.replayed_frames, 2, "the cache must hold [I3, P4]");
+
+    let original = joiner.0.lock().unwrap().clone();
+    let mut rx = Receiver::new(original.as_slice(), &d);
+    let mut clean = Vec::new();
+    while let Some(frame) = rx.recv_frame().unwrap() {
+        clean.push(frame);
+    }
+    assert_eq!(rx.into_stats().frames_dropped, 0, "baseline replay must be lossless");
+    assert_eq!(clean.first().map(|f| f.frame_index), Some(3));
+
+    // Locate the replayed I-frame chunk's byte range on the wire so the
+    // second loop can concentrate fire on the cached-then-corrupted-I
+    // scenario specifically.
+    let mut reader = ChunkReader::new(original.as_slice());
+    let mut offset = 0usize;
+    let mut i_chunk = None;
+    while let Some(c) = reader.next_chunk().unwrap() {
+        let len = encode_chunk(&c).len();
+        if c.kind == ChunkKind::Frame && i_chunk.is_none() {
+            i_chunk = Some((offset, len));
+        }
+        offset += len;
+    }
+    let (i_start, i_len) = i_chunk.expect("replay must contain the cached I-frame");
+
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x10B5);
+    for _ in 0..900 {
+        // Whole-wire mutations: header, replay, live tail, end chunk.
+        let mutated = mutate(&mut rng, &original);
+        let mut rx = Receiver::new(mutated.as_slice(), &d);
+        while let Ok(Some(_)) = rx.recv_frame() {}
+    }
+    for _ in 0..900 {
+        // Bit flips inside the cached I-frame chunk only: the CRCs must
+        // reject it, degrading the joiner (lost GOF) instead of feeding
+        // the decoder a wrong picture — and never panicking.
+        let mut mutated = original.clone();
+        for _ in 0..rng.random_range(1..=4usize) {
+            let pos = i_start + rng.random_range(0..i_len);
+            let bit = rng.random_range(0..8u32);
+            if let Some(b) = mutated.get_mut(pos) {
+                *b ^= 1 << bit;
+            }
+        }
+        let mut rx = Receiver::new(mutated.as_slice(), &d);
+        let mut delivered = Vec::new();
+        while let Ok(Some(frame)) = rx.recv_frame() {
+            delivered.push(frame);
+        }
+        for frame in &delivered {
+            let reference = clean
+                .iter()
+                .find(|c| c.frame_index == frame.frame_index)
+                .expect("joiner can only ever see frames the broadcast sent it");
+            assert_eq!(
+                frame.cloud, reference.cloud,
+                "corrupt replay delivered a wrong frame {}",
+                frame.frame_index
+            );
+        }
+    }
+
+    // The rest of the room shares no bytes with the joiner's wire: its
+    // capture still replays every frame losslessly.
+    let room_wire = room.0.lock().unwrap().clone();
+    let mut rx = Receiver::new(room_wire.as_slice(), &d);
+    let mut seen = 0usize;
+    while let Some(_frame) = rx.recv_frame().unwrap() {
+        seen += 1;
+    }
+    assert_eq!(seen, 5);
+    assert_eq!(rx.into_stats().frames_dropped, 0);
 }

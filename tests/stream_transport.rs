@@ -232,6 +232,87 @@ fn headerless_streams_deliver_nothing_but_do_not_panic() {
 }
 
 #[test]
+fn announced_join_points_exclude_pre_join_frames_from_loss() {
+    let video = clip(9);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire = wire_clean(&codec, &video, &d);
+    let (clean, _) = receive_all(&wire, &d);
+
+    // A broadcast-style mid-stream tail: [header, I3, P4, ..., end].
+    // Frames 0..3 were never sent to this subscriber.
+    let chunks: Vec<Chunk> = chunks_of(&wire)
+        .into_iter()
+        .filter(|c| c.kind != ChunkKind::Frame || c.frame_index >= 3)
+        .collect();
+    let tail = reassemble(&chunks);
+
+    // Without a declared join point, the receiver has no way to tell a
+    // late join from loss: frames 0..3 are booked as dropped.
+    let (_, rx) = receive_all(&tail, &d);
+    assert_eq!(rx.frames_dropped, 3);
+
+    // With the join point declared, nothing before it counts as loss —
+    // not mid-stream and not in the end chunk's tail accounting.
+    let mut rx = Receiver::new(tail.as_slice(), &d).with_join_at(3);
+    let mut delivered = Vec::new();
+    while let Some(frame) = rx.recv_frame().unwrap() {
+        delivered.push(frame);
+    }
+    let stats = rx.into_stats();
+    assert_eq!(stats.frames_dropped, 0, "pre-join frames booked as loss: {stats:?}");
+    assert_eq!(stats.resyncs, 0);
+    assert!(stats.clean_shutdown);
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![3, 4, 5, 6, 7, 8]);
+    for frame in &delivered {
+        assert_eq!(frame.cloud, clean[frame.frame_index].cloud, "frame {}", frame.frame_index);
+    }
+
+    // Loss *after* the join point still counts: drop P4 from the tail.
+    let chunks: Vec<Chunk> = chunks_of(&tail)
+        .into_iter()
+        .filter(|c| !(c.kind == ChunkKind::Frame && c.frame_index == 4))
+        .collect();
+    let trimmed = reassemble(&chunks);
+    let mut rx = Receiver::new(trimmed.as_slice(), &d).with_join_at(3);
+    while rx.recv_frame().unwrap().is_some() {}
+    let stats = rx.into_stats();
+    assert_eq!(stats.frames_dropped, 1, "post-join loss must still be booked: {stats:?}");
+}
+
+#[test]
+fn the_extended_stream_header_announces_the_join_point() {
+    let video = clip(6);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire = wire_clean(&codec, &video, &d);
+
+    // Rewrite the header the way a broadcaster does for a late joiner:
+    // append the join frame index to the header payload. Everything
+    // else on the wire stays untouched.
+    let chunks: Vec<Chunk> = chunks_of(&wire)
+        .into_iter()
+        .filter(|c| c.kind != ChunkKind::Frame || c.frame_index >= 3)
+        .map(|mut c| {
+            if c.kind == ChunkKind::StreamHeader {
+                c.payload.extend_from_slice(&3u32.to_le_bytes());
+            }
+            c
+        })
+        .collect();
+
+    // A plain receiver — no builder hint — honors the announced join
+    // point: legacy receivers ignore the extra header bytes, extended
+    // ones stop booking the pre-join range as loss.
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+    assert_eq!(rx.frames_dropped, 0, "the header's join point was ignored: {rx:?}");
+    assert!(rx.clean_shutdown);
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![3, 4, 5]);
+}
+
+#[test]
 fn foreign_stream_chunks_are_ignored() {
     let video = clip(3);
     let d = device();
