@@ -50,8 +50,9 @@ impl QualityLadder {
     ///
     /// Panics if `rungs` is empty, any stride is zero, or a rung moves a
     /// decode-contract knob (blocks, candidates, segment density,
-    /// quantization, entropy mode) away from rung 0 — such a ladder
-    /// would desynchronize every receiver the moment it was used.
+    /// quantization, entropy mode, brick cut depth) away from rung 0 —
+    /// such a ladder would desynchronize every receiver the moment it
+    /// was used.
     pub fn new(rungs: Vec<Rung>) -> Self {
         assert!(!rungs.is_empty(), "a ladder needs at least one rung");
         let top = rungs.first().expect("non-empty").config;
@@ -63,7 +64,8 @@ impl QualityLadder {
                     && c.candidates == top.candidates
                     && c.intra.segments == top.intra.segments
                     && c.intra.quant_shift == top.intra.quant_shift
-                    && c.intra.entropy == top.intra.entropy,
+                    && c.intra.entropy == top.intra.entropy
+                    && c.intra.brick_depth == top.intra.brick_depth,
                 "rung {}: moves a decode-contract knob mid-stream",
                 rung.name
             );

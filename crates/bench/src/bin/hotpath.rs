@@ -75,7 +75,7 @@ const KERNEL_POINTS: usize = 1 << 14; // 16 384
 const KERNEL_SEGMENTS: usize = 256;
 const FRAME_POINTS: usize = 60_000;
 const FRAME_DEPTH: u8 = 8;
-const REPS: usize = 9;
+const REPS: usize = 25;
 const FRAMES: usize = 10;
 const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Broadcast fan-out leg: subscribers stamping one shared coded payload
@@ -176,6 +176,8 @@ struct Report {
     inter_frame_ms: f64,
     inter_allocs_per_frame: f64,
     fanout_chunk_ns_per_subscriber: f64,
+    decode_brick_ns_per_point: f64,
+    brick_parallel_decode_speedup: f64,
 }
 
 /// Timed metrics the `--check` gate compares (lower is better).
@@ -187,6 +189,7 @@ const GATED: &[&str] = &[
     "intra_frame_ms",
     "inter_frame_ms",
     "fanout_chunk_ns_per_subscriber",
+    "decode_brick_ns_per_point",
 ];
 
 impl Report {
@@ -199,6 +202,7 @@ impl Report {
             "intra_frame_ms" => self.intra_frame_ms,
             "inter_frame_ms" => self.inter_frame_ms,
             "fanout_chunk_ns_per_subscriber" => self.fanout_chunk_ns_per_subscriber,
+            "decode_brick_ns_per_point" => self.decode_brick_ns_per_point,
             _ => unreachable!("unknown gated metric {key}"),
         }
     }
@@ -214,7 +218,9 @@ impl Report {
              \"radix_sort_ns_per_point\": {:.3},\n  \"layer_quantize_ns_per_point\": {:.3},\n  \
              \"intra_frame_ms\": {:.3},\n  \"intra_allocs_per_frame\": {:.2},\n  \
              \"inter_frame_ms\": {:.3},\n  \"inter_allocs_per_frame\": {:.2},\n  \
-             \"fanout_chunk_ns_per_subscriber\": {:.1}\n}}\n",
+             \"fanout_chunk_ns_per_subscriber\": {:.1},\n  \
+             \"decode_brick_ns_per_point\": {:.3},\n  \
+             \"brick_parallel_decode_speedup\": {:.2}\n}}\n",
             cfg!(feature = "simd"),
             KERNEL_POINTS,
             FRAME_POINTS,
@@ -228,6 +234,8 @@ impl Report {
             self.inter_frame_ms,
             self.inter_allocs_per_frame,
             self.fanout_chunk_ns_per_subscriber,
+            self.decode_brick_ns_per_point,
+            self.brick_parallel_decode_speedup,
         )
     }
 }
@@ -353,6 +361,27 @@ fn run() -> Report {
         black_box(&subs);
     });
 
+    // -- Brick-partitioned decode: the per-point cost of the parallel
+    //    brick decoder at 1 thread (gated), and the wall-clock speedup of
+    //    the same decode at the machine's full thread count
+    //    (informational — it depends on the host's core count).
+    let brick_codec = IntraCodec::new(IntraConfig::paper().with_bricks(3).with_threads(1));
+    let brick_vox = &frames[0];
+    let brick_frame = brick_codec.encode(brick_vox, &device);
+    device.reset();
+    let decode_1_ns = min_ns(|| {
+        device.reset();
+        let decoded = brick_codec.decode(&brick_frame, &device).expect("self-encoded decodes");
+        black_box(decoded.len());
+    });
+    let max_threads = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let brick_wide = IntraCodec::new(IntraConfig::paper().with_bricks(3).with_threads(max_threads));
+    let decode_n_ns = min_ns(|| {
+        device.reset();
+        let decoded = brick_wide.decode(&brick_frame, &device).expect("self-encoded decodes");
+        black_box(decoded.len());
+    });
+
     let per_point = KERNEL_POINTS as f64;
     Report {
         morton_scalar_ns_per_point: scalar_ns / per_point,
@@ -365,12 +394,14 @@ fn run() -> Report {
         inter_frame_ms: inter_frame_ns / 1e6,
         inter_allocs_per_frame: inter_allocs,
         fanout_chunk_ns_per_subscriber: fanout_ns / FANOUT_SUBSCRIBERS as f64,
+        decode_brick_ns_per_point: decode_1_ns / brick_vox.len() as f64,
+        brick_parallel_decode_speedup: decode_1_ns / decode_n_ns,
     }
 }
 
 /// A warm-up pass over the frame set establishes every arena high-water
 /// mark (frame content varies, so an unseen frame may still grow a buffer
-/// past its previous maximum), then three measured passes re-encode the
+/// past its previous maximum), then five measured passes re-encode the
 /// same frames. Reported time is the *minimum* pass mean — scheduler and
 /// cache noise is strictly additive, so min-of-passes is the robust
 /// estimator for a shared machine; allocs are the *maximum* pass total
@@ -382,7 +413,7 @@ fn measure_leg(
     device: &Device,
     mut enc: impl FnMut(&VoxelizedCloud),
 ) -> (f64, f64) {
-    const PASSES: usize = 3;
+    const PASSES: usize = 5;
     for vox in frames {
         device.reset();
         enc(vox);

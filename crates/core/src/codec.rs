@@ -109,6 +109,10 @@ pub enum CodecError {
         /// Index of the offending frame.
         frame: usize,
     },
+    /// A partial (brick) decode was requested on a frame kind that
+    /// cannot support it — only proposed intra frames carry a brick
+    /// index.
+    PartialDecodeUnsupported,
 }
 
 impl fmt::Display for CodecError {
@@ -123,6 +127,9 @@ impl fmt::Display for CodecError {
             CodecError::MissingInterConfig { frame } => {
                 write!(f, "frame {frame} is inter-coded but the decoder's design has no inter config")
             }
+            CodecError::PartialDecodeUnsupported => {
+                write!(f, "partial (brick) decode requested on a frame kind without a brick index")
+            }
         }
     }
 }
@@ -133,7 +140,9 @@ impl std::error::Error for CodecError {
             CodecError::Baseline(e) => Some(e),
             CodecError::Intra(e) => Some(e),
             CodecError::Inter(e) => Some(e),
-            CodecError::MissingReference { .. } | CodecError::MissingInterConfig { .. } => None,
+            CodecError::MissingReference { .. }
+            | CodecError::MissingInterConfig { .. }
+            | CodecError::PartialDecodeUnsupported => None,
         }
     }
 }
@@ -168,6 +177,10 @@ impl From<CodecError> for pcc_types::DecodeError {
             CodecError::MissingInterConfig { frame } => {
                 pcc_types::DecodeError::MissingInterConfig { frame }
             }
+            CodecError::PartialDecodeUnsupported => pcc_types::DecodeError::Corrupt {
+                what: "partial decode on a frame kind without a brick index",
+                offset: 0,
+            },
         }
     }
 }
@@ -615,6 +628,80 @@ impl<'d> FrameDecoder<'d> {
         };
         Ok((vox.to_cloud(), device.take_timeline()))
     }
+
+    /// Partially decodes an intra frame to the bricks intersecting
+    /// `viewport` (world space). A viewer pointed at part of the scene
+    /// decodes only the payload bytes its viewport sees.
+    ///
+    /// Stateless: the decoder's frame index and reference state are
+    /// untouched — a partial frame must never become the reference a
+    /// P-frame decodes against. Monolithic intra frames (the golden
+    /// compatibility mode) carry no brick index, so they fall back to a
+    /// full decode: correct output, none of the bandwidth win.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::PartialDecodeUnsupported`] for non-intra
+    /// frames, or the underlying [`CodecError::Intra`] on damage.
+    pub fn decode_viewport(
+        &self,
+        frame: &EncodedFrame,
+        viewport: &Aabb,
+    ) -> Result<(PointCloud, Timeline), CodecError> {
+        let EncodedFrame::Intra(f) = frame else {
+            return Err(CodecError::PartialDecodeUnsupported);
+        };
+        let cfg = self.inter_config.map(|c| c.intra).unwrap_or_default();
+        let codec = IntraCodec::new(cfg);
+        let vox = if pcc_intra::BrickIndex::detect(&f.geometry) {
+            codec.decode_viewport(f, self.device, &self.limits, viewport)?
+        } else {
+            codec.decode_with_limits(f, self.device, &self.limits)?
+        };
+        Ok((vox.to_cloud(), self.device.take_timeline()))
+    }
+
+    /// Tries to salvage a damaged brick-partitioned intra frame: decodes
+    /// every brick that survives its CRC and returns the partial cloud
+    /// with its loss accounting.
+    ///
+    /// Returns `None` when the frame is not a brick intra frame, its
+    /// index is unusable, or no brick survived. Stateless like
+    /// [`decode_viewport`](Self::decode_viewport): a salvaged frame is
+    /// delivered to the viewer but never becomes reference state.
+    pub fn salvage_intra(&self, frame: &EncodedFrame) -> Option<SalvagedIntra> {
+        let EncodedFrame::Intra(f) = frame else { return None };
+        if !pcc_intra::BrickIndex::detect(&f.geometry) {
+            return None;
+        }
+        let cfg = self.inter_config.map(|c| c.intra).unwrap_or_default();
+        let s = IntraCodec::new(cfg).decode_bricks_lossy(f, self.device, &self.limits).ok()?;
+        let timeline = self.device.take_timeline();
+        if s.bricks_total > 0 && s.bricks_dropped >= s.bricks_total {
+            return None;
+        }
+        Some(SalvagedIntra {
+            cloud: s.cloud.to_cloud(),
+            bricks_dropped: s.bricks_dropped,
+            bricks_total: s.bricks_total,
+            timeline,
+        })
+    }
+}
+
+/// The result of [`FrameDecoder::salvage_intra`]: the partial picture a
+/// damaged brick frame still yields, plus its loss ledger.
+#[derive(Debug, Clone)]
+pub struct SalvagedIntra {
+    /// The surviving bricks' points, in cell order (bit-identical to the
+    /// corresponding subset of a clean decode).
+    pub cloud: PointCloud,
+    /// Bricks discarded because their payload failed its CRC or parse.
+    pub bricks_dropped: usize,
+    /// Bricks the frame's index declared.
+    pub bricks_total: usize,
+    /// Modeled decode timeline of the salvage pass.
+    pub timeline: Timeline,
 }
 
 #[cfg(test)]
@@ -622,6 +709,7 @@ mod tests {
     use super::*;
     use pcc_datasets::catalog;
     use pcc_edge::PowerMode;
+    use pcc_types::Point3;
 
     fn device() -> Device {
         Device::jetson_agx_xavier(PowerMode::W15)
@@ -901,6 +989,91 @@ mod tests {
         enc.skip_frame();
         let (encoded, _) = enc.encode_frame(&video.frame(4).unwrap().cloud);
         assert_eq!(encoded.kind(), FrameKind::Intra, "P-slot must fall back to intra");
+    }
+
+    #[test]
+    fn viewport_decode_returns_a_subset_and_leaves_state_alone() {
+        let video = tiny_video();
+        let d = device();
+        let brick_cfg = pcc_inter::InterConfig {
+            intra: pcc_intra::IntraConfig::default().with_bricks(2),
+            ..pcc_inter::InterConfig::v1()
+        };
+        let codec = PccCodec::with_inter_config(brick_cfg);
+        let enc = codec.encode_video(&video, 7, &d);
+        let mut dec = codec.frame_decoder(&d);
+        let (full, _) = dec.decode_frame(&enc.frames[0]).unwrap();
+        assert!(dec.has_reference());
+
+        let bb = video.bounding_box().unwrap();
+        let viewport = Aabb::new(bb.min(), bb.center());
+        let (partial, _) = dec.decode_viewport(&enc.frames[0], &viewport).unwrap();
+        assert!(!partial.is_empty() && partial.len() < full.len());
+        // Every partial point exists in the full decode.
+        let full_set: std::collections::HashSet<_> =
+            full.iter().map(|(p, c)| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits(), c)).collect();
+        for (p, c) in partial.iter() {
+            assert!(full_set.contains(&(p.x.to_bits(), p.y.to_bits(), p.z.to_bits(), c)));
+        }
+        // Stateless: the next P-frame still decodes against frame 0.
+        assert_eq!(dec.next_index(), 1);
+        dec.decode_frame(&enc.frames[1]).unwrap();
+    }
+
+    #[test]
+    fn viewport_decode_on_monolithic_frames_falls_back_to_full() {
+        let video = tiny_video();
+        let d = device();
+        let codec = PccCodec::new(Design::IntraOnly);
+        let enc = codec.encode_video(&video, 7, &d);
+        let mut dec = codec.frame_decoder(&d);
+        let (full, _) = dec.decode_frame(&enc.frames[0]).unwrap();
+        let tiny = Aabb::new(Point3::ORIGIN, Point3::new(0.1, 0.1, 0.1));
+        let (got, _) = dec.decode_viewport(&enc.frames[0], &tiny).unwrap();
+        assert_eq!(got, full, "compatibility mode has no partial decode");
+    }
+
+    #[test]
+    fn viewport_decode_rejects_non_intra_frames() {
+        let video = tiny_video();
+        let d = device();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let enc = codec.encode_video(&video, 7, &d);
+        let p = enc.frames.iter().find(|f| matches!(f, EncodedFrame::Inter(_))).unwrap();
+        let dec = codec.frame_decoder(&d);
+        let bb = video.bounding_box().unwrap();
+        let err = dec.decode_viewport(p, &bb).unwrap_err();
+        assert!(matches!(err, CodecError::PartialDecodeUnsupported), "got {err}");
+    }
+
+    #[test]
+    fn salvage_recovers_all_but_the_damaged_brick() {
+        let video = tiny_video();
+        let d = device();
+        let brick_cfg = pcc_inter::InterConfig {
+            intra: pcc_intra::IntraConfig::default().with_bricks(2),
+            ..pcc_inter::InterConfig::v1()
+        };
+        let codec = PccCodec::with_inter_config(brick_cfg);
+        let enc = codec.encode_video(&video, 7, &d);
+        let mut dec = codec.frame_decoder(&d);
+        let (full, _) = dec.decode_frame(&enc.frames[0]).unwrap();
+
+        let EncodedFrame::Intra(f) = &enc.frames[0] else { panic!("frame 0 is intra") };
+        let mut damaged = f.clone();
+        let last = damaged.geometry.len() - 1;
+        damaged.geometry[last] ^= 0xFF; // payload byte: index survives
+        let damaged = EncodedFrame::Intra(damaged);
+        assert!(matches!(dec.decode_frame(&damaged), Err(CodecError::Intra(_))));
+
+        let s = dec.salvage_intra(&damaged).expect("salvageable");
+        assert_eq!(s.bricks_dropped, 1);
+        assert!(s.bricks_total > 1);
+        assert!(!s.cloud.is_empty() && s.cloud.len() < full.len());
+        // Monolithic damage has no per-brick accounting to salvage.
+        let mono = PccCodec::new(Design::IntraOnly);
+        let mono_enc = mono.encode_video(&video, 7, &d);
+        assert!(mono.frame_decoder(&d).salvage_intra(&mono_enc.frames[0]).is_none());
     }
 
     #[test]

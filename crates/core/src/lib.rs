@@ -47,7 +47,9 @@ mod eval;
 pub mod rate;
 mod report;
 
-pub use codec::{CodecError, EncodedFrame, EncodedVideo, FrameDecoder, FrameEncoder, PccCodec};
+pub use codec::{
+    CodecError, EncodedFrame, EncodedVideo, FrameDecoder, FrameEncoder, PccCodec, SalvagedIntra,
+};
 pub use design::Design;
 pub use eval::{evaluate, EvalOptions};
 pub use report::{DesignReport, FrameReport};

@@ -67,6 +67,33 @@ pub struct AttributeScratch {
     pub(crate) outer_bytes: Vec<u8>,
 }
 
+/// Reusable buffers for the brick encoder
+/// ([`crate::brick`]): per-frame brick boundaries, per-brick relative
+/// codes and payload staging, and the index under assembly. Like every
+/// other arena, the buffers grow to the working-set size and then stick,
+/// so steady-state brick encoding allocates nothing new per frame on the
+/// entropy-off path.
+#[derive(Debug, Default)]
+pub struct BrickScratch {
+    /// Per-brick attribute pipeline buffers (the frame-level
+    /// [`AttributeScratch`] holds the gathered colors; this one is
+    /// re-segmented per brick).
+    pub(crate) attr: AttributeScratch,
+    /// Brick boundaries into the sorted leaf codes (`bricks + 1` cuts).
+    pub(crate) starts: Vec<u32>,
+    /// One brick's leaf codes relative to its bounding cell.
+    pub(crate) rel_codes: Vec<MortonCode>,
+    /// One brick's serialized geometry payload.
+    pub(crate) geom_buf: Vec<u8>,
+    /// One brick's serialized attribute payload.
+    pub(crate) attr_buf: Vec<u8>,
+    /// Concatenated per-brick geometry payloads (appended to the frame
+    /// stream after the index).
+    pub(crate) geom_blob: Vec<u8>,
+    /// Index entries under assembly (cell, lengths, leaf count, CRC).
+    pub(crate) entries: Vec<crate::brick::EncodedEntry>,
+}
+
 /// All per-frame scratch for one intra (or inter base) encode session.
 ///
 /// Construct once per encoder, pass to
@@ -80,6 +107,9 @@ pub struct FrameArena {
     pub(crate) geo: GeometryEncoded,
     /// Attribute-pipeline buffers.
     pub(crate) attr: AttributeScratch,
+    /// Brick-pipeline buffers (used only when
+    /// [`crate::IntraConfig::brick_depth`] is non-zero).
+    pub(crate) brick: BrickScratch,
 }
 
 impl FrameArena {

@@ -47,7 +47,6 @@ pub fn encode_in(
 ) {
     let n = cloud.len();
     let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
-    let q = config.quant_step();
 
     // 1. Gather colors into Morton order through the geometry permutation,
     //    averaging duplicates per voxel. Chunk boundaries are aligned to
@@ -62,12 +61,30 @@ pub fn encode_in(
     );
     device.charge_gpu("attribute/gather", &calib::GATHER, n.max(1));
 
-    // 2-3. Segment + per-segment median (base), chunk-parallel per
-    //       segment group, quantized by the batched kernel.
-    let m = scratch.voxel_colors.len();
-    let segments = config.segments_for(m);
+    // 2-4. Segment + two-layer base/residual coding + packing over the
+    //      gathered colors (shared with the per-brick encoder).
     scratch.values.clear();
     scratch.values.extend(scratch.voxel_colors.iter().map(|c| c.to_i32()));
+    encode_values_in(config, device, threads, scratch, payload);
+    pcc_probe::add_bytes("intra/attribute", payload.len() as u64);
+}
+
+/// Steps 2–4 of the attribute pipeline over `scratch.values` (3-channel
+/// i32 triples in sorted-voxel order): segmentation, per-segment median
+/// bases, quantized residuals, the optional second layer, payload
+/// packing, and the optional entropy wrap. The monolithic encoder runs
+/// it once per frame over every voxel; the brick encoder runs it once
+/// per brick over that brick's slice — same bytes for the same values.
+pub(crate) fn encode_values_in(
+    config: &IntraConfig,
+    device: &Device,
+    threads: NonZeroUsize,
+    scratch: &mut AttributeScratch,
+    payload: &mut Vec<u8>,
+) {
+    let q = config.quant_step();
+    let m = scratch.values.len();
+    let segments = config.segments_for(m);
     segment_starts_into(m, segments, &mut scratch.starts);
     encode_layer_with_starts_into(
         &scratch.values,
@@ -81,8 +98,8 @@ pub fn encode_in(
     device.charge_gpu("attribute/median", &calib::SEGMENT_MEDIAN, m.max(1));
     device.charge_gpu("attribute/delta", &calib::DELTA_QUANT, m.max(1));
 
-    // 4. Optional second layer: re-encode the residual stream as new
-    //    attributes (lossless inner layer).
+    // Optional second layer: re-encode the residual stream as new
+    // attributes (lossless inner layer).
     payload.clear();
     payload.push(config.two_layer as u8);
     if config.two_layer {
@@ -117,7 +134,6 @@ pub fn encode_in(
         payload.extend_from_slice(&wrapped);
         device.charge_gpu("attribute/entropy", &calib::ENTROPY_GPU, payload.len());
     }
-    pcc_probe::add_bytes("intra/attribute", payload.len() as u64);
 }
 
 /// Decodes an attribute payload back to per-voxel colors (Morton order,
@@ -149,13 +165,28 @@ pub fn decode_with(
     device: &Device,
     limits: &pcc_types::Limits,
 ) -> Result<Vec<Rgb>, pcc_entropy::Error> {
+    let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
+    let colors = decode_payload(payload, config, threads, limits)?;
+    device.charge_gpu("attribute_decode", &calib::ATTR_DECODE, colors.len().max(1));
+    Ok(colors)
+}
+
+/// The device-free core of [`decode_with`]: unwrap, layer decode, and
+/// clamp at an explicit thread count, charging nothing. The brick
+/// decoder runs this once per brick — possibly from a worker thread —
+/// and charges the device model once for the merged frame.
+pub(crate) fn decode_payload(
+    payload: &[u8],
+    config: &IntraConfig,
+    threads: NonZeroUsize,
+    limits: &pcc_types::Limits,
+) -> Result<Vec<Rgb>, pcc_entropy::Error> {
     let owned;
     let mut input = payload;
     if config.entropy {
         owned = entropy_unwrap(payload, limits)?;
         input = &owned;
     }
-    let threads = pcc_parallel::resolve(config.threads.or(device.configured_host_threads()));
     let (&two_layer, mut rest) = input.split_first().ok_or(pcc_entropy::Error::UnexpectedEnd)?;
     let values = if two_layer != 0 {
         let outer_len = varint::read_u64(&mut rest)? as usize;
@@ -168,7 +199,6 @@ pub fn decode_with(
     } else {
         decode_layer_threaded(&LayerEncoded::from_bytes_with(rest, limits)?, threads)
     };
-    device.charge_gpu("attribute_decode", &calib::ATTR_DECODE, values.len().max(1));
     Ok(values.into_iter().map(Rgb::from_i32_clamped).collect())
 }
 

@@ -1,0 +1,984 @@
+//! Brick-partitioned intra frames: fixed-depth subtree partitions of the
+//! octree, each carrying its own geometry + attribute payload behind a
+//! CRC-guarded per-frame index.
+//!
+//! # Wire layout (geometry stream, version 1)
+//!
+//! ```text
+//! [0xB7 magic][version u8][depth u8][origin 3×f32 LE][voxel f32 LE]
+//! [brick_depth u8][varint brick_count]
+//! brick_count × [varint cell][varint geom_len][varint attr_len]
+//!               [varint leaf_count][u32 LE brick_crc]
+//! [u32 LE index_crc]               ← CRC-32 of every byte above
+//! [geom payload 0][geom payload 1]…
+//! ```
+//!
+//! The attribute stream is the matching concatenation of per-brick
+//! attribute payloads (each in the standard layered format), with no
+//! framing of its own — the index carries both length columns. A brick's
+//! `cell` is its Morton code at `brick_depth`; cells are strictly
+//! ascending, and each payload codes the subtree below that cell at
+//! `depth - brick_depth` levels with cell-relative coordinates. Because
+//! the frame's leaf codes are Morton-sorted, bricks are contiguous runs,
+//! so the concatenation of per-brick decodes — any subset, in cell
+//! order — is exactly the corresponding subset of a full decode.
+//!
+//! `brick_crc` covers that brick's geometry ++ attribute payload;
+//! `index_crc` covers the header and index. Together they make three
+//! decode modes safe: *strict* (any damage fails the frame), *partial*
+//! (decode only bricks whose bounding cell intersects a viewport), and
+//! *lossy* (skip bricks that fail their CRC or parse, keep the rest —
+//! one damaged brick costs one subtree, not the frame).
+//!
+//! With entropy coding enabled, each per-brick payload is range-coded
+//! individually; the header and index always stay plain so the index is
+//! readable without touching any payload.
+//!
+//! The monolithic layout (first stream byte = grid depth, at most 21)
+//! remains the golden-pinned compatibility mode; `0xB7` never collides
+//! with it on the entropy-off path, so [`BrickIndex::detect`] routes
+//! frames per stream. See `IntraConfig::brick_depth` for the encode-side
+//! knob and the entropy-on contract.
+
+use crate::arena::FrameArena;
+use crate::attribute;
+use crate::config::IntraConfig;
+use crate::frame::IntraFrame;
+use crate::geometry;
+use pcc_edge::{calib, Device};
+use pcc_entropy::varint;
+use pcc_morton::MortonCode;
+use pcc_types::crc::{crc32, Crc32};
+use pcc_types::{Aabb, Limits, Point3, Rgb, VoxelCoord, VoxelizedCloud};
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// First byte of a brick-partitioned geometry stream. Monolithic streams
+/// start with the grid depth (1..=21), so the magic is unambiguous
+/// whenever the stream head is not entropy-coded — which it never is in
+/// the brick layout.
+pub const BRICK_MAGIC: u8 = 0xB7;
+
+/// Wire version of the brick layout this build reads and writes.
+pub const BRICK_VERSION: u8 = 1;
+
+/// Errors produced while parsing or decoding a brick-partitioned frame.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BrickError {
+    /// The stream does not start with [`BRICK_MAGIC`].
+    BadMagic,
+    /// The stream declares a wire version this build does not read.
+    BadVersion(u8),
+    /// A structural invariant of the header or index is violated.
+    BadIndex(&'static str),
+    /// The index checksum does not match its bytes.
+    IndexCrc,
+    /// One brick's payload checksum does not match its bytes.
+    BrickCrc {
+        /// Index of the failing brick.
+        brick: usize,
+    },
+    /// A brick decoded a different leaf count than its index entry
+    /// declared.
+    LeafMismatch {
+        /// Index of the failing brick.
+        brick: usize,
+        /// Leaf count the index declared.
+        declared: usize,
+        /// Leaf count the payload decoded.
+        decoded: usize,
+    },
+    /// A brick's geometry and attribute payloads disagree on the voxel
+    /// count.
+    CountMismatch {
+        /// Index of the failing brick.
+        brick: usize,
+        /// Voxels decoded from geometry.
+        geometry: usize,
+        /// Colors decoded from attributes.
+        attribute: usize,
+    },
+    /// A brick's geometry payload is malformed.
+    Geometry(pcc_octree::StreamError),
+    /// A brick's attribute payload is malformed.
+    Attribute(pcc_entropy::Error),
+    /// A resource limit was exceeded.
+    LimitExceeded(pcc_types::LimitExceeded),
+}
+
+impl fmt::Display for BrickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrickError::BadMagic => write!(f, "not a brick stream (bad magic)"),
+            BrickError::BadVersion(v) => write!(f, "unsupported brick wire version {v}"),
+            BrickError::BadIndex(what) => write!(f, "malformed brick index: {what}"),
+            BrickError::IndexCrc => write!(f, "brick index failed its CRC"),
+            BrickError::BrickCrc { brick } => write!(f, "brick {brick} failed its CRC"),
+            BrickError::LeafMismatch { brick, declared, decoded } => write!(
+                f,
+                "brick {brick} declared {declared} leaves but decoded {decoded}"
+            ),
+            BrickError::CountMismatch { brick, geometry, attribute } => write!(
+                f,
+                "brick {brick} decodes {geometry} voxels but carries {attribute} colors"
+            ),
+            BrickError::Geometry(e) => write!(f, "brick geometry payload error: {e}"),
+            BrickError::Attribute(e) => write!(f, "brick attribute payload error: {e}"),
+            BrickError::LimitExceeded(e) => write!(f, "brick limit exceeded: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BrickError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrickError::Geometry(e) => Some(e),
+            BrickError::Attribute(e) => Some(e),
+            BrickError::LimitExceeded(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pcc_types::LimitExceeded> for BrickError {
+    fn from(e: pcc_types::LimitExceeded) -> Self {
+        BrickError::LimitExceeded(e)
+    }
+}
+
+/// One encoded index entry, staged in the arena while the frame
+/// assembles (the wire form is varints; this keeps the raw numbers).
+#[derive(Debug, Clone)]
+pub(crate) struct EncodedEntry {
+    pub(crate) cell: u64,
+    pub(crate) geom_len: u64,
+    pub(crate) attr_len: u64,
+    pub(crate) leaves: u64,
+    pub(crate) crc: u32,
+}
+
+/// One brick's row of the parsed per-frame index: where its payloads
+/// live, what they claim to hold, and the checksum that guards them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrickEntry {
+    /// Morton code of the brick's bounding cell at the cut depth.
+    pub cell: u64,
+    /// Byte range of the brick's geometry payload in the frame's
+    /// geometry stream (absolute offsets).
+    pub geom: Range<usize>,
+    /// Byte range of the brick's attribute payload in the frame's
+    /// attribute stream (absolute offsets).
+    pub attr: Range<usize>,
+    /// Unique voxels the brick decodes to.
+    pub leaf_count: usize,
+    /// CRC-32 over the brick's geometry ++ attribute payload bytes.
+    pub crc: u32,
+}
+
+impl BrickEntry {
+    /// Compressed bytes this brick contributes (geometry + attribute).
+    pub fn payload_bytes(&self) -> usize {
+        self.geom.len() + self.attr.len()
+    }
+}
+
+/// The parsed, CRC-verified per-frame brick index: grid metadata plus
+/// one [`BrickEntry`] per brick, in ascending cell order.
+///
+/// Parsing the index touches only the frame header — no payload bytes —
+/// which is what makes viewport-partial decode a bandwidth win: a viewer
+/// reads the index, intersects each brick's [`bounds`](Self::bounds)
+/// with its viewport, and decodes only the payload ranges it needs.
+#[derive(Debug, Clone)]
+pub struct BrickIndex {
+    /// Grid depth of the frame.
+    pub depth: u8,
+    /// World-space origin of the grid.
+    pub origin: [f32; 3],
+    /// World-space voxel side length.
+    pub voxel_size: f32,
+    /// Octree depth of the brick cut.
+    pub brick_depth: u8,
+    entries: Vec<BrickEntry>,
+}
+
+impl BrickIndex {
+    /// Whether `geometry` looks like a brick-partitioned stream (magic +
+    /// current version). Exact on the entropy-off path, where a
+    /// monolithic stream's first byte is a grid depth of at most 21.
+    pub fn detect(geometry: &[u8]) -> bool {
+        geometry.first() == Some(&BRICK_MAGIC) && geometry.get(1) == Some(&BRICK_VERSION)
+    }
+
+    /// Parses and CRC-verifies the header and index of a brick stream
+    /// under explicit resource [`Limits`] (`max_depth` for the grid,
+    /// `max_blocks` for the brick count, `max_points` for the summed
+    /// declared leaves).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BrickError`] on malformed input, a checksum mismatch,
+    /// or an exceeded limit.
+    pub fn parse(geometry: &[u8], limits: &Limits) -> Result<Self, BrickError> {
+        let (&magic, rest) =
+            geometry.split_first().ok_or(BrickError::BadIndex("empty stream"))?;
+        if magic != BRICK_MAGIC {
+            return Err(BrickError::BadMagic);
+        }
+        let (&version, rest) =
+            rest.split_first().ok_or(BrickError::BadIndex("truncated header"))?;
+        if version != BRICK_VERSION {
+            return Err(BrickError::BadVersion(version));
+        }
+        let (header, rest) = geometry::parse_header(rest).map_err(BrickError::Geometry)?;
+        if !(1..=21).contains(&header.depth) {
+            return Err(BrickError::BadIndex("grid depth out of range"));
+        }
+        limits.check_depth(header.depth)?;
+        let (&brick_depth, mut rest) =
+            rest.split_first().ok_or(BrickError::BadIndex("truncated header"))?;
+        if brick_depth == 0 || brick_depth >= header.depth {
+            return Err(BrickError::BadIndex("brick depth outside 1..grid depth"));
+        }
+        let count64 = read_index_varint(&mut rest)?;
+        limits.check_blocks(count64)?;
+        let count = usize::try_from(count64)
+            .map_err(|_| BrickError::BadIndex("brick count overflow"))?;
+
+        // brick_depth ≤ 20, so the cell space never exceeds 60 bits.
+        let cell_limit = 1u64 << (3 * u32::from(brick_depth));
+        // Every index entry costs at least 8 input bytes, so the input
+        // length bounds the pre-allocation even before limits bite.
+        let mut entries = Vec::with_capacity(count.min(rest.len() / 8));
+        let mut prev_cell = None;
+        let mut geom_off = 0usize;
+        let mut attr_off = 0usize;
+        let mut leaves = 0u64;
+        for _ in 0..count {
+            let cell = read_index_varint(&mut rest)?;
+            if cell >= cell_limit {
+                return Err(BrickError::BadIndex("cell outside the cut-depth grid"));
+            }
+            if prev_cell.is_some_and(|p| cell <= p) {
+                return Err(BrickError::BadIndex("cells not strictly ascending"));
+            }
+            prev_cell = Some(cell);
+            let geom_len = checked_len(read_index_varint(&mut rest)?)?;
+            let attr_len = checked_len(read_index_varint(&mut rest)?)?;
+            let leaf_count64 = read_index_varint(&mut rest)?;
+            leaves = leaves.saturating_add(leaf_count64);
+            limits.check_points(leaves)?;
+            let leaf_count = usize::try_from(leaf_count64)
+                .map_err(|_| BrickError::BadIndex("leaf count overflow"))?;
+            let (crc_bytes, tail) = rest
+                .split_first_chunk::<4>()
+                .ok_or(BrickError::BadIndex("truncated index entry"))?;
+            rest = tail;
+            let geom_end = geom_off
+                .checked_add(geom_len)
+                .ok_or(BrickError::BadIndex("geometry offset overflow"))?;
+            let attr_end = attr_off
+                .checked_add(attr_len)
+                .ok_or(BrickError::BadIndex("attribute offset overflow"))?;
+            entries.push(BrickEntry {
+                cell,
+                geom: geom_off..geom_end,
+                attr: attr_off..attr_end,
+                leaf_count,
+                crc: u32::from_le_bytes(*crc_bytes),
+            });
+            geom_off = geom_end;
+            attr_off = attr_end;
+        }
+
+        let hashed_len = geometry.len().saturating_sub(rest.len());
+        let (crc_bytes, rest) = rest
+            .split_first_chunk::<4>()
+            .ok_or(BrickError::BadIndex("truncated index CRC"))?;
+        let stored = u32::from_le_bytes(*crc_bytes);
+        let hashed = geometry.get(..hashed_len).unwrap_or_default();
+        if crc32(hashed) != stored {
+            return Err(BrickError::IndexCrc);
+        }
+        if geom_off != rest.len() {
+            return Err(BrickError::BadIndex("geometry payload length mismatch"));
+        }
+        // Rebase geometry ranges to absolute stream offsets now that the
+        // payload base (header + index + CRC) is known.
+        let base = geometry.len() - rest.len();
+        for e in &mut entries {
+            e.geom.start += base;
+            e.geom.end += base;
+        }
+        Ok(BrickIndex {
+            depth: header.depth,
+            origin: header.origin,
+            voxel_size: header.voxel_size,
+            brick_depth,
+            entries,
+        })
+    }
+
+    /// The per-brick index rows, in ascending cell order.
+    pub fn entries(&self) -> &[BrickEntry] {
+        &self.entries
+    }
+
+    /// Number of bricks in the frame.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frame holds no bricks (an empty cloud).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Levels below the brick cut (`depth - brick_depth`); each brick
+    /// spans `2^sub_depth` voxels per axis.
+    pub fn sub_depth(&self) -> u8 {
+        self.depth - self.brick_depth
+    }
+
+    /// The world-space bounding box of `entry`'s cell — the box a viewer
+    /// intersects with its viewport to decide whether to decode the
+    /// brick.
+    pub fn bounds(&self, entry: &BrickEntry) -> Aabb {
+        let cell = MortonCode::from_raw(entry.cell).to_coord();
+        let side = self.voxel_size * (1u64 << u32::from(self.sub_depth())) as f32;
+        let min = Point3::new(
+            self.origin[0] + cell.x as f32 * side,
+            self.origin[1] + cell.y as f32 * side,
+            self.origin[2] + cell.z as f32 * side,
+        );
+        Aabb::new(min, Point3::new(min.x + side, min.y + side, min.z + side))
+    }
+
+    /// Total compressed payload bytes across all bricks — the
+    /// denominator of the partial-decode bandwidth win.
+    pub fn total_payload_bytes(&self) -> usize {
+        self.entries.iter().map(BrickEntry::payload_bytes).sum()
+    }
+}
+
+/// The result of a lossy (salvage) decode: whatever bricks survived
+/// their checksums and parsed cleanly, plus the damage accounting.
+#[derive(Debug, Clone)]
+pub struct BrickSalvage {
+    /// The partial frame, concatenated from surviving bricks in cell
+    /// order (exactly the corresponding subset of a clean full decode).
+    pub cloud: VoxelizedCloud,
+    /// Bricks skipped because their payload failed its CRC or parse.
+    pub bricks_dropped: usize,
+    /// Bricks the frame's index declared.
+    pub bricks_total: usize,
+}
+
+fn read_index_varint(input: &mut &[u8]) -> Result<u64, BrickError> {
+    varint::read_u64(input).map_err(|_| BrickError::BadIndex("truncated varint"))
+}
+
+fn checked_len(len: u64) -> Result<usize, BrickError> {
+    usize::try_from(len).map_err(|_| BrickError::BadIndex("payload length overflow"))
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+/// Encodes `cloud` into the brick layout at `brick_depth` (already
+/// clamped by the caller to `1..cloud.depth()`), writing into
+/// arena-owned buffers. Shares the Morton-product and color-gather
+/// stages with the monolithic path, then codes each brick's subtree and
+/// attribute slice independently.
+pub(crate) fn encode_in(
+    cloud: &VoxelizedCloud,
+    config: &IntraConfig,
+    brick_depth: u8,
+    device: &Device,
+    threads: NonZeroUsize,
+    arena: &mut FrameArena,
+    out: &mut IntraFrame,
+) {
+    let depth = cloud.depth();
+    debug_assert!(brick_depth >= 1 && brick_depth < depth);
+    let sub = depth - brick_depth;
+    let shift = 3 * u32::from(sub);
+    let n = cloud.len();
+
+    geometry::morton_products_in(cloud, device, threads, &mut arena.geom, &mut arena.geo);
+    attribute::gather_voxel_colors_into(
+        cloud,
+        &arena.geo,
+        threads,
+        &mut arena.attr.sums,
+        &mut arena.attr.counts,
+        &mut arena.attr.voxel_colors,
+    );
+    device.charge_gpu("attribute/gather", &calib::GATHER, n.max(1));
+
+    let geo = &arena.geo;
+    let colors = &arena.attr.voxel_colors;
+    let geom_scratch = &mut arena.geom;
+    let bricks = &mut arena.brick;
+
+    // Brick boundaries: sorted leaf codes make each brick a contiguous
+    // run of codes sharing the top 3*brick_depth bits. The sentinel can
+    // never be a real cell (cells use at most 60 bits).
+    bricks.starts.clear();
+    let mut prev = u64::MAX;
+    for (i, c) in geo.leaf_codes.iter().enumerate() {
+        let cell = c.value() >> shift;
+        if cell != prev {
+            bricks.starts.push(i as u32);
+            prev = cell;
+        }
+    }
+    bricks.starts.push(geo.leaf_codes.len() as u32);
+
+    // Per-brick payloads. Each brick re-runs the octree + layer pipeline
+    // over its slice at one thread — stages are thread-count invariant,
+    // so the frame bytes stay deterministic, and the parallel win is
+    // spent on the decode side where the paper's budget is tight.
+    let starts = std::mem::take(&mut bricks.starts);
+    bricks.geom_blob.clear();
+    bricks.entries.clear();
+    out.attribute.clear();
+    let one = NonZeroUsize::MIN;
+    let mask = (1u64 << shift) - 1;
+    let mut nodes = 0usize;
+    for (&s, &e) in starts.iter().zip(starts.iter().skip(1)) {
+        let (s, e) = (s as usize, e as usize);
+        let Some(codes) = geo.leaf_codes.get(s..e) else { continue };
+        let Some(first) = codes.first() else { continue };
+        let cell = first.value() >> shift;
+
+        bricks.rel_codes.clear();
+        bricks.rel_codes.extend(codes.iter().map(|c| MortonCode::from_raw(c.value() & mask)));
+        geom_scratch.tree.rebuild_from_sorted_codes(&bricks.rel_codes, sub, one);
+        geom_scratch.tree.occupancy_into(one, &mut geom_scratch.occupancy);
+        nodes += geom_scratch.tree.node_count();
+        bricks.geom_buf.clear();
+        pcc_octree::serialize_occupancy_into(
+            sub,
+            geom_scratch.tree.leaf_count(),
+            &geom_scratch.occupancy,
+            &mut bricks.geom_buf,
+        );
+        if config.entropy {
+            let wrapped = geometry::entropy_wrap(&bricks.geom_buf);
+            bricks.geom_buf.clear();
+            bricks.geom_buf.extend_from_slice(&wrapped);
+        }
+
+        bricks.attr.values.clear();
+        if let Some(slice) = colors.get(s..e) {
+            bricks.attr.values.extend(slice.iter().map(|c| c.to_i32()));
+        }
+        attribute::encode_values_in(config, device, one, &mut bricks.attr, &mut bricks.attr_buf);
+
+        let mut crc = Crc32::new();
+        crc.update(&bricks.geom_buf);
+        crc.update(&bricks.attr_buf);
+        bricks.entries.push(EncodedEntry {
+            cell,
+            geom_len: bricks.geom_buf.len() as u64,
+            attr_len: bricks.attr_buf.len() as u64,
+            leaves: codes.len() as u64,
+            crc: crc.finish(),
+        });
+        bricks.geom_blob.extend_from_slice(&bricks.geom_buf);
+        out.attribute.extend_from_slice(&bricks.attr_buf);
+    }
+    bricks.starts = starts;
+    device.charge_gpu("geometry/octree", &calib::OCTREE_BUILD, nodes.max(1));
+    device.charge_gpu("geometry/occupy", &calib::OCCUPY_POST, nodes.max(1));
+
+    // Frame assembly: header, index, index CRC, payload blob.
+    out.geometry.clear();
+    out.geometry.push(BRICK_MAGIC);
+    out.geometry.push(BRICK_VERSION);
+    geometry::write_header(cloud, &mut out.geometry);
+    out.geometry.push(brick_depth);
+    varint::write_u64(&mut out.geometry, bricks.entries.len() as u64);
+    for entry in &bricks.entries {
+        varint::write_u64(&mut out.geometry, entry.cell);
+        varint::write_u64(&mut out.geometry, entry.geom_len);
+        varint::write_u64(&mut out.geometry, entry.attr_len);
+        varint::write_u64(&mut out.geometry, entry.leaves);
+        out.geometry.extend_from_slice(&entry.crc.to_le_bytes());
+    }
+    let index_crc = crc32(&out.geometry);
+    out.geometry.extend_from_slice(&index_crc.to_le_bytes());
+    out.geometry.extend_from_slice(&bricks.geom_blob);
+    device.charge_gpu("geometry/pack", &calib::STREAM_PACK, n);
+    pcc_probe::add_bytes("intra/geometry", out.geometry.len() as u64);
+    pcc_probe::add_bytes("intra/attribute", out.attribute.len() as u64);
+
+    out.unique_voxels = geo.unique_voxels;
+    out.raw_points = n;
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+/// Strict full decode of a brick frame: every brick, parallel across
+/// `threads`, byte-identical output at any thread count.
+pub(crate) fn decode_full(
+    frame: &IntraFrame,
+    config: &IntraConfig,
+    device: &Device,
+    limits: &Limits,
+    threads: NonZeroUsize,
+) -> Result<VoxelizedCloud, BrickError> {
+    let index = BrickIndex::parse(&frame.geometry, limits)?;
+    check_attr_extent(&index, frame)?;
+    let selected: Vec<usize> = (0..index.len()).collect();
+    let (coords, colors, _) = decode_selected(frame, config, &index, &selected, limits, threads, false)?;
+    finish(&index, coords, colors, device)
+}
+
+/// Partial decode: only bricks `filter` accepts (given the entry and its
+/// world-space bounds). Strict per selected brick — a damaged selected
+/// brick fails the call.
+pub(crate) fn decode_filtered(
+    frame: &IntraFrame,
+    config: &IntraConfig,
+    device: &Device,
+    limits: &Limits,
+    threads: NonZeroUsize,
+    filter: &mut dyn FnMut(&BrickEntry, &Aabb) -> bool,
+) -> Result<VoxelizedCloud, BrickError> {
+    let index = BrickIndex::parse(&frame.geometry, limits)?;
+    check_attr_extent(&index, frame)?;
+    let mut selected = Vec::new();
+    for (i, entry) in index.entries().iter().enumerate() {
+        if filter(entry, &index.bounds(entry)) {
+            selected.push(i);
+        }
+    }
+    let (coords, colors, _) = decode_selected(frame, config, &index, &selected, limits, threads, false)?;
+    finish(&index, coords, colors, device)
+}
+
+/// Lossy decode: keep every brick that passes its CRC and parses,
+/// skip the rest. Fails only when the index itself is unusable.
+pub(crate) fn decode_lossy(
+    frame: &IntraFrame,
+    config: &IntraConfig,
+    device: &Device,
+    limits: &Limits,
+    threads: NonZeroUsize,
+) -> Result<BrickSalvage, BrickError> {
+    let index = BrickIndex::parse(&frame.geometry, limits)?;
+    let selected: Vec<usize> = (0..index.len()).collect();
+    let (coords, colors, dropped) =
+        decode_selected(frame, config, &index, &selected, limits, threads, true)?;
+    let cloud = finish(&index, coords, colors, device)?;
+    Ok(BrickSalvage { cloud, bricks_dropped: dropped, bricks_total: index.len() })
+}
+
+/// A strict decode requires the attribute stream to be exactly the
+/// concatenation the index declares — no trailing bytes hiding damage.
+fn check_attr_extent(index: &BrickIndex, frame: &IntraFrame) -> Result<(), BrickError> {
+    let declared = index.entries.last().map_or(0, |e| e.attr.end);
+    if declared != frame.attribute.len() {
+        return Err(BrickError::BadIndex("attribute payload length mismatch"));
+    }
+    Ok(())
+}
+
+/// Decodes the selected bricks, fanning out across threads by index
+/// ranges (deterministic merge in cell order). In lossy mode a failing
+/// brick is counted and skipped; otherwise its error aborts the decode.
+fn decode_selected(
+    frame: &IntraFrame,
+    config: &IntraConfig,
+    index: &BrickIndex,
+    selected: &[usize],
+    limits: &Limits,
+    threads: NonZeroUsize,
+    lossy: bool,
+) -> Result<(Vec<VoxelCoord>, Vec<Rgb>, usize), BrickError> {
+    let total: usize = selected
+        .iter()
+        .filter_map(|&i| index.entries.get(i))
+        .map(|e| e.leaf_count)
+        .sum();
+    let decode_range = |range: Range<usize>| -> Result<(Vec<VoxelCoord>, Vec<Rgb>, usize), BrickError> {
+        let mut coords = Vec::new();
+        let mut colors = Vec::new();
+        let mut dropped = 0usize;
+        for &bi in selected.get(range).unwrap_or_default() {
+            let Some(entry) = index.entries.get(bi) else { continue };
+            match decode_one(frame, config, index, bi, entry, limits) {
+                Ok((c, k)) => {
+                    coords.extend_from_slice(&c);
+                    colors.extend_from_slice(&k);
+                }
+                Err(_) if lossy => dropped += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((coords, colors, dropped))
+    };
+
+    let fan = pcc_parallel::effective_threads(threads, total).min(selected.len().max(1));
+    if fan <= 1 {
+        return decode_range(0..selected.len());
+    }
+    let ranges = pcc_parallel::chunk_ranges(selected.len(), fan);
+    let parts = pcc_parallel::scope_map(&ranges, |_, range| decode_range(range));
+    let mut coords = Vec::with_capacity(total);
+    let mut colors = Vec::with_capacity(total);
+    let mut dropped = 0usize;
+    for part in parts {
+        let (c, k, d) = part?;
+        coords.extend_from_slice(&c);
+        colors.extend_from_slice(&k);
+        dropped += d;
+    }
+    Ok((coords, colors, dropped))
+}
+
+/// Decodes one brick: CRC gate, occupancy expansion at the sub-tree
+/// depth, cell-relative → absolute coordinates, then the attribute
+/// layers. Runs single-threaded — brick-level fan-out already saturates
+/// the host.
+fn decode_one(
+    frame: &IntraFrame,
+    config: &IntraConfig,
+    index: &BrickIndex,
+    bi: usize,
+    entry: &BrickEntry,
+    limits: &Limits,
+) -> Result<(Vec<VoxelCoord>, Vec<Rgb>), BrickError> {
+    let geom = frame
+        .geometry
+        .get(entry.geom.clone())
+        .ok_or(BrickError::BadIndex("geometry range outside stream"))?;
+    let attr = frame
+        .attribute
+        .get(entry.attr.clone())
+        .ok_or(BrickError::BadIndex("attribute range outside stream"))?;
+    let mut crc = Crc32::new();
+    crc.update(geom);
+    crc.update(attr);
+    if crc.finish() != entry.crc {
+        return Err(BrickError::BrickCrc { brick: bi });
+    }
+
+    let owned;
+    let mut gin = geom;
+    if config.entropy {
+        owned = geometry::entropy_unwrap(geom, limits).map_err(BrickError::Geometry)?;
+        gin = &owned;
+    }
+    let rel = pcc_octree::decode_occupancy_with(gin, limits).map_err(BrickError::Geometry)?;
+    if rel.len() != entry.leaf_count {
+        return Err(BrickError::LeafMismatch {
+            brick: bi,
+            declared: entry.leaf_count,
+            decoded: rel.len(),
+        });
+    }
+    let sub = u32::from(index.sub_depth());
+    let cell = MortonCode::from_raw(entry.cell).to_coord();
+    let (bx, by, bz) = (cell.x << sub, cell.y << sub, cell.z << sub);
+    let mut coords = Vec::with_capacity(rel.len());
+    for rc in rel {
+        // A forged (CRC-valid) payload could claim a deeper subtree than
+        // the cut allows; keep every leaf inside its bounding cell.
+        if (rc.x | rc.y | rc.z) >> sub != 0 {
+            return Err(BrickError::BadIndex("leaf outside its bounding cell"));
+        }
+        coords.push(VoxelCoord::new(bx | rc.x, by | rc.y, bz | rc.z));
+    }
+
+    let colors = attribute::decode_payload(attr, config, NonZeroUsize::MIN, limits)
+        .map_err(BrickError::Attribute)?;
+    if colors.len() != coords.len() {
+        return Err(BrickError::CountMismatch {
+            brick: bi,
+            geometry: coords.len(),
+            attribute: colors.len(),
+        });
+    }
+    Ok((coords, colors))
+}
+
+/// Charges the decode stages once for the merged frame and restores the
+/// world frame (same failure mapping as the monolithic path).
+fn finish(
+    index: &BrickIndex,
+    coords: Vec<VoxelCoord>,
+    colors: Vec<Rgb>,
+    device: &Device,
+) -> Result<VoxelizedCloud, BrickError> {
+    device.charge_gpu("geometry_decode", &calib::GEOM_DECODE, coords.len().max(1));
+    device.charge_gpu("attribute_decode", &calib::ATTR_DECODE, colors.len().max(1));
+    let origin = Point3::new(index.origin[0], index.origin[1], index.origin[2]);
+    VoxelizedCloud::from_grid_with_frame(coords, colors, index.depth, origin, index.voxel_size)
+        .map_err(|_| BrickError::Geometry(pcc_octree::StreamError::Truncated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntraCodec;
+    use pcc_edge::PowerMode;
+    use pcc_types::PointCloud;
+
+    fn device() -> Device {
+        Device::jetson_agx_xavier(PowerMode::W15)
+    }
+
+    fn cloud(n: usize) -> VoxelizedCloud {
+        let pc: PointCloud = (0..n)
+            .map(|i| {
+                (
+                    Point3::new((i % 61) as f32, ((i / 61) % 47) as f32, (i / 2867) as f32),
+                    Rgb::new((i % 251) as u8, (i % 83) as u8, 200),
+                )
+            })
+            .collect();
+        VoxelizedCloud::from_cloud(&pc, 6)
+    }
+
+    fn brick_codec(brick_depth: u8) -> IntraCodec {
+        IntraCodec::new(IntraConfig::default().with_bricks(brick_depth).with_threads(1))
+    }
+
+    #[test]
+    fn brick_frame_round_trips_and_matches_monolithic_decode() {
+        // Lossless residuals: per-brick re-segmentation changes the
+        // segment medians, so only the zero-quantization operating point
+        // reconstructs bit-identical colors across layouts. Geometry is
+        // layout-invariant at any quantization (checked below).
+        let vox = cloud(2_000);
+        let d = device();
+        let mono = IntraCodec::new(IntraConfig::lossless().with_threads(1));
+        let brick = IntraCodec::new(IntraConfig::lossless().with_bricks(2).with_threads(1));
+        let mono_cloud = mono.decode(&mono.encode(&vox, &d), &d).unwrap();
+        let frame = brick.encode(&vox, &d);
+        assert!(BrickIndex::detect(&frame.geometry));
+        let brick_cloud = brick.decode(&frame, &d).unwrap();
+        // Same voxels, same colors, same order (both Morton-sorted).
+        assert_eq!(brick_cloud, mono_cloud);
+        // And a brick_depth: 0 receiver auto-detects the layout.
+        assert_eq!(mono.decode(&frame, &d).unwrap(), mono_cloud);
+        // At the paper's lossy quantization, geometry stays layout-invariant.
+        let lossy_mono = IntraCodec::new(IntraConfig::default().with_threads(1));
+        let lossy_brick = brick_codec(2);
+        let a = lossy_mono.decode(&lossy_mono.encode(&vox, &d), &d).unwrap();
+        let b = lossy_brick.decode(&lossy_brick.encode(&vox, &d), &d).unwrap();
+        assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn index_reports_every_brick_and_full_payload_extent() {
+        let vox = cloud(2_000);
+        let d = device();
+        let codec = brick_codec(2);
+        let frame = codec.encode(&vox, &d);
+        let index = BrickIndex::parse(&frame.geometry, &Limits::default()).unwrap();
+        assert!(index.len() > 1, "expected a multi-brick frame, got {}", index.len());
+        assert_eq!(index.brick_depth, 2);
+        let leaves: usize = index.entries().iter().map(|e| e.leaf_count).sum();
+        assert_eq!(leaves, frame.unique_voxels);
+        let attr_total: usize = index.entries().iter().map(|e| e.attr.len()).sum();
+        assert_eq!(attr_total, frame.attribute.len());
+        // Cells ascend and bounds lie inside the grid box.
+        let grid = vox.grid_box();
+        for pair in index.entries().windows(2) {
+            assert!(pair[0].cell < pair[1].cell);
+        }
+        for e in index.entries() {
+            let b = index.bounds(e);
+            assert!(grid.intersects(&b), "brick box {b:?} outside grid {grid:?}");
+        }
+    }
+
+    #[test]
+    fn partial_decode_concatenation_equals_full_decode() {
+        let vox = cloud(3_000);
+        let d = device();
+        let codec = brick_codec(2);
+        let frame = codec.encode(&vox, &d);
+        let full = codec.decode(&frame, &d).unwrap();
+        let index = codec.brick_index(&frame, &Limits::default()).unwrap();
+
+        let mut coords = Vec::new();
+        let mut colors = Vec::new();
+        for i in 0..index.len() {
+            let one = codec
+                .decode_bricks(&frame, &d, &Limits::default(), |e, _| {
+                    index.entries().get(i).is_some_and(|want| want.cell == e.cell)
+                })
+                .unwrap();
+            coords.extend_from_slice(one.coords());
+            colors.extend_from_slice(one.colors());
+        }
+        assert_eq!(coords, full.coords());
+        assert_eq!(colors, full.colors());
+    }
+
+    #[test]
+    fn viewport_decode_returns_exactly_the_intersecting_bricks() {
+        let vox = cloud(3_000);
+        let d = device();
+        let codec = brick_codec(2);
+        let frame = codec.encode(&vox, &d);
+        let full = codec.decode(&frame, &d).unwrap();
+        let index = codec.brick_index(&frame, &Limits::default()).unwrap();
+        let viewport = Aabb::new(Point3::ORIGIN, Point3::new(20.0, 20.0, 4.0));
+
+        let partial = codec
+            .decode_bricks(&frame, &d, &Limits::default(), |_, bounds| {
+                bounds.intersects(&viewport)
+            })
+            .unwrap();
+        assert!(!partial.is_empty() && partial.len() < full.len());
+
+        // Expected subset: the full decode filtered by brick-cell membership.
+        let sub = u32::from(index.sub_depth());
+        let keep: std::collections::BTreeSet<u64> = index
+            .entries()
+            .iter()
+            .filter(|e| index.bounds(e).intersects(&viewport))
+            .map(|e| e.cell)
+            .collect();
+        let mut want_coords = Vec::new();
+        let mut want_colors = Vec::new();
+        for (c, k) in full.coords().iter().zip(full.colors()) {
+            if keep.contains(&(pcc_morton::encode(*c).value() >> (3 * sub))) {
+                want_coords.push(*c);
+                want_colors.push(*k);
+            }
+        }
+        assert_eq!(partial.coords(), want_coords.as_slice());
+        assert_eq!(partial.colors(), want_colors.as_slice());
+    }
+
+    #[test]
+    fn lossy_decode_drops_only_the_damaged_brick() {
+        let vox = cloud(3_000);
+        let d = device();
+        let codec = brick_codec(2);
+        let frame = codec.encode(&vox, &d);
+        let index = codec.brick_index(&frame, &Limits::default()).unwrap();
+        assert!(index.len() >= 3);
+        let victim = index.entries()[1].clone();
+
+        let mut damaged = frame.clone();
+        damaged.geometry[victim.geom.start] ^= 0xFF;
+        assert!(codec.decode(&damaged, &d).is_err(), "strict decode must reject damage");
+
+        let salvage = codec.decode_bricks_lossy(&damaged, &d, &Limits::default()).unwrap();
+        assert_eq!(salvage.bricks_dropped, 1);
+        assert_eq!(salvage.bricks_total, index.len());
+        let full = codec.decode(&frame, &d).unwrap();
+        assert_eq!(salvage.cloud.len(), full.len() - victim.leaf_count);
+        // Surviving bricks are bit-identical to the clean decode.
+        let sub = u32::from(index.sub_depth());
+        let mut want: Vec<(VoxelCoord, Rgb)> = full
+            .coords()
+            .iter()
+            .zip(full.colors())
+            .filter(|(c, _)| pcc_morton::encode(**c).value() >> (3 * sub) != victim.cell)
+            .map(|(c, k)| (*c, *k))
+            .collect();
+        let got: Vec<(VoxelCoord, Rgb)> = salvage
+            .cloud
+            .coords()
+            .iter()
+            .zip(salvage.cloud.colors())
+            .map(|(c, k)| (*c, *k))
+            .collect();
+        want.sort_by_key(|(c, _)| pcc_morton::encode(*c).value());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn index_corruption_is_total_loss_even_for_lossy_decode() {
+        let vox = cloud(1_000);
+        let d = device();
+        let codec = brick_codec(2);
+        let frame = codec.encode(&vox, &d);
+        // Flip a byte inside the index region (before any payload).
+        let mut damaged = frame.clone();
+        damaged.geometry[21] ^= 0x10;
+        assert!(matches!(
+            codec.decode_bricks_lossy(&damaged, &d, &Limits::default()),
+            Err(IntraError::Brick(_))
+        ));
+    }
+
+    use crate::IntraError;
+
+    #[test]
+    fn empty_cloud_encodes_zero_bricks() {
+        let vox = VoxelizedCloud::from_cloud(&PointCloud::new(), 6);
+        let d = device();
+        let codec = brick_codec(3);
+        let frame = codec.encode(&vox, &d);
+        let index = BrickIndex::parse(&frame.geometry, &Limits::strict()).unwrap();
+        assert!(index.is_empty());
+        assert!(frame.attribute.is_empty());
+        let dec = codec.decode(&frame, &d).unwrap();
+        assert!(dec.is_empty());
+        assert_eq!(dec.depth(), 6);
+    }
+
+    #[test]
+    fn shallow_grids_fall_back_to_monolithic() {
+        let pc: PointCloud =
+            [(Point3::ORIGIN, Rgb::BLACK), (Point3::new(1.0, 1.0, 1.0), Rgb::gray(9))]
+                .into_iter()
+                .collect();
+        let vox = VoxelizedCloud::from_cloud(&pc, 1);
+        let d = device();
+        let codec = brick_codec(4);
+        let frame = codec.encode(&vox, &d);
+        assert!(!BrickIndex::detect(&frame.geometry), "depth-1 grids cannot split");
+        assert_eq!(codec.decode(&frame, &d).unwrap().len(), frame.unique_voxels);
+    }
+
+    #[test]
+    fn oversized_brick_depth_clamps_to_depth_minus_one() {
+        let vox = cloud(500);
+        let d = device();
+        let clamped = brick_codec(17).encode(&vox, &d);
+        let explicit = brick_codec(5).encode(&vox, &d);
+        assert_eq!(clamped.geometry, explicit.geometry);
+        assert_eq!(clamped.attribute, explicit.attribute);
+    }
+
+    #[test]
+    fn entropy_bricks_round_trip() {
+        let vox = cloud(1_500);
+        let d = device();
+        let cfg = IntraConfig { entropy: true, ..IntraConfig::lossless() }
+            .with_bricks(2)
+            .with_threads(1);
+        let codec = IntraCodec::new(cfg);
+        let frame = codec.encode(&vox, &d);
+        let dec = codec.decode(&frame, &d).unwrap();
+        let mono_cfg = IntraConfig { entropy: true, ..IntraConfig::lossless() }.with_threads(1);
+        let mono = IntraCodec::new(mono_cfg);
+        let want = mono.decode(&mono.encode(&vox, &d), &d).unwrap();
+        assert_eq!(dec, want);
+    }
+
+    #[test]
+    fn strict_limits_still_admit_real_brick_frames() {
+        let vox = cloud(800);
+        let d = device();
+        let codec = brick_codec(2);
+        let frame = codec.encode(&vox, &d);
+        assert!(codec.decode_with_limits(&frame, &d, &Limits::strict()).is_ok());
+    }
+}

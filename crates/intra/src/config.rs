@@ -19,6 +19,20 @@ pub struct IntraConfig {
     pub two_layer: bool,
     /// Entropy-code the packed geometry and attribute payloads.
     pub entropy: bool,
+    /// Octree depth at which the frame is cut into **bricks** — fixed-depth
+    /// subtree partitions, each carrying its own geometry + attribute
+    /// payload behind a CRC-guarded per-frame index, so bricks decode in
+    /// parallel, a viewport decodes only the bricks it sees, and a corrupt
+    /// brick loses one subtree instead of the frame.
+    ///
+    /// `0` (the default) selects the original monolithic layout — the
+    /// golden-pinned compatibility mode. Non-zero values are clamped to
+    /// `1..=depth-1` at encode time; grids too shallow to split
+    /// (`depth < 2`) fall back to the monolithic layout. With entropy
+    /// coding off the decoder auto-detects the layout per frame, so a
+    /// `brick_depth: 0` receiver still decodes brick frames; with entropy
+    /// on the flag is part of the decode contract like `entropy` itself.
+    pub brick_depth: u8,
     /// Host threads for the parallel hot path (`None` = `PCC_THREADS`
     /// env var, then [`std::thread::available_parallelism`]). Encoded
     /// streams are byte-identical at every thread count.
@@ -33,6 +47,7 @@ impl IntraConfig {
             quant_shift: 2,
             two_layer: true,
             entropy: false,
+            brick_depth: 0,
             threads: None,
         }
     }
@@ -40,6 +55,24 @@ impl IntraConfig {
     /// This configuration with an explicit host thread count.
     pub fn with_threads(self, threads: usize) -> Self {
         IntraConfig { threads: NonZeroUsize::new(threads), ..self }
+    }
+
+    /// This configuration with the frame cut into bricks at `brick_depth`
+    /// (see [`IntraConfig::brick_depth`]; `0` restores the monolithic
+    /// layout).
+    pub fn with_bricks(self, brick_depth: u8) -> Self {
+        IntraConfig { brick_depth, ..self }
+    }
+
+    /// The brick cut depth the encoder actually uses for a grid of
+    /// `depth`: the configured value clamped to a splittable range, or
+    /// `None` when the frame stays monolithic (brick coding off, or the
+    /// grid too shallow to split).
+    pub fn effective_brick_depth(&self, depth: u8) -> Option<u8> {
+        if self.brick_depth == 0 || depth < 2 {
+            return None;
+        }
+        Some(self.brick_depth.min(depth - 1))
     }
 
     /// The thread count after applying the resolution chain (explicit
@@ -100,5 +133,18 @@ mod tests {
     #[test]
     fn lossless_config_has_unit_step() {
         assert_eq!(IntraConfig::lossless().quant_step(), 1);
+    }
+
+    #[test]
+    fn brick_depth_clamps_to_splittable_grids() {
+        let c = IntraConfig::default();
+        assert_eq!(c.brick_depth, 0, "monolithic stays the default");
+        assert_eq!(c.effective_brick_depth(7), None);
+        let b = c.with_bricks(3);
+        assert_eq!(b.effective_brick_depth(7), Some(3));
+        assert_eq!(b.effective_brick_depth(3), Some(2), "cut must leave a subtree level");
+        assert_eq!(b.effective_brick_depth(2), Some(1));
+        assert_eq!(b.effective_brick_depth(1), None, "a 2^3 grid cannot split");
+        assert_eq!(b.with_bricks(0).effective_brick_depth(7), None);
     }
 }

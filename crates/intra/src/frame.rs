@@ -1,10 +1,11 @@
 //! The intra-frame codec facade.
 
 use crate::arena::FrameArena;
+use crate::brick::{self, BrickEntry, BrickError, BrickIndex, BrickSalvage};
 use crate::config::IntraConfig;
 use crate::{attribute, geometry};
 use pcc_edge::Device;
-use pcc_types::{Point3, VoxelizedCloud};
+use pcc_types::{Aabb, Point3, VoxelizedCloud};
 use std::fmt;
 
 /// One intra-coded frame: independent geometry and attribute payloads.
@@ -42,6 +43,8 @@ pub enum IntraError {
         /// Colors decoded from attributes.
         attribute: usize,
     },
+    /// A brick-partitioned frame is malformed (see [`BrickError`]).
+    Brick(BrickError),
 }
 
 impl fmt::Display for IntraError {
@@ -53,6 +56,7 @@ impl fmt::Display for IntraError {
                 f,
                 "geometry decodes {geometry} voxels but attributes carry {attribute} colors"
             ),
+            IntraError::Brick(e) => write!(f, "brick frame error: {e}"),
         }
     }
 }
@@ -63,7 +67,14 @@ impl std::error::Error for IntraError {
             IntraError::Geometry(e) => Some(e),
             IntraError::Attribute(e) => Some(e),
             IntraError::VoxelCountMismatch { .. } => None,
+            IntraError::Brick(e) => Some(e),
         }
+    }
+}
+
+impl From<BrickError> for IntraError {
+    fn from(e: BrickError) -> Self {
+        IntraError::Brick(e)
     }
 }
 
@@ -87,6 +98,12 @@ impl From<IntraError> for pcc_types::DecodeError {
             IntraError::VoxelCountMismatch { .. } => pcc_types::DecodeError::Corrupt {
                 what: "geometry/attribute voxel count mismatch",
                 offset: 0,
+            },
+            IntraError::Brick(b) => match b {
+                BrickError::Geometry(g) => g.into(),
+                BrickError::Attribute(a) => a.into(),
+                BrickError::LimitExceeded(l) => l.into(),
+                _ => pcc_types::DecodeError::Corrupt { what: "brick frame", offset: 0 },
             },
         }
     }
@@ -141,6 +158,18 @@ impl IntraCodec {
         arena: &mut FrameArena,
         out: &mut IntraFrame,
     ) {
+        if let Some(brick_depth) = self.config.effective_brick_depth(cloud.depth()) {
+            brick::encode_in(
+                cloud,
+                &self.config,
+                brick_depth,
+                device,
+                self.threads_for(device),
+                arena,
+                out,
+            );
+            return;
+        }
         geometry::encode_in(
             cloud,
             self.config.entropy,
@@ -205,6 +234,37 @@ impl IntraCodec {
         device: &Device,
         limits: &pcc_types::Limits,
     ) -> Result<VoxelizedCloud, IntraError> {
+        if BrickIndex::detect(&frame.geometry) {
+            let threads = self.threads_for(device);
+            if !self.config.entropy {
+                // Entropy off ⇒ a monolithic stream's first byte is a grid
+                // depth (≤ 21), so the magic is unambiguous: route by wire.
+                return brick::decode_full(frame, &self.config, device, limits, threads)
+                    .map_err(IntraError::from);
+            }
+            if self.config.brick_depth > 0 {
+                // Entropy on ⇒ brick_depth is part of the decode contract,
+                // but a monolithic stream (from a pre-cut encoder, or a
+                // shallow grid that fell back) can start with these two
+                // bytes by coincidence. Prefer the contract; if the brick
+                // parse fails, give the monolithic layout one chance.
+                return match brick::decode_full(frame, &self.config, device, limits, threads) {
+                    Ok(cloud) => Ok(cloud),
+                    Err(e) => {
+                        self.decode_monolithic(frame, device, limits).or(Err(IntraError::from(e)))
+                    }
+                };
+            }
+        }
+        self.decode_monolithic(frame, device, limits)
+    }
+
+    fn decode_monolithic(
+        &self,
+        frame: &IntraFrame,
+        device: &Device,
+        limits: &pcc_types::Limits,
+    ) -> Result<VoxelizedCloud, IntraError> {
         let geo = geometry::decode_with(&frame.geometry, self.config.entropy, device, limits)?;
         let colors = attribute::decode_with(&frame.attribute, &self.config, device, limits)?;
         if geo.coords.len() != colors.len() {
@@ -216,6 +276,89 @@ impl IntraCodec {
         let origin = Point3::new(geo.origin[0], geo.origin[1], geo.origin[2]);
         VoxelizedCloud::from_grid_with_frame(geo.coords, colors, geo.depth, origin, geo.voxel_size)
             .map_err(|_| IntraError::Geometry(pcc_octree::StreamError::Truncated))
+    }
+
+    /// Parses and CRC-verifies the brick index of a brick-partitioned
+    /// frame without touching any payload bytes — the cheap first step of
+    /// a viewport-partial decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntraError::Brick`] when the frame is monolithic, the
+    /// index is malformed or fails its CRC, or a limit is exceeded.
+    pub fn brick_index(
+        &self,
+        frame: &IntraFrame,
+        limits: &pcc_types::Limits,
+    ) -> Result<BrickIndex, IntraError> {
+        BrickIndex::parse(&frame.geometry, limits).map_err(IntraError::from)
+    }
+
+    /// Partially decodes a brick frame: only bricks `filter` accepts
+    /// (given the index entry and its world-space bounds) are decoded,
+    /// in parallel, and concatenated in cell order — bit-identical to
+    /// the corresponding subset of a full decode. Selected bricks are
+    /// decoded strictly: damage to one of them fails the call (use
+    /// [`decode_bricks_lossy`](Self::decode_bricks_lossy) to salvage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntraError::Brick`] when the frame is not
+    /// brick-partitioned, its index is malformed, or a selected brick
+    /// fails its CRC or parse.
+    pub fn decode_bricks(
+        &self,
+        frame: &IntraFrame,
+        device: &Device,
+        limits: &pcc_types::Limits,
+        mut filter: impl FnMut(&BrickEntry, &Aabb) -> bool,
+    ) -> Result<VoxelizedCloud, IntraError> {
+        brick::decode_filtered(
+            frame,
+            &self.config,
+            device,
+            limits,
+            self.threads_for(device),
+            &mut filter,
+        )
+        .map_err(IntraError::from)
+    }
+
+    /// Partially decodes a brick frame to the bricks whose bounding cell
+    /// intersects `viewport` (world space, face-inclusive) — the
+    /// viewport-decode entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`decode_bricks`](Self::decode_bricks).
+    pub fn decode_viewport(
+        &self,
+        frame: &IntraFrame,
+        device: &Device,
+        limits: &pcc_types::Limits,
+        viewport: &Aabb,
+    ) -> Result<VoxelizedCloud, IntraError> {
+        self.decode_bricks(frame, device, limits, |_, bounds| bounds.intersects(viewport))
+    }
+
+    /// Decodes every brick of a brick frame that survives its CRC and
+    /// parses cleanly, skipping (and counting) damaged ones — the loss
+    /// accounting mode: a corrupt brick degrades one subtree instead of
+    /// dropping the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntraError::Brick`] only when the frame's index itself
+    /// is unusable (bad magic/version, malformed, CRC mismatch, or a
+    /// limit exceeded) — then nothing can be salvaged.
+    pub fn decode_bricks_lossy(
+        &self,
+        frame: &IntraFrame,
+        device: &Device,
+        limits: &pcc_types::Limits,
+    ) -> Result<BrickSalvage, IntraError> {
+        brick::decode_lossy(frame, &self.config, device, limits, self.threads_for(device))
+            .map_err(IntraError::from)
     }
 }
 

@@ -66,32 +66,7 @@ pub fn encode_in(
 ) {
     let n = cloud.len();
 
-    // 1. Morton code generation — one independent item per point, run as
-    //    a data-parallel kernel launch (chunked across host threads; SWAR
-    //    batched, AVX2 under the `simd` feature).
-    pcc_morton::codes_of_into(cloud, threads, &mut scratch.codes);
-    device.charge_gpu("geometry/morton", &calib::MORTON_GEN, n.max(1));
-
-    // 2. Radix sort of the codes (parallel LSD passes, stable merge),
-    //    reusing the arena's key/payload/count staging.
-    pcc_morton::sort_codes_into(&scratch.codes, threads, &mut scratch.sort, &mut scratch.sorted);
-    device.charge_gpu("geometry/sort", &calib::RADIX_SORT, n);
-
-    // 3. Deduplicate to unique leaves, remembering each point's voxel —
-    //    a run compaction over the sorted codes, chunk-parallel with
-    //    run-aligned boundaries.
-    pcc_parallel::compact_runs_into(
-        &scratch.sorted.codes,
-        |&c| c,
-        threads,
-        &mut out.leaf_codes,
-        &mut out.point_to_voxel,
-    );
-    // The permutation moves to the output wholesale; the sort rebuilds
-    // scratch.sorted.perm from scratch next frame, so handing back last
-    // frame's buffer keeps both sides allocation-free.
-    std::mem::swap(&mut out.perm, &mut scratch.sorted.perm);
-    out.unique_voxels = out.leaf_codes.len();
+    morton_products_in(cloud, device, threads, scratch, out);
 
     // 4. Parallel octree construction over the sorted unique codes,
     //    rebuilt in place into the arena's level arrays.
@@ -125,6 +100,49 @@ pub fn encode_in(
     }
 
     pcc_probe::add_bytes("intra/geometry", out.stream.len() as u64);
+}
+
+/// Steps 1–3 of the geometry pipeline — Morton codegen, radix sort, and
+/// run compaction to unique leaves — shared verbatim by the monolithic
+/// and brick encoders, so both produce the same sorted leaf codes,
+/// permutation, and point→voxel map from the same input. Fills
+/// `out.leaf_codes` / `out.perm` / `out.point_to_voxel` /
+/// `out.unique_voxels`; `out.stream` is untouched.
+pub(crate) fn morton_products_in(
+    cloud: &VoxelizedCloud,
+    device: &Device,
+    threads: NonZeroUsize,
+    scratch: &mut GeometryScratch,
+    out: &mut GeometryEncoded,
+) {
+    let n = cloud.len();
+
+    // 1. Morton code generation — one independent item per point, run as
+    //    a data-parallel kernel launch (chunked across host threads; SWAR
+    //    batched, AVX2 under the `simd` feature).
+    pcc_morton::codes_of_into(cloud, threads, &mut scratch.codes);
+    device.charge_gpu("geometry/morton", &calib::MORTON_GEN, n.max(1));
+
+    // 2. Radix sort of the codes (parallel LSD passes, stable merge),
+    //    reusing the arena's key/payload/count staging.
+    pcc_morton::sort_codes_into(&scratch.codes, threads, &mut scratch.sort, &mut scratch.sorted);
+    device.charge_gpu("geometry/sort", &calib::RADIX_SORT, n);
+
+    // 3. Deduplicate to unique leaves, remembering each point's voxel —
+    //    a run compaction over the sorted codes, chunk-parallel with
+    //    run-aligned boundaries.
+    pcc_parallel::compact_runs_into(
+        &scratch.sorted.codes,
+        |&c| c,
+        threads,
+        &mut out.leaf_codes,
+        &mut out.point_to_voxel,
+    );
+    // The permutation moves to the output wholesale; the sort rebuilds
+    // scratch.sorted.perm from scratch next frame, so handing back last
+    // frame's buffer keeps both sides allocation-free.
+    std::mem::swap(&mut out.perm, &mut scratch.sorted.perm);
+    out.unique_voxels = out.leaf_codes.len();
 }
 
 /// The decoded geometry: unique voxels in Morton order plus the grid
@@ -187,13 +205,13 @@ pub fn decode_with(
     })
 }
 
-struct Header {
-    depth: u8,
-    origin: [f32; 3],
-    voxel_size: f32,
+pub(crate) struct Header {
+    pub(crate) depth: u8,
+    pub(crate) origin: [f32; 3],
+    pub(crate) voxel_size: f32,
 }
 
-fn write_header(cloud: &VoxelizedCloud, out: &mut Vec<u8>) {
+pub(crate) fn write_header(cloud: &VoxelizedCloud, out: &mut Vec<u8>) {
     out.push(cloud.depth());
     let o = cloud.origin();
     for v in [o.x, o.y, o.z, cloud.voxel_size()] {
@@ -201,7 +219,7 @@ fn write_header(cloud: &VoxelizedCloud, out: &mut Vec<u8>) {
     }
 }
 
-fn parse_header(input: &[u8]) -> Result<(Header, &[u8]), pcc_octree::StreamError> {
+pub(crate) fn parse_header(input: &[u8]) -> Result<(Header, &[u8]), pcc_octree::StreamError> {
     let (&depth, mut rest) = input.split_first().ok_or(pcc_octree::StreamError::Truncated)?;
     let mut f = [0f32; 4];
     for v in f.iter_mut() {
@@ -213,7 +231,7 @@ fn parse_header(input: &[u8]) -> Result<(Header, &[u8]), pcc_octree::StreamError
     Ok((Header { depth, origin: [f[0], f[1], f[2]], voxel_size: f[3] }, rest))
 }
 
-fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
+pub(crate) fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
     let mut model = ByteModel::new();
     let mut enc = RangeEncoder::new();
     for &b in payload {
@@ -226,7 +244,10 @@ fn entropy_wrap(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn entropy_unwrap(stream: &[u8], limits: &Limits) -> Result<Vec<u8>, pcc_octree::StreamError> {
+pub(crate) fn entropy_unwrap(
+    stream: &[u8],
+    limits: &Limits,
+) -> Result<Vec<u8>, pcc_octree::StreamError> {
     // The u32 length prefix is attacker-controlled: without the limit
     // check a 12-byte stream could demand a 4 GiB allocation.
     let (len_bytes, coded) =

@@ -47,12 +47,14 @@
 
 pub mod arena;
 pub mod attribute;
+pub mod brick;
 mod config;
 mod frame;
 pub mod geometry;
 mod layer;
 
-pub use arena::{AttributeScratch, FrameArena, GeometryScratch};
+pub use arena::{AttributeScratch, BrickScratch, FrameArena, GeometryScratch};
+pub use brick::{BrickEntry, BrickError, BrickIndex, BrickSalvage, BRICK_MAGIC, BRICK_VERSION};
 pub use config::IntraConfig;
 pub use frame::{IntraCodec, IntraError, IntraFrame};
 pub use layer::{

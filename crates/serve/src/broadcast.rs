@@ -116,7 +116,10 @@ impl<'d> Broadcast<'d> {
         let source = FrameSource::new(codec, depth, device, config);
         let intra = source.inter_config().intra;
         Broadcast {
-            sheddable: intra.two_layer && !intra.entropy,
+            // Brick frames interleave per-brick attribute payloads behind
+            // CRC-guarded index entries; stripping refinement would break
+            // every offset and checksum, so they are never sheddable.
+            sheddable: intra.two_layer && !intra.entropy && intra.brick_depth == 0,
             source,
             slots: Vec::new(),
             cache: ResyncCache::new(),

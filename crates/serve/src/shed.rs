@@ -36,6 +36,14 @@ pub fn shed_refinement(record: &[u8]) -> Option<Vec<u8>> {
     let EncodedFrame::Intra(intra) = frame else {
         return None;
     };
+    // Brick-partitioned frames concatenate per-brick attribute payloads
+    // whose offsets and CRCs live in the geometry-side index; the layer
+    // transform below would corrupt every brick after the first. The
+    // magic check is exact here because shedding is already gated to
+    // entropy-off streams.
+    if pcc_intra::BrickIndex::detect(&intra.geometry) {
+        return None;
+    }
     let attribute = strip_refinement_layer(&intra.attribute)?;
     let slim = EncodedFrame::Intra(IntraFrame { attribute, ..intra });
     let mut out = Vec::with_capacity(record.len());

@@ -284,6 +284,7 @@ pub struct ChunkReader<R: Read> {
     eof: bool,
     bytes_read: u64,
     corrupt_events: u64,
+    last_payload_offset: Option<u64>,
 }
 
 const READ_CHUNK: usize = 64 * 1024;
@@ -298,6 +299,7 @@ impl<R: Read> ChunkReader<R> {
             eof: false,
             bytes_read: 0,
             corrupt_events: 0,
+            last_payload_offset: None,
         }
     }
 
@@ -310,6 +312,15 @@ impl<R: Read> ChunkReader<R> {
     /// mismatches.
     pub fn corrupt_events(&self) -> u64 {
         self.corrupt_events
+    }
+
+    /// Absolute transport offset of the first payload byte of the chunk
+    /// most recently returned by [`next_chunk`](Self::next_chunk), or
+    /// `None` before any chunk was returned. Receivers pass this to the
+    /// container demuxer so corruption reports carry stream-absolute
+    /// offsets instead of frame-relative ones.
+    pub fn last_payload_offset(&self) -> Option<u64> {
+        self.last_payload_offset
     }
 
     fn available(&self) -> usize {
@@ -438,6 +449,11 @@ impl<R: Read> ChunkReader<R> {
                 frame_index,
                 payload: payload.to_vec(),
             };
+            // The buffer's first byte sits at absolute transport offset
+            // `bytes_read - buf.len()` (everything before it was drained
+            // after consumption), so buffer indices rebase directly.
+            self.last_payload_offset =
+                Some(self.bytes_read - self.buf.len() as u64 + payload_start as u64);
             self.start += total;
             return Ok(Some(chunk));
         }

@@ -3,105 +3,28 @@
 //! The wire format protects every chunk header and payload with the
 //! ubiquitous reflected CRC-32 (polynomial `0xEDB88320`, init and final
 //! xor `0xFFFFFFFF`) — the same parameterization Ethernet, gzip, and PNG
-//! use, so captures are easy to cross-check with external tooling. The
-//! table is built at compile time; no external crate is needed.
+//! use, so captures are easy to cross-check with external tooling.
+//!
+//! The implementation lives in [`pcc_types::crc`] so the brick frame
+//! format in `pcc-intra` can share it without depending on this crate;
+//! the re-export keeps the historical `pcc_stream::crc` paths working
+//! and the PCS1 wire bytes unchanged (same algorithm, same table).
 
-const POLY: u32 = 0xEDB8_8320;
-
-const TABLE: [u32; 256] = build_table();
-
-// `i` walks 0..256 into a [u32; 256]: in bounds by the loop guard.
-#[allow(clippy::indexing_slicing)]
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-/// Incremental CRC-32 state, for checksumming a chunk written in pieces.
-#[derive(Debug, Clone)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Crc32 {
-    /// A fresh checksum.
-    pub fn new() -> Self {
-        Crc32 { state: 0xFFFF_FFFF }
-    }
-
-    /// Feeds `bytes` into the checksum.
-    // The table index is masked with 0xff into a 256-entry table.
-    #[allow(clippy::indexing_slicing)]
-    pub fn update(&mut self, bytes: &[u8]) {
-        let mut crc = self.state;
-        for &b in bytes {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
-        }
-        self.state = crc;
-    }
-
-    /// The final checksum value.
-    pub fn finish(&self) -> u32 {
-        self.state ^ 0xFFFF_FFFF
-    }
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Crc32::new()
-    }
-}
-
-/// One-shot CRC-32 of a byte slice.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = Crc32::new();
-    crc.update(bytes);
-    crc.finish()
-}
+pub use pcc_types::crc::{crc32, Crc32};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn known_answer_vectors() {
-        // The classic check value every CRC-32 implementation must hit.
+    fn reexport_matches_the_chunk_wire_parameterization() {
+        // The classic check value every CRC-32 implementation must hit —
+        // if the shared implementation ever drifted, every committed
+        // PCS1 capture would stop verifying.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
-    }
-
-    #[test]
-    fn incremental_matches_one_shot() {
-        let data: Vec<u8> = (0..=255).collect();
         let mut crc = Crc32::new();
-        for piece in data.chunks(7) {
-            crc.update(piece);
-        }
-        assert_eq!(crc.finish(), crc32(&data));
-    }
-
-    #[test]
-    fn single_bit_flips_always_detected() {
-        let data: Vec<u8> = (0..64).map(|i| (i * 37) as u8).collect();
-        let clean = crc32(&data);
-        for i in 0..data.len() {
-            for bit in 0..8 {
-                let mut bad = data.clone();
-                bad[i] ^= 1 << bit;
-                assert_ne!(crc32(&bad), clean, "flip at byte {i} bit {bit} undetected");
-            }
-        }
+        crc.update(b"1234");
+        crc.update(b"56789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
     }
 }

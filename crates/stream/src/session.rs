@@ -203,6 +203,13 @@ pub struct Delivered {
     pub cloud: PointCloud,
     /// Modeled edge decode latency of this frame in milliseconds.
     pub modeled_decode_ms: f64,
+    /// `Some((bricks_dropped, bricks_total))` when this is a *partial*
+    /// frame: a damaged brick-partitioned I-frame whose surviving
+    /// bricks were salvaged. The cloud is missing the dropped subtrees,
+    /// and the session stays desynchronized until a clean I-frame
+    /// arrives (a partial picture never anchors P-frames). `None` for
+    /// fully decoded frames.
+    pub partial: Option<(usize, usize)>,
 }
 
 /// Incremental, loss-resilient receiving session.
@@ -235,6 +242,13 @@ pub struct Receiver<'d, R: Read> {
     /// Recovered chunks waiting to be processed before the transport is
     /// read again.
     pending: VecDeque<Chunk>,
+    /// Absolute transport offset of the current chunk's payload, passed
+    /// to the demuxer so corruption reports are stream-absolute. Zero
+    /// for ARQ-recovered or deferred chunks, whose bytes did not come
+    /// from the primary transport position — their errors report
+    /// frame-relative offsets (documented on
+    /// [`Receiver::recv_frame`]).
+    payload_offset: u64,
     arq: Option<ArqState>,
     /// Counter snapshots published to the sender side after every frame.
     feedback: Option<SharedStats>,
@@ -291,6 +305,7 @@ impl<'d, R: Read> Receiver<'d, R> {
             join_at: 0,
             next_seq: 0,
             pending: VecDeque::new(),
+            payload_offset: 0,
             arq: None,
             feedback: None,
             synced: false,
@@ -371,7 +386,13 @@ impl<'d, R: Read> Receiver<'d, R> {
     /// Delivers the next decodable frame, or `None` at end of stream.
     ///
     /// Corruption and loss never surface as errors — they are dropped
-    /// frames in [`stats`](Self::stats).
+    /// frames in [`stats`](Self::stats). Damaged brick-partitioned
+    /// I-frames whose index survives are delivered *partially* instead
+    /// (see [`Delivered::partial`]). Internally, demux errors carry
+    /// stream-absolute byte offsets for chunks read straight from the
+    /// transport; ARQ-recovered or deferred chunks fall back to
+    /// frame-relative offsets (their bytes did not come from the
+    /// transport's current position).
     ///
     /// # Errors
     ///
@@ -390,6 +411,10 @@ impl<'d, R: Read> Receiver<'d, R> {
         }
         loop {
             let chunk = if let Some(recovered) = self.pending.pop_front() {
+                // Recovered/deferred payloads were not read at the
+                // transport's current position; their demux errors fall
+                // back to frame-relative offsets.
+                self.payload_offset = 0;
                 recovered
             } else {
                 let Some(chunk) = self.chunks.next_chunk()? else {
@@ -399,6 +424,7 @@ impl<'d, R: Read> Receiver<'d, R> {
                     return Ok(None);
                 };
                 self.sync_chunk_counters();
+                self.payload_offset = self.chunks.last_payload_offset().unwrap_or(0);
                 if self.arq.is_some() {
                     self.recover_seq_gap(&chunk);
                     if !self.pending.is_empty() {
@@ -606,7 +632,10 @@ impl<'d, R: Read> Receiver<'d, R> {
 
         let demux_sp = pcc_probe::span("stream/demux");
         let mut input = chunk.payload.as_slice();
-        let demuxed = container::demux_frame(&mut input, 0);
+        // Stream-absolute error offsets: the chunk layer knows where this
+        // payload sat in the transport, so a corruption report points at
+        // the broken byte of the *stream*, not of the frame.
+        let demuxed = container::demux_frame(&mut input, self.payload_offset as usize);
         self.stats.add_stage_ns("stream/demux", demux_sp.stop());
         let frame = match demuxed {
             Ok(frame) if input.is_empty() => frame,
@@ -642,14 +671,36 @@ impl<'d, R: Read> Receiver<'d, R> {
                     kind,
                     cloud,
                     modeled_decode_ms: timeline.total_modeled_ms().as_f64(),
+                    partial: None,
                 })
             }
             Err(_) => {
                 // The decoder consumed the frame slot but produced
-                // nothing; its reference state is now questionable.
+                // nothing whole; its reference state is questionable
+                // either way, so the session desynchronizes until the
+                // next clean I-frame.
                 self.desync();
-                self.stats.frames_dropped += 1;
                 self.loss_since_sync = true;
+                if kind == FrameKind::Intra {
+                    // Brick-partitioned I-frames carry per-brick CRCs:
+                    // salvage the surviving subtrees and deliver a
+                    // partial picture instead of losing the frame.
+                    if let Some(s) =
+                        self.decoder.as_ref().and_then(|d| d.salvage_intra(&frame))
+                    {
+                        self.stats.partial_frames += 1;
+                        self.stats.bricks_dropped += s.bricks_dropped;
+                        self.stats.frames_delivered += 1;
+                        return Some(Delivered {
+                            frame_index: index,
+                            kind,
+                            cloud: s.cloud,
+                            modeled_decode_ms: s.timeline.total_modeled_ms().as_f64(),
+                            partial: Some((s.bricks_dropped, s.bricks_total)),
+                        });
+                    }
+                }
+                self.stats.frames_dropped += 1;
                 None
             }
         }

@@ -58,6 +58,17 @@ pub struct StreamStats {
     /// Encode-worker panics converted into a single dropped frame by the
     /// supervision boundary instead of killing the session.
     pub panics_contained: usize,
+    /// Damaged brick-partitioned I-frames delivered partially: at least
+    /// one brick failed its CRC, the survivors were salvaged and handed
+    /// to the application. Partial frames count as delivered, not
+    /// dropped — but the reference chain never anchors on a partial
+    /// picture, so the session stays desynchronized until a clean
+    /// I-frame arrives.
+    pub partial_frames: usize,
+    /// Bricks discarded across all partially delivered frames — the
+    /// per-subtree loss ledger behind [`partial_frames`]
+    /// (`Self::partial_frames`).
+    pub bricks_dropped: usize,
     /// Measured wall-clock nanoseconds per pipeline stage, accumulated
     /// only while `pcc-probe` recording is on (`PCC_PROBE=1`); empty
     /// otherwise. Stages appear in first-recorded order.
@@ -87,6 +98,8 @@ impl PartialEq for StreamStats {
             && self.rung_changes == other.rung_changes
             && self.watchdog_skips == other.watchdog_skips
             && self.panics_contained == other.panics_contained
+            && self.partial_frames == other.partial_frames
+            && self.bricks_dropped == other.bricks_dropped
     }
 }
 
@@ -118,8 +131,13 @@ impl std::fmt::Display for StreamStats {
         )?;
         writeln!(
             f,
-            "recovery  resyncs {:>5}  nacks {:>6}  recovered {:>6}  arq-degraded {:>4}",
-            self.resyncs, self.arq_nacks, self.arq_recovered, self.arq_degraded,
+            "recovery  resyncs {:>5}  nacks {:>6}  recovered {:>6}  arq-degraded {:>4}  partial {:>4}  bricks-dropped {:>4}",
+            self.resyncs,
+            self.arq_nacks,
+            self.arq_recovered,
+            self.arq_degraded,
+            self.partial_frames,
+            self.bricks_dropped,
         )?;
         write!(
             f,
@@ -161,6 +179,8 @@ impl StreamStats {
         self.rung_changes += other.rung_changes;
         self.watchdog_skips += other.watchdog_skips;
         self.panics_contained += other.panics_contained;
+        self.partial_frames += other.partial_frames;
+        self.bricks_dropped += other.bricks_dropped;
         for &(stage, ns) in &other.stage_ns {
             self.add_stage_ns(stage, ns);
         }

@@ -94,6 +94,20 @@ impl Aabb {
             && p.z <= self.max.z
     }
 
+    /// Whether two boxes overlap (closed intervals: touching faces count).
+    ///
+    /// This is the viewport test brick-partial decode runs per brick
+    /// bounding cell, so the convention errs on the inclusive side — a
+    /// brick sharing only a face with the viewport is still decoded.
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+            && self.min.z <= other.max.z
+            && other.min.z <= self.max.z
+    }
+
     /// Grows the box (in place) to include `p`.
     #[inline]
     pub fn extend(&mut self, p: Point3) {
@@ -248,5 +262,19 @@ mod tests {
         let bb = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 4.0, 6.0));
         assert_eq!(bb.center(), Point3::new(1.0, 2.0, 3.0));
         assert_eq!(bb.longest_side(), 6.0);
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_face_inclusive() {
+        let a = Aabb::new(Point3::ORIGIN, Point3::splat(2.0));
+        let overlap = Aabb::new(Point3::splat(1.0), Point3::splat(3.0));
+        let touching = Aabb::new(Point3::splat(2.0), Point3::splat(3.0));
+        let apart = Aabb::new(Point3::splat(2.1), Point3::splat(3.0));
+        let slab = Aabb::new(Point3::new(0.5, -9.0, 0.5), Point3::new(1.5, 9.0, 1.5));
+        assert!(a.intersects(&overlap) && overlap.intersects(&a));
+        assert!(a.intersects(&touching), "shared faces count as overlap");
+        assert!(!a.intersects(&apart) && !apart.intersects(&a));
+        assert!(a.intersects(&slab), "overlap on all three axes, containment on none");
+        assert!(a.intersects(&a));
     }
 }

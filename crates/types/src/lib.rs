@@ -38,6 +38,7 @@
 
 mod bbox;
 mod cloud;
+pub mod crc;
 mod error;
 mod limits;
 mod point;

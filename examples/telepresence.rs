@@ -8,10 +8,12 @@
 //! cargo run --release --example telepresence
 //! ```
 
-use pcc::core::{Design, PccCodec};
+use pcc::core::{Design, EncodedFrame, PccCodec};
 use pcc::datasets::catalog;
 use pcc::edge::{Device, PowerMode};
-use pcc::types::FrameKind;
+use pcc::inter::InterConfig;
+use pcc::intra::{IntraCodec, IntraConfig};
+use pcc::types::{Aabb, FrameKind, Limits};
 
 fn main() {
     // A short clip of the MVUB-style "Andrew10" upper-body capture — the
@@ -78,4 +80,42 @@ fn main() {
         .sum::<f64>()
         / decoded.len() as f64;
     println!("decode: {decode_ms:.1} ms/frame modeled on the edge GPU");
+
+    // Viewport (partial) decode on the brick-partitioned wire: a viewer
+    // framing the speaker's upper half decodes only the bricks their
+    // frustum intersects — the index tells the decoder which payload
+    // bytes it never has to read.
+    let brick_codec = PccCodec::with_inter_config(InterConfig {
+        intra: IntraConfig::default().with_bricks(2),
+        ..InterConfig::v1()
+    });
+    let brick_enc = brick_codec.encode_video(&video, depth, &device);
+    let bb = video.bounding_box().expect("non-empty video");
+    let viewport = Aabb::new(bb.min(), bb.center());
+    let decoder = brick_codec.frame_decoder(&device);
+    let i_frame = &brick_enc.frames[0];
+    let (visible, _) = decoder.decode_viewport(i_frame, &viewport).expect("viewport decode");
+    let full = decoded[0].len();
+
+    let EncodedFrame::Intra(raw) = i_frame else { unreachable!("frame 0 is an I-frame") };
+    let index = IntraCodec::new(IntraConfig::default())
+        .brick_index(raw, &Limits::default())
+        .expect("brick frames carry an index");
+    let total_bytes = index.total_payload_bytes();
+    let read_bytes: usize = index
+        .entries()
+        .iter()
+        .filter(|e| index.bounds(e).intersects(&viewport))
+        .map(|e| e.payload_bytes())
+        .sum();
+    println!(
+        "\nviewport decode (brick_depth 2, {} bricks): {} of {} voxels, \
+         {} of {} payload KiB read ({:.0}% fewer decoded bytes)",
+        index.len(),
+        visible.len(),
+        full,
+        read_bytes / 1024,
+        total_bytes / 1024,
+        (1.0 - read_bytes as f64 / total_bytes as f64) * 100.0
+    );
 }

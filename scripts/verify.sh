@@ -84,6 +84,17 @@ echo "== fuzz smoke: seeded decode-surface mutations =="
 # panic, at both Limits regimes. Run in release so the gate stays fast.
 cargo test -q --offline --release --test fuzz_decode
 
+echo "== brick conformance: goldens, determinism, partial decode, fuzz =="
+# The brick-partitioned wire format is pinned four ways: golden digests
+# (single- and two-layer, thread-count invariant), sequential-vs-parallel
+# and probes-on/off decode identity, full decode == concatenation of
+# per-brick partial decodes (proptest over random viewports), and 2k+
+# seeded mutations of the brick index and payloads under both Limits
+# regimes with damaged bricks never corrupting sibling output (the fuzz
+# suite already ran in full above; the other binaries run here). The
+# decode_brick_ns_per_point metric rides the hotpath gate above.
+cargo test -q --offline --release --test golden --test determinism --test stream_transport
+
 echo "== clippy: no unchecked indexing on the decode path =="
 # Every crate that parses wire-derived bytes carries
 # #![deny(clippy::indexing_slicing)] in its lib.rs — a bare slice index

@@ -140,6 +140,117 @@ fn mutated_occupancy_streams_never_panic() {
 }
 
 #[test]
+fn mutated_brick_frames_never_panic_any_decode_entry_point() {
+    use pcc::intra::{IntraCodec, IntraConfig};
+
+    let video = clip();
+    let vox = VoxelizedCloud::from_cloud(&video.frame(0).unwrap().cloud, 7);
+    let d = device(1);
+    let codec = IntraCodec::new(IntraConfig::default().with_bricks(2).with_threads(1));
+    let frame = codec.encode(&vox, &d);
+    assert!(codec.decode(&frame, &d).is_ok(), "clean brick frame must decode");
+
+    let viewport = vox.grid_box();
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0xB71C);
+    for iter in 0..2_200u32 {
+        let mut mutated = frame.clone();
+        // Round-robin the target: the geometry stream (magic, CRC-guarded
+        // brick index, per-brick geometry payloads) twice as often as the
+        // attribute stream (per-brick attribute payloads).
+        if iter % 3 == 2 {
+            mutated.attribute = mutate(&mut rng, &frame.attribute);
+        } else {
+            mutated.geometry = mutate(&mut rng, &frame.geometry);
+        }
+        for limits in [Limits::default(), Limits::strict()] {
+            let _ = codec.decode_with_limits(&mutated, &d, &limits);
+            let _ = codec.brick_index(&mutated, &limits);
+            let _ = codec.decode_viewport(&mutated, &d, &limits, &viewport);
+            let _ = codec.decode_bricks_lossy(&mutated, &d, &limits);
+        }
+    }
+}
+
+#[test]
+fn damaged_brick_payloads_never_corrupt_sibling_bricks() {
+    use pcc::intra::{IntraCodec, IntraConfig};
+    use pcc::types::{Rgb, VoxelCoord};
+
+    let video = clip();
+    let vox = VoxelizedCloud::from_cloud(&video.frame(0).unwrap().cloud, 7);
+    let d = device(1);
+    let limits = Limits::default();
+    let codec = IntraCodec::new(IntraConfig::default().with_bricks(2).with_threads(1));
+    let frame = codec.encode(&vox, &d);
+    let index = codec.brick_index(&frame, &limits).expect("clean index parses");
+    assert!(index.len() > 2, "fixture must span several bricks");
+
+    // Clean per-brick reference decodes, in cell order.
+    let clean: Vec<(Vec<VoxelCoord>, Vec<Rgb>)> = index
+        .entries()
+        .iter()
+        .map(|entry| {
+            let cell = entry.cell;
+            let one = codec
+                .decode_bricks(&frame, &d, &limits, |e, _| e.cell == cell)
+                .expect("clean brick decodes");
+            (one.coords().to_vec(), one.colors().to_vec())
+        })
+        .collect();
+
+    // Payload bytes start where the first brick's geometry payload does;
+    // everything before that is the CRC-guarded index (whose damage is
+    // total loss by design, exercised in the panic-safety test above).
+    let geom_payload_start =
+        index.entries().iter().map(|e| e.geom.start).min().expect("non-empty index");
+
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x51B1);
+    for _ in 0..400 {
+        let mut mutated = frame.clone();
+        // Flip 1..=6 bits across the two payload regions, never the index.
+        for _ in 0..rng.random_range(1..=6usize) {
+            let (buf, base) = if rng.random_range(0..2u32) == 0 {
+                (&mut mutated.geometry, geom_payload_start)
+            } else {
+                (&mut mutated.attribute, 0)
+            };
+            let pos = base + rng.random_range(0..buf.len() - base);
+            let bit = rng.random_range(0..8u32);
+            buf[pos] ^= 1 << bit;
+        }
+
+        let salvage = codec
+            .decode_bricks_lossy(&mutated, &d, &limits)
+            .expect("an intact index always salvages");
+        assert_eq!(salvage.bricks_total, index.len());
+        assert!(salvage.bricks_dropped >= 1, "a flipped payload bit must fail its brick CRC");
+
+        // The salvaged cloud must be exactly the clean bricks minus the
+        // dropped ones, in cell order: greedy-match each clean brick's
+        // block against the remaining output. Blocks of distinct bricks
+        // can never collide (their coords live in distinct cells), so a
+        // failed match means that brick was dropped — anything left over
+        // at the end would be corrupt sibling output.
+        let (mut coords, mut colors) = (salvage.cloud.coords(), salvage.cloud.colors());
+        let mut skipped = 0usize;
+        for (c, k) in &clean {
+            if coords.len() >= c.len()
+                && &coords[..c.len()] == c.as_slice()
+                && &colors[..k.len()] == k.as_slice()
+            {
+                coords = &coords[c.len()..];
+                colors = &colors[k.len()..];
+            } else {
+                skipped += 1;
+            }
+        }
+        assert!(coords.is_empty(), "salvage emitted bytes matching no clean brick");
+        assert!(colors.is_empty());
+        assert_eq!(skipped, salvage.bricks_dropped, "drop accounting must match the output");
+    }
+}
+
+#[test]
 fn mutated_chunk_streams_never_panic_the_receiver() {
     let video = clip();
     let d = device(1);

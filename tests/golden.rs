@@ -78,6 +78,47 @@ fn intra_two_layer_vector() {
     );
 }
 
+/// Encodes the golden frame in the brick layout at a given thread count.
+fn brick_frame(two_layer: bool, threads: usize) -> pcc::intra::IntraFrame {
+    let cfg = IntraConfig { two_layer, ..IntraConfig::default() }
+        .with_bricks(2)
+        .with_threads(threads);
+    IntraCodec::new(cfg).encode(&golden_vox(0), &device())
+}
+
+#[test]
+fn brick_single_layer_vector() {
+    let frame = brick_frame(false, 1);
+    assert_eq!(frame.geometry.first(), Some(&pcc::intra::BRICK_MAGIC), "brick magic moved");
+    assert_digest(
+        "brick single-layer (geometry + attribute)",
+        &[&frame.geometry, &frame.attribute],
+        0xe99d_d50c_d748_270a,
+    );
+    // The brick wire format is thread-count invariant: per-brick stages
+    // run single-threaded so parallelism never leaks into the bytes.
+    for threads in [2, 0] {
+        let other = brick_frame(false, threads);
+        assert_eq!(other.geometry, frame.geometry, "geometry drifted at threads={threads}");
+        assert_eq!(other.attribute, frame.attribute, "attribute drifted at threads={threads}");
+    }
+}
+
+#[test]
+fn brick_two_layer_vector() {
+    let frame = brick_frame(true, 1);
+    assert_digest(
+        "brick two-layer (geometry + attribute)",
+        &[&frame.geometry, &frame.attribute],
+        0x5dd1_9d94_a1e9_8115,
+    );
+    for threads in [2, 0] {
+        let other = brick_frame(true, threads);
+        assert_eq!(other.geometry, frame.geometry, "geometry drifted at threads={threads}");
+        assert_eq!(other.attribute, frame.attribute, "attribute drifted at threads={threads}");
+    }
+}
+
 #[test]
 fn inter_v1_vector() {
     let d = device();

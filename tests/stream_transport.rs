@@ -313,6 +313,108 @@ fn the_extended_stream_header_announces_the_join_point() {
 }
 
 #[test]
+fn damaged_brick_frame_is_delivered_partially_and_booked_as_such() {
+    use pcc::inter::InterConfig;
+    use pcc::intra::IntraConfig;
+
+    let video = clip(6);
+    let d = device();
+    let codec = PccCodec::with_inter_config(InterConfig {
+        intra: IntraConfig::default().with_bricks(2),
+        ..InterConfig::v1()
+    });
+    let clean_wire = wire_clean(&codec, &video, &d);
+    let (clean, clean_rx) = receive_all(&clean_wire, &d);
+    assert_eq!(clean.len(), 6, "brick frames must stream losslessly on a clean wire");
+    assert_eq!(clean_rx.partial_frames, 0);
+
+    // Flip one byte inside I-frame 3's attribute stream: it lands in
+    // one brick's attribute payload, past the CRC-guarded brick index.
+    // (The container record's tail is a few varints of metadata, so aim
+    // well short of the end.) Re-encoding the chunk stamps a fresh chunk
+    // CRC over the damage, modelling corruption the transport layer
+    // cannot see (a bad sender buffer, a re-framing middlebox).
+    let mut chunks = chunks_of(&clean_wire);
+    let victim = chunks
+        .iter_mut()
+        .filter(|c| c.kind == ChunkKind::Frame && c.frame_index == 3)
+        .last()
+        .expect("frame 3 on the wire");
+    let at = victim.payload.len() - 32;
+    victim.payload[at] ^= 0x01;
+    let (delivered, rx) = receive_all(&reassemble(&chunks), &d);
+
+    // Frame 3 arrives partially; its orphaned P-frames (4, 5) are lost
+    // because a partial picture never anchors the reference chain.
+    let indices: Vec<usize> = delivered.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3], "stats: {rx:?}");
+    assert_eq!(rx.frames_delivered, 4);
+    assert_eq!(rx.frames_dropped, 2, "orphaned P-frames: {rx:?}");
+    assert_eq!(rx.partial_frames, 1);
+    assert!(rx.bricks_dropped >= 1, "stats: {rx:?}");
+
+    for frame in &delivered[..3] {
+        assert_eq!(frame.partial, None);
+        assert_eq!(frame.cloud, clean[frame.frame_index].cloud, "frame {}", frame.frame_index);
+    }
+    let partial = &delivered[3];
+    let (dropped, total) = partial.partial.expect("frame 3 must be marked partial");
+    assert_eq!(dropped, rx.bricks_dropped);
+    assert!(dropped >= 1 && dropped < total, "{dropped}/{total}");
+
+    // The survivors are byte-identical to the same bricks of a clean
+    // decode: a strict subset, never a repaint.
+    let full: std::collections::BTreeSet<_> = clean[3]
+        .cloud
+        .iter()
+        .map(|(p, c)| ((p.x.to_bits(), p.y.to_bits(), p.z.to_bits()), c))
+        .collect();
+    let salvaged: Vec<_> = partial
+        .cloud
+        .iter()
+        .map(|(p, c)| ((p.x.to_bits(), p.y.to_bits(), p.z.to_bits()), c))
+        .collect();
+    assert!(salvaged.len() < full.len(), "damage must cost points: {}", salvaged.len());
+    assert!(!salvaged.is_empty(), "undamaged bricks must survive");
+    for entry in &salvaged {
+        assert!(full.contains(entry), "salvaged point absent from the clean decode");
+    }
+}
+
+#[test]
+fn chunk_payload_offsets_and_container_errors_are_stream_absolute() {
+    let video = clip(3);
+    let d = device();
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let wire = wire_clean(&codec, &video, &d);
+
+    // Every payload offset the reader reports must index into the
+    // original wire — this is what lets the session pass stream-absolute
+    // positions down to the container parser.
+    let mut reader = ChunkReader::new(wire.as_slice());
+    let mut seen = 0;
+    while let Some(chunk) = reader.next_chunk().unwrap() {
+        let off = reader.last_payload_offset().expect("offset recorded per chunk") as usize;
+        assert_eq!(
+            wire.get(off..off + chunk.payload.len()),
+            Some(chunk.payload.as_slice()),
+            "payload offset must be wire-absolute, not frame-relative"
+        );
+        seen += 1;
+    }
+    assert!(seen > 3, "header + frames + end expected");
+
+    // demux errors are rebased by the caller-supplied stream offset, so
+    // a diagnostic points at the wire position, not "offset 0 again".
+    let mut input = &[][..];
+    let err = pcc::core::container::demux_frame(&mut input, 1_000).unwrap_err();
+    match err {
+        pcc::core::container::ContainerError::Truncated { offset } => assert_eq!(offset, 1_000),
+        other => panic!("expected Truncated, got {other}"),
+    }
+}
+
+#[test]
 fn foreign_stream_chunks_are_ignored() {
     let video = clip(3);
     let d = device();
