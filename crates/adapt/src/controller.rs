@@ -76,6 +76,10 @@ pub struct FrameObservation {
     pub receiver_dropped: usize,
     /// Receiver-side `arq_degraded` counter snapshot (same convention).
     pub receiver_arq_degraded: usize,
+    /// Receiver-side `refresh_requests` counter snapshot (same
+    /// convention): each new intra-refresh ask means the receiver lost
+    /// its reference, which is loss pressure like a drop.
+    pub receiver_refresh_requests: usize,
 }
 
 impl FrameObservation {
@@ -89,6 +93,7 @@ impl FrameObservation {
             queue_capacity: 0,
             receiver_dropped: 0,
             receiver_arq_degraded: 0,
+            receiver_refresh_requests: 0,
         }
     }
 }
@@ -111,6 +116,7 @@ pub struct Controller {
     comfortable_streak: u32,
     last_receiver_dropped: usize,
     last_receiver_arq_degraded: usize,
+    last_receiver_refresh: usize,
     rung_changes: usize,
     /// `(frame_index, rung)` at every applied change, for tests and
     /// post-mortems.
@@ -131,6 +137,7 @@ impl Controller {
             comfortable_streak: 0,
             last_receiver_dropped: 0,
             last_receiver_arq_degraded: 0,
+            last_receiver_refresh: 0,
             rung_changes: 0,
             trace: Vec::new(),
         }
@@ -175,10 +182,12 @@ impl Controller {
     /// Feeds one frame's signals and updates the pending target rung.
     pub fn observe(&mut self, obs: &FrameObservation) {
         let rx_loss = obs.receiver_dropped.saturating_sub(self.last_receiver_dropped)
-            + obs.receiver_arq_degraded.saturating_sub(self.last_receiver_arq_degraded);
+            + obs.receiver_arq_degraded.saturating_sub(self.last_receiver_arq_degraded)
+            + obs.receiver_refresh_requests.saturating_sub(self.last_receiver_refresh);
         self.last_receiver_dropped = self.last_receiver_dropped.max(obs.receiver_dropped);
         self.last_receiver_arq_degraded =
             self.last_receiver_arq_degraded.max(obs.receiver_arq_degraded);
+        self.last_receiver_refresh = self.last_receiver_refresh.max(obs.receiver_refresh_requests);
 
         let queue_full = obs.queue_capacity > 0 && obs.queue_depth >= obs.queue_capacity;
         let queue_calm = obs.queue_capacity == 0 || obs.queue_depth <= obs.queue_capacity / 2;
@@ -339,6 +348,13 @@ mod tests {
             ..FrameObservation::encode_only(2, 5.0)
         });
         assert_eq!(ctl.target(), 2);
+        // A fresh intra-refresh ask is loss pressure too.
+        ctl.observe(&FrameObservation {
+            receiver_dropped: 2,
+            receiver_refresh_requests: 1,
+            ..FrameObservation::encode_only(3, 5.0)
+        });
+        assert_eq!(ctl.target(), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use pcc_edge::{Device, Timeline};
 use pcc_inter::{InterCodec, InterConfig, InterEncoded, InterError};
 use pcc_intra::{IntraCodec, IntraError, IntraFrame};
 use pcc_metrics::CompressedSize;
+use pcc_types::crc::{crc32, Crc32};
 use pcc_types::{Aabb, FrameKind, GofPattern, Limits, PointCloud, Rgb, Video, VoxelizedCloud};
 use std::fmt;
 
@@ -263,6 +264,7 @@ impl PccCodec {
             bounding_box: None,
             index: 0,
             pending_config: None,
+            force_intra: false,
             reference_colors: None,
             reference_cloud: None,
             intra_arena: pcc_intra::FrameArena::new(),
@@ -346,6 +348,10 @@ pub struct FrameEncoder<'d> {
     /// A live configuration change staged by [`set_inter_config`]
     /// (`Self::set_inter_config`), applied at the next I-frame slot.
     pending_config: Option<InterConfig>,
+    /// An out-of-schedule intra refresh staged by
+    /// [`force_intra_next`](Self::force_intra_next): the next encoded
+    /// frame is coded as an I-frame regardless of the GOF cursor.
+    force_intra: bool,
     reference_colors: Option<Vec<Rgb>>,
     reference_cloud: Option<VoxelizedCloud>,
     /// Per-session scratch for the intra pipeline: every per-frame
@@ -375,7 +381,32 @@ impl<'d> FrameEncoder<'d> {
     /// The kind ([`FrameKind::Intra`] / [`FrameKind::Predicted`]) the next
     /// frame will be coded as.
     pub fn next_kind(&self) -> FrameKind {
-        self.gof.kind_of(self.index)
+        if self.force_intra {
+            FrameKind::Intra
+        } else {
+            self.gof.kind_of(self.index)
+        }
+    }
+
+    /// Forces the next encoded frame to be an I-frame even if the GOF
+    /// cursor says the slot is predicted.
+    ///
+    /// This is the sender half of receiver-driven intra refresh: a
+    /// receiver whose reference picture is broken asks for a new anchor,
+    /// and the encoder re-anchors at the next slot instead of letting the
+    /// receiver wait out the rest of the group. The forced I-frame is a
+    /// semantic GOF boundary — it installs fresh reference state and any
+    /// staged configuration change lands there, exactly as at a scheduled
+    /// boundary. The flag is consumed by the next
+    /// [`encode_frame`](Self::encode_frame) call and is a no-op when the
+    /// slot was already intra.
+    pub fn force_intra_next(&mut self) {
+        self.force_intra = true;
+    }
+
+    /// Whether an out-of-schedule intra refresh is staged.
+    pub fn intra_forced(&self) -> bool {
+        self.force_intra
     }
 
     /// The design's group-of-frames cadence.
@@ -441,7 +472,8 @@ impl<'d> FrameEncoder<'d> {
             Some(bb) => VoxelizedCloud::from_cloud_in_box(cloud, self.depth, bb),
             None => VoxelizedCloud::from_cloud(cloud, self.depth),
         };
-        let kind = self.gof.kind_of(self.index);
+        let kind = if self.force_intra { FrameKind::Intra } else { self.gof.kind_of(self.index) };
+        self.force_intra = false;
         if kind == FrameKind::Intra {
             // GOF boundary: a staged live configuration change lands
             // here, never mid-group.
@@ -687,6 +719,88 @@ impl<'d> FrameDecoder<'d> {
             timeline,
         })
     }
+
+    /// Repairs a damaged brick-partitioned intra frame from retransmitted
+    /// brick payloads and decodes the mended frame as the session's next
+    /// reference.
+    ///
+    /// Call this immediately after a failed [`decode_frame`]
+    /// (`Self::decode_frame`) for the same frame: the failed attempt
+    /// already consumed the frame's slot, and this method rewinds the
+    /// cursor so the repaired decode lands on the same index. For every
+    /// brick whose payload fails its per-entry CRC, `fetch(cell)` is asked
+    /// for the original `geometry ++ attribute` bytes (a NACK answered
+    /// from the sender's repair ring); the returned bytes are re-verified
+    /// against the index's length and CRC before being spliced in, so a
+    /// lying repair source can never install a corrupt reference.
+    ///
+    /// Returns `None` — leaving the decoder exactly as the failed decode
+    /// left it — when the frame is not brick-partitioned, its index is
+    /// unusable, any damaged brick cannot be fetched or fails
+    /// re-verification, no brick was actually damaged (the failure is not
+    /// brick-granular), or the mended frame still fails to decode. On
+    /// success the decode is bit-exact with an undamaged delivery and the
+    /// frame legitimately anchors reference state.
+    pub fn repair_intra(
+        &mut self,
+        frame: &EncodedFrame,
+        fetch: &mut dyn FnMut(u64) -> Option<Vec<u8>>,
+    ) -> Option<RepairedIntra> {
+        let EncodedFrame::Intra(f) = frame else { return None };
+        if !pcc_intra::BrickIndex::detect(&f.geometry) {
+            return None;
+        }
+        let index = pcc_intra::BrickIndex::parse(&f.geometry, &self.limits).ok()?;
+        let mut geometry = f.geometry.clone();
+        let mut attribute = f.attribute.clone();
+        let mut repaired = 0usize;
+        for entry in index.entries() {
+            let intact = f
+                .geometry
+                .get(entry.geom.clone())
+                .zip(f.attribute.get(entry.attr.clone()))
+                .is_some_and(|(g, a)| {
+                    let mut crc = Crc32::new();
+                    crc.update(g);
+                    crc.update(a);
+                    crc.finish() == entry.crc
+                });
+            if intact {
+                continue;
+            }
+            let bytes = fetch(entry.cell)?;
+            let glen = entry.geom.len();
+            if bytes.len() != glen + entry.attr.len() || crc32(&bytes) != entry.crc {
+                return None;
+            }
+            let (g, a) = bytes.split_at(glen);
+            geometry.get_mut(entry.geom.clone())?.copy_from_slice(g);
+            attribute.get_mut(entry.attr.clone())?.copy_from_slice(a);
+            repaired += 1;
+        }
+        if repaired == 0 {
+            // Every brick payload checks out locally, so the decode
+            // failure is in the frame structure itself — nothing a brick
+            // retransmit can mend.
+            return None;
+        }
+        let bricks_total = index.len();
+        let mended = EncodedFrame::Intra(IntraFrame {
+            geometry,
+            attribute,
+            unique_voxels: f.unique_voxels,
+            raw_points: f.raw_points,
+        });
+        self.index = self.index.saturating_sub(1);
+        match self.decode_frame(&mended) {
+            Ok((cloud, timeline)) => {
+                Some(RepairedIntra { cloud, timeline, bricks_repaired: repaired, bricks_total })
+            }
+            // decode_frame re-advanced the cursor, so the decoder is back
+            // in the state the failed original decode left it in.
+            Err(_) => None,
+        }
+    }
 }
 
 /// The result of [`FrameDecoder::salvage_intra`]: the partial picture a
@@ -702,6 +816,21 @@ pub struct SalvagedIntra {
     pub bricks_total: usize,
     /// Modeled decode timeline of the salvage pass.
     pub timeline: Timeline,
+}
+
+/// The result of [`FrameDecoder::repair_intra`]: a damaged brick frame
+/// made whole again from retransmitted brick payloads.
+#[derive(Debug, Clone)]
+pub struct RepairedIntra {
+    /// The fully repaired frame's points — bit-exact with an undamaged
+    /// delivery of the same frame.
+    pub cloud: PointCloud,
+    /// Modeled decode timeline of the repaired decode.
+    pub timeline: Timeline,
+    /// Bricks whose payloads were replaced from retransmission.
+    pub bricks_repaired: usize,
+    /// Bricks the frame's index declares.
+    pub bricks_total: usize,
 }
 
 #[cfg(test)]

@@ -48,8 +48,13 @@ pub mod rate;
 mod report;
 
 pub use codec::{
-    CodecError, EncodedFrame, EncodedVideo, FrameDecoder, FrameEncoder, PccCodec, SalvagedIntra,
+    CodecError, EncodedFrame, EncodedVideo, FrameDecoder, FrameEncoder, PccCodec, RepairedIntra,
+    SalvagedIntra,
 };
+// The brick index types travel up to the stream layer: the sender's
+// repair ring parks per-brick payload ranges so a receiver can NACK and
+// re-fetch individual damaged bricks.
+pub use pcc_intra::{BrickEntry, BrickIndex};
 pub use design::Design;
 pub use eval::{evaluate, EvalOptions};
 pub use report::{DesignReport, FrameReport};

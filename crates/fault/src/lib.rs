@@ -23,9 +23,11 @@
 //! [`LossyRetransmit`] applies the same seeded-loss idea to an ARQ back
 //! channel, so retransmission retry budgets can be exercised
 //! deterministically too. [`ThrottledTransport`] models a
-//! throughput-bound link by charging clock time per byte, and
-//! [`panic_on_frames`] builds encode-fault hooks for exercising
-//! `pcc-stream`'s panic containment.
+//! throughput-bound link by charging clock time per byte,
+//! [`MortalTransport`] models a link that dies after a fixed number of
+//! records (for reconnect/resume testing), and [`panic_on_frames`]
+//! builds encode-fault hooks for exercising `pcc-stream`'s panic
+//! containment.
 //!
 //! ```
 //! use pcc_fault::{FaultConfig, FaultyTransport};
@@ -323,6 +325,63 @@ impl<W: Write> Write for ThrottledTransport<W> {
     }
 }
 
+/// A `Write` combinator that dies after a fixed number of records,
+/// modeling a transport (socket, relay hop) that goes away mid-session.
+///
+/// The first `lives` write calls pass through untouched; every write or
+/// flush after that fails with [`io::ErrorKind::BrokenPipe`]. Paired
+/// with `pcc-serve`'s resubscribe path this exercises the
+/// kill-and-reconnect story deterministically: the death point is a
+/// record count, not a race.
+#[derive(Debug)]
+pub struct MortalTransport<W: Write> {
+    inner: W,
+    lives: usize,
+    written: usize,
+}
+
+impl<W: Write> MortalTransport<W> {
+    /// Wraps `inner`, allowing exactly `lives` successful writes before
+    /// the transport starts failing.
+    pub fn new(inner: W, lives: usize) -> Self {
+        MortalTransport { inner, lives, written: 0 }
+    }
+
+    /// Records successfully written before (or instead of) death.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// True once the transport has started refusing writes.
+    pub fn is_dead(&self) -> bool {
+        self.written >= self.lives
+    }
+
+    /// Unwraps the underlying transport, keeping whatever bytes made it
+    /// through before death.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for MortalTransport<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.written >= self.lives {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "transport died"));
+        }
+        self.inner.write_all(buf)?;
+        self.written += 1;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.written >= self.lives {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "transport died"));
+        }
+        self.inner.flush()
+    }
+}
+
 /// An encode-fault hook that panics on the listed frame indices —
 /// plug it into `Supervisor::with_encode_fault` to prove a worker panic
 /// costs one frame, not the session.
@@ -473,6 +532,21 @@ mod tests {
         t.flush().unwrap();
         assert_eq!(clock.now(), Duration::from_nanos(1_500));
         assert_eq!(t.into_inner().len(), 150, "throttling never touches the bytes");
+    }
+
+    #[test]
+    fn mortal_transport_dies_exactly_on_schedule() {
+        let mut t = MortalTransport::new(Vec::new(), 3);
+        for i in 0..3u8 {
+            t.write_all(&[i; 8]).unwrap();
+        }
+        assert!(!t.is_dead() || t.written() == 3);
+        let err = t.write_all(&[9; 8]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(t.is_dead());
+        assert_eq!(t.flush().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(t.written(), 3);
+        assert_eq!(t.into_inner().len(), 3 * 8, "pre-death bytes survive");
     }
 
     #[test]

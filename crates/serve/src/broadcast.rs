@@ -7,15 +7,56 @@ use pcc_adapt::{Clock, Controller, FrameObservation, SystemClock};
 use pcc_core::PccCodec;
 use pcc_edge::Device;
 use pcc_stream::{
-    FramePayload, FrameSource, SharedRing, SharedStats, StreamConfig, StreamStats, Subscription,
+    FramePayload, FrameSource, RecoveryRequest, SharedRepairRing, SharedRing, SharedStats,
+    StreamConfig, StreamStats, Subscription,
 };
 use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud};
 use std::io::{self, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Opaque handle to one subscriber of a [`Broadcast`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriberId(u64);
+
+/// The serving state of one subscriber slot.
+///
+/// A slot leaves `Live` but is **not** removed: its identity, ARQ ring,
+/// and stream counters are retained so [`Broadcast::resubscribe`] can
+/// resume the subscriber on a fresh transport with exact byte
+/// accounting across lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotHealth {
+    /// Being served on every push.
+    Live,
+    /// The transport errored at the recorded display index.
+    Failed {
+        /// Display index of the frame whose send failed.
+        at_frame: u32,
+    },
+    /// The liveness policy evicted the slot at the recorded display
+    /// index (too many missed send deadlines).
+    Evicted {
+        /// Display index of the frame whose send sealed the eviction.
+        at_frame: u32,
+    },
+}
+
+/// Missed-deadline eviction policy for [`Broadcast::with_liveness`].
+///
+/// Each live send is timed against the slot's injected clock; a send
+/// slower than `send_deadline` is one miss, and `max_misses`
+/// *consecutive* misses evict the slot (health
+/// [`SlotHealth::Evicted`]). This replaces silently serving a stalled
+/// consumer forever: a wedged transport that never errors still gets
+/// detected and cut, and [`Broadcast::resubscribe`] lets it return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessPolicy {
+    /// Longest acceptable per-frame send time.
+    pub send_deadline: Duration,
+    /// Consecutive misses tolerated before eviction (minimum 1).
+    pub max_misses: u32,
+}
 
 /// Per-subscriber wiring handed to [`Broadcast::subscribe`].
 ///
@@ -61,12 +102,17 @@ struct Slot {
     /// (P-stride). Subtracted from receiver-reported loss so the
     /// controller does not read its own degradation as network loss.
     suppressed: usize,
-    alive: bool,
+    /// Retained across lives so a resubscribed receiver can still NACK
+    /// chunks parked before the disconnect.
+    arq_ring: Option<SharedRing>,
+    /// Consecutive send-deadline misses under the liveness policy.
+    misses: u32,
+    health: SlotHealth,
 }
 
 impl std::fmt::Debug for Slot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Slot").field("id", &self.id).field("alive", &self.alive).finish_non_exhaustive()
+        f.debug_struct("Slot").field("id", &self.id).field("health", &self.health).finish_non_exhaustive()
     }
 }
 
@@ -95,6 +141,7 @@ pub struct Broadcast<'d> {
     slots: Vec<Slot>,
     cache: ResyncCache,
     stats: ServeStats,
+    liveness: Option<LivenessPolicy>,
     next_id: u64,
 }
 
@@ -124,8 +171,25 @@ impl<'d> Broadcast<'d> {
             slots: Vec::new(),
             cache: ResyncCache::new(),
             stats: ServeStats::default(),
+            liveness: None,
             next_id: 0,
         }
+    }
+
+    /// Arms missed-deadline eviction: sends timed (per slot clock)
+    /// against `policy.send_deadline`, with `policy.max_misses`
+    /// consecutive misses evicting the subscriber.
+    pub fn with_liveness(mut self, policy: LivenessPolicy) -> Self {
+        self.liveness = Some(policy);
+        self
+    }
+
+    /// Parks every encoded brick I-frame in `ring` so receivers can NACK
+    /// individual damaged bricks ([`pcc_stream::RepairSource`]) instead
+    /// of waiting out a whole-frame refresh.
+    pub fn with_repair(mut self, ring: SharedRepairRing) -> Self {
+        self.source = self.source.with_repair(ring);
+        self
     }
 
     /// Voxelizes every frame in a common bounding box (see
@@ -147,7 +211,7 @@ impl<'d> Broadcast<'d> {
 
     /// Subscribers currently being served.
     pub fn subscriber_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.alive).count()
+        self.slots.iter().filter(|s| s.health == SlotHealth::Live).count()
     }
 
     /// Attaches a subscriber: writes its stream header and, when the
@@ -175,7 +239,8 @@ impl<'d> Broadcast<'d> {
         let header = self.source.header_at(join_at);
         let boxed: Box<dyn Write + Send> = Box::new(transport);
         let mut sub = Subscription::attach(boxed, &header)?;
-        if let Some(ring) = config.arq_ring {
+        let arq_ring = config.arq_ring;
+        if let Some(ring) = arq_ring.clone() {
             sub = sub.with_arq(ring);
         }
         if late {
@@ -197,10 +262,72 @@ impl<'d> Broadcast<'d> {
             feedback: config.feedback,
             clock: config.clock.unwrap_or_else(|| Arc::new(SystemClock::default())),
             suppressed: 0,
-            alive: true,
+            arq_ring,
+            misses: 0,
+            health: SlotHealth::Live,
         });
         self.stats.subscribers_joined += 1;
         Ok(id)
+    }
+
+    /// Resumes a dead (failed or evicted) subscriber on a fresh
+    /// transport, keeping its identity, ARQ ring, and counters.
+    ///
+    /// The new transport gets a stream header at the resync cache's
+    /// join point and the cached GOF replayed, exactly like a late
+    /// join, then the slot's counters are carried over so
+    /// `bytes_sent` / `frames_sent` keep counting across lives.
+    /// Returns `Ok(false)` for unknown ids and for slots that are still
+    /// live (resubscribing a healthy slot would fork its stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from the header write or cache
+    /// replay; the slot then stays dead and can be retried.
+    pub fn resubscribe<W: Write + Send + 'static>(
+        &mut self,
+        id: SubscriberId,
+        transport: W,
+    ) -> io::Result<bool> {
+        let frame_index = self.source.frame_index() as u32;
+        let join_at = self.cache.join_index().unwrap_or(frame_index);
+        let header = self.source.header_at(join_at);
+        let Some(at) = self
+            .slots
+            .iter()
+            .position(|s| s.id == id && s.health != SlotHealth::Live)
+        else {
+            return Ok(false);
+        };
+        let boxed: Box<dyn Write + Send> = Box::new(transport);
+        let mut sub = Subscription::attach(boxed, &header)?;
+        if let Some(ring) = self.slots.get(at).and_then(|s| s.arq_ring.clone()) {
+            sub = sub.with_arq(ring);
+        }
+        let replay_sp = pcc_probe::span("serve/replay");
+        let mut replayed = 0usize;
+        for frame in self.cache.frames() {
+            sub.send_payload(frame)?;
+            replayed += 1;
+        }
+        self.stats.aggregate.add_stage_ns("serve/replay", replay_sp.stop());
+        let Some(slot) = self.slots.get_mut(at) else {
+            return Ok(false);
+        };
+        // Checkpoint the dead life's counters, swap in the new
+        // subscription, and carry the totals over; the dead transport's
+        // parting flush error is exactly what killed the slot, so it is
+        // deliberately ignored.
+        let checkpoint = slot.sub.stats().clone();
+        let old = std::mem::replace(&mut slot.sub, sub);
+        let _ = old.into_parts();
+        slot.sub.carry_over(&checkpoint);
+        slot.health = SlotHealth::Live;
+        slot.misses = 0;
+        self.stats.replayed_frames += replayed;
+        self.stats.resubscribes += 1;
+        pcc_probe::add_count("serve/resubscribes", 1);
+        Ok(true)
     }
 
     /// Detaches a subscriber without an end chunk (its receiver sees a
@@ -224,6 +351,22 @@ impl<'d> Broadcast<'d> {
     /// the way. Transport failures drop the failing subscriber and
     /// never propagate; the session itself cannot error here.
     pub fn push_frame(&mut self, cloud: &PointCloud) -> FrameKind {
+        // Drain receiver-driven recovery asks first so a refresh lands
+        // in *this* frame's encode. One shared encode serves every
+        // subscriber, so any single broken receiver re-anchors all of
+        // them (the intact ones just see an early I-frame).
+        for slot in &mut self.slots {
+            if slot.health != SlotHealth::Live {
+                continue;
+            }
+            if let Some(fb) = &slot.feedback {
+                for request in fb.take_recovery() {
+                    if matches!(request, RecoveryRequest::IntraRefresh { .. }) {
+                        self.source.request_refresh();
+                    }
+                }
+            }
+        }
         let encode_sp = pcc_probe::span("serve/encode");
         let frame = self.source.encode_next(cloud);
         self.stats.aggregate.add_stage_ns("serve/encode", encode_sp.stop());
@@ -239,7 +382,7 @@ impl<'d> Broadcast<'d> {
         let sheddable = self.sheddable;
         let fanout_sp = pcc_probe::span("serve/fanout");
         for slot in &mut self.slots {
-            if !slot.alive {
+            if slot.health != SlotHealth::Live {
                 continue;
             }
             let index = frame.frame_index as usize;
@@ -283,10 +426,23 @@ impl<'d> Broadcast<'d> {
             };
             let sent_at = slot.clock.now();
             let result = slot.sub.send_payload(outgoing);
-            let send_ms =
-                slot.clock.now().checked_sub(sent_at).unwrap_or_default().as_secs_f64() * 1000.0;
+            let send_time = slot.clock.now().checked_sub(sent_at).unwrap_or_default();
+            let send_ms = send_time.as_secs_f64() * 1000.0;
             match result {
                 Ok(()) => {
+                    if let Some(policy) = &self.liveness {
+                        if send_time > policy.send_deadline {
+                            slot.misses += 1;
+                            if slot.misses >= policy.max_misses.max(1) {
+                                slot.health = SlotHealth::Evicted { at_frame: frame.frame_index };
+                                self.stats.subscribers_evicted += 1;
+                                pcc_probe::add_count("serve/subscribers_evicted", 1);
+                                continue;
+                            }
+                        } else {
+                            slot.misses = 0;
+                        }
+                    }
                     if let Some(ctl) = &mut slot.controller {
                         let fb = slot.feedback.as_ref().map(SharedStats::snapshot);
                         ctl.observe(&FrameObservation {
@@ -302,11 +458,14 @@ impl<'d> Broadcast<'d> {
                                 .as_ref()
                                 .map_or(0, |s| s.frames_dropped.saturating_sub(slot.suppressed)),
                             receiver_arq_degraded: fb.as_ref().map_or(0, |s| s.arq_degraded),
+                            receiver_refresh_requests: fb
+                                .as_ref()
+                                .map_or(0, |s| s.refresh_requests),
                         });
                     }
                 }
                 Err(_) => {
-                    slot.alive = false;
+                    slot.health = SlotHealth::Failed { at_frame: frame.frame_index };
                     self.stats.subscribers_failed += 1;
                     pcc_probe::add_count("serve/subscriber_failures", 1);
                 }
@@ -333,7 +492,13 @@ impl<'d> Broadcast<'d> {
 
     /// Whether this subscriber's transport is still being served.
     pub fn is_alive(&self, id: SubscriberId) -> bool {
-        self.slots.iter().any(|s| s.id == id && s.alive)
+        self.slots.iter().any(|s| s.id == id && s.health == SlotHealth::Live)
+    }
+
+    /// The serving state of this subscriber's slot — `Live`, or why and
+    /// where it died (`None` for unknown or unsubscribed ids).
+    pub fn subscriber_health(&self, id: SubscriberId) -> Option<SlotHealth> {
+        self.slots.iter().find(|s| s.id == id).map(|s| s.health)
     }
 
     /// Session counters, with every live subscriber's stream counters
@@ -356,7 +521,7 @@ impl<'d> Broadcast<'d> {
             // Snapshot first: if the end-chunk write fails, the
             // counters up to that point still inform the aggregate.
             let snapshot = slot.sub.stats().clone();
-            let was_alive = slot.alive;
+            let was_alive = slot.health == SlotHealth::Live;
             match slot.sub.finish(total) {
                 Ok((_, stats)) => self.stats.aggregate.merge(&stats),
                 Err(_) => {

@@ -110,4 +110,69 @@ mod tests {
         cache.observe(&payload(5, FrameKind::Predicted));
         assert!(cache.is_empty());
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The cache invariant the recovery plane leans on: whatever
+            // sequence of frames is observed — healthy cadence, gaps,
+            // repeats, out-of-order garbage — the cache is always
+            // *exactly* one decodable GOF prefix: an I-frame plus the
+            // contiguous P-run observed right after it, and nothing
+            // else. Resubscribe replays this verbatim, so any violation
+            // here is a corrupted reconnect.
+            fn cache_is_always_one_decodable_gof_suffix(
+                ops in prop::collection::vec((0u32..24, 0usize..2), 0..64),
+            ) {
+                let mut cache = ResyncCache::new();
+                let mut observed = Vec::new();
+                for &(index, kind_sel) in &ops {
+                    let kind = if kind_sel == 0 {
+                        FrameKind::Intra
+                    } else {
+                        FrameKind::Predicted
+                    };
+                    let frame = payload(index, kind);
+                    cache.observe(&frame);
+                    observed.push(frame);
+
+                    let cached = cache.frames();
+                    if let Some(first) = cached.first() {
+                        prop_assert_eq!(
+                            first.kind,
+                            FrameKind::Intra,
+                            "cache must open with an anchor"
+                        );
+                        prop_assert_eq!(cache.join_index(), Some(first.frame_index));
+                        for (a, b) in cached.iter().zip(cached.iter().skip(1)) {
+                            prop_assert_eq!(b.kind, FrameKind::Predicted);
+                            prop_assert_eq!(
+                                b.frame_index,
+                                a.frame_index + 1,
+                                "P-run must be gapless"
+                            );
+                        }
+                        // The cache is the *trailing* slice of what was
+                        // observed — it never resurrects older frames.
+                        let tail = observed.len() - cached.len();
+                        let suffix = &observed[tail..];
+                        prop_assert_eq!(cached.len(), suffix.len());
+                        for (c, o) in cached.iter().zip(suffix) {
+                            prop_assert_eq!(c.frame_index, o.frame_index);
+                            prop_assert_eq!(c.kind, o.kind);
+                            prop_assert_eq!(&c.payload, &o.payload);
+                        }
+                    } else {
+                        prop_assert_eq!(cache.join_index(), None);
+                    }
+                    // An I-frame always resets to exactly itself.
+                    if kind == FrameKind::Intra {
+                        prop_assert_eq!(cache.len(), 1);
+                    }
+                }
+            }
+        }
+    }
 }

@@ -23,6 +23,13 @@
 //! * [`ServeStats`] — session counters; `frames_encoded` stays flat
 //!   while the aggregated per-subscriber counters scale with the
 //!   audience.
+//! * Recovery plane — a dead slot keeps its identity ([`SlotHealth`]),
+//!   ARQ ring, and counters so [`Broadcast::resubscribe`] can resume it
+//!   on a fresh transport (header + cached-GOF replay + carried-over
+//!   byte accounting); a [`LivenessPolicy`] evicts stalled consumers by
+//!   missed send deadlines instead of serving a wedged wire forever;
+//!   and receiver intra-refresh asks drained from the feedback channel
+//!   re-anchor the shared encode for everyone.
 //!
 //! ```
 //! use pcc_core::{Design, PccCodec};
@@ -58,7 +65,7 @@ mod registry;
 mod shed;
 mod stats;
 
-pub use broadcast::{Broadcast, SubscriberConfig, SubscriberId};
+pub use broadcast::{Broadcast, LivenessPolicy, SlotHealth, SubscriberConfig, SubscriberId};
 pub use cache::ResyncCache;
 pub use registry::Registry;
 pub use shed::shed_refinement;

@@ -113,4 +113,43 @@ mod tests {
         // A finished id is free again.
         assert_eq!(registry.create(&codec, 6, &device, &config), Some(7));
     }
+
+    #[test]
+    fn stream_ids_stay_exclusive_across_subscriber_churn() {
+        use pcc_fault::MortalTransport;
+        use pcc_types::{Point3, PointCloud, Rgb};
+
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let mut registry = Registry::new();
+        let config = StreamConfig { stream_id: 3, ..StreamConfig::default() };
+        registry.create(&codec, 5, &device, &config).unwrap();
+
+        let mut cloud = PointCloud::new();
+        cloud.push(Point3::new(1.0, 2.0, 3.0), Rgb::gray(128));
+
+        // Kill, resubscribe, and unsubscribe subscribers repeatedly:
+        // none of it frees the stream id — only finish does.
+        let session = registry.session_mut(3).unwrap();
+        let churned =
+            session.subscribe(MortalTransport::new(Vec::new(), 2), Default::default()).unwrap();
+        let leaver = session.subscribe(Vec::new(), Default::default()).unwrap();
+        for _ in 0..3 {
+            registry.session_mut(3).unwrap().push_frame(&cloud);
+        }
+        assert!(!registry.session(3).unwrap().is_alive(churned), "lives exhausted");
+        assert_eq!(registry.create(&codec, 5, &device, &config), None);
+
+        let session = registry.session_mut(3).unwrap();
+        assert!(session.resubscribe(churned, Vec::new()).unwrap());
+        assert!(session.is_alive(churned));
+        assert!(session.unsubscribe(leaver).is_some());
+        assert_eq!(registry.create(&codec, 5, &device, &config), None, "id still taken");
+
+        let stats = registry.finish(3).expect("session finishes");
+        assert_eq!(stats.resubscribes, 1);
+        assert_eq!(stats.subscribers_failed, 1);
+        // The id is free exactly once the session is gone.
+        assert_eq!(registry.create(&codec, 5, &device, &config), Some(3));
+    }
 }

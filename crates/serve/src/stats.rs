@@ -23,6 +23,12 @@ pub struct ServeStats {
     /// Subscribers dropped after a transport error (the broadcast keeps
     /// serving everyone else).
     pub subscribers_failed: usize,
+    /// Subscribers cut by the liveness policy after consecutive missed
+    /// send deadlines.
+    pub subscribers_evicted: usize,
+    /// Dead slots resumed on a fresh transport
+    /// ([`Broadcast::resubscribe`](crate::Broadcast::resubscribe)).
+    pub resubscribes: usize,
     /// Subscribers that attached after the first frame and were
     /// resynced from the cache.
     pub late_joins: usize,
@@ -41,9 +47,12 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Subscribers currently being served.
+    /// Subscribers currently being served: every join and resume, minus
+    /// every way a slot stops being served.
     pub fn subscribers_active(&self) -> usize {
-        self.subscribers_joined - self.subscribers_left - self.subscribers_failed
+        (self.subscribers_joined + self.resubscribes).saturating_sub(
+            self.subscribers_left + self.subscribers_failed + self.subscribers_evicted,
+        )
     }
 
     /// Mean number of wires each encoded frame was stamped onto — the
@@ -54,6 +63,41 @@ impl ServeStats {
         } else {
             self.aggregate.frames_sent as f64 / self.frames_encoded as f64
         }
+    }
+}
+
+/// One row per concern — audience, resync, shed — then the merged
+/// per-subscriber [`StreamStats`] block verbatim, so a whole session
+/// reads as one report.
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "encode    frames {:>6}  fanout {:>6.2}",
+            self.frames_encoded,
+            self.fanout_ratio()
+        )?;
+        writeln!(
+            f,
+            "audience  joined {:>4}  left {:>4}  failed {:>4}  evicted {:>4}  resubs {:>4}  active {:>4}",
+            self.subscribers_joined,
+            self.subscribers_left,
+            self.subscribers_failed,
+            self.subscribers_evicted,
+            self.resubscribes,
+            self.subscribers_active()
+        )?;
+        writeln!(
+            f,
+            "resync    late-joins {:>4}  replayed {:>5}",
+            self.late_joins, self.replayed_frames
+        )?;
+        writeln!(
+            f,
+            "shed      refinement {:>5}  p-stride {:>5}",
+            self.sheds_refinement, self.sheds_p_stride
+        )?;
+        write!(f, "{}", self.aggregate)
     }
 }
 
@@ -72,5 +116,29 @@ mod tests {
         stats.subscribers_failed = 1;
         stats.subscribers_left = 1;
         assert_eq!(stats.subscribers_active(), 3);
+        stats.subscribers_evicted = 2;
+        assert_eq!(stats.subscribers_active(), 1);
+        stats.resubscribes = 3;
+        assert_eq!(stats.subscribers_active(), 4, "resumes rejoin the audience");
+    }
+
+    #[test]
+    fn display_reports_every_recovery_counter() {
+        let mut stats = ServeStats::default();
+        stats.frames_encoded = 12;
+        stats.subscribers_joined = 3;
+        stats.subscribers_failed = 1;
+        stats.subscribers_evicted = 1;
+        stats.resubscribes = 2;
+        stats.late_joins = 1;
+        stats.replayed_frames = 4;
+        stats.aggregate.refresh_requests = 1;
+        stats.aggregate.bricks_repaired = 5;
+        let text = stats.to_string();
+        for needle in
+            ["audience", "failed    1", "evicted    1", "resubs    2", "active    3", "repair"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 }

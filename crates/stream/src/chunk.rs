@@ -282,6 +282,7 @@ pub struct ChunkReader<R: Read> {
     buf: Vec<u8>,
     start: usize,
     eof: bool,
+    streaming: bool,
     bytes_read: u64,
     corrupt_events: u64,
     last_payload_offset: Option<u64>,
@@ -297,10 +298,31 @@ impl<R: Read> ChunkReader<R> {
             buf: Vec::with_capacity(READ_CHUNK),
             start: 0,
             eof: false,
+            streaming: false,
             bytes_read: 0,
             corrupt_events: 0,
             last_payload_offset: None,
         }
+    }
+
+    /// Switches the reader between batch and live semantics for a
+    /// zero-byte read.
+    ///
+    /// In the default batch mode a 0-byte read is end-of-stream: the
+    /// reader latches EOF and trailing partial bytes count as
+    /// corruption. On a live transport (a socket mid-session, a shared
+    /// in-memory pipe the sender is still filling) a 0-byte read only
+    /// means *nothing buffered yet* — in streaming mode
+    /// [`next_chunk`](Self::next_chunk) returns `Ok(None)` without
+    /// latching EOF or booking the partial chunk as corrupt, and a later
+    /// call picks up exactly where the bytes ran out.
+    pub fn set_streaming(&mut self, streaming: bool) {
+        self.streaming = streaming;
+    }
+
+    /// Whether the reader treats zero-byte reads as "no data yet".
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
     }
 
     /// Total bytes consumed from the transport so far.
@@ -345,6 +367,12 @@ impl<R: Read> ChunkReader<R> {
             let got = self.inner.read(&mut self.buf[old_len..])?;
             self.buf.truncate(old_len + got);
             if got == 0 {
+                if self.streaming {
+                    // Live transport with nothing buffered yet: report
+                    // the shortfall without latching EOF, so a later
+                    // call resumes once more bytes arrive.
+                    break;
+                }
                 self.eof = true;
             }
             self.bytes_read += got as u64;
@@ -404,6 +432,11 @@ impl<R: Read> ChunkReader<R> {
             }
 
             if !self.fill_to(HEADER_LEN)? {
+                if self.streaming && !self.eof {
+                    // Header still in flight; retry from this marker on
+                    // the next call.
+                    return Ok(None);
+                }
                 // Not enough bytes left for any chunk at this marker.
                 self.corrupt_events += 1;
                 return Ok(None);
@@ -420,6 +453,11 @@ impl<R: Read> ChunkReader<R> {
 
             let total = HEADER_LEN + payload_len + 4;
             if !self.fill_to(total)? {
+                if self.streaming && !self.eof {
+                    // Payload still in flight; the header stays buffered
+                    // and the next call resumes at the same chunk.
+                    return Ok(None);
+                }
                 // The stream ends inside this chunk; a later marker may
                 // still be buffered, so scan on.
                 self.corrupt_events += 1;
@@ -482,6 +520,50 @@ mod tests {
             frame_index,
             payload,
         }
+    }
+
+    #[test]
+    fn streaming_mode_pauses_on_partial_chunks_without_corruption() {
+        use std::collections::VecDeque;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Pipe(Arc<Mutex<VecDeque<u8>>>);
+        impl Read for Pipe {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let mut q = self.0.lock().unwrap();
+                let n = q.len().min(buf.len());
+                for (slot, byte) in buf.iter_mut().zip(q.drain(..n)) {
+                    *slot = byte;
+                }
+                Ok(n)
+            }
+        }
+
+        let pipe = Pipe(Arc::new(Mutex::new(VecDeque::new())));
+        let mut reader = ChunkReader::new(pipe.clone());
+        reader.set_streaming(true);
+        let bytes = encode_chunk(&frame_chunk(1, 0, FrameKind::Intra, vec![9; 64]));
+
+        // Nothing buffered yet.
+        assert!(reader.next_chunk().unwrap().is_none());
+        // A partial header, then a partial payload: still no chunk, and
+        // crucially no corruption booked and no EOF latched.
+        pipe.0.lock().unwrap().extend(bytes[..10].iter());
+        assert!(reader.next_chunk().unwrap().is_none());
+        pipe.0.lock().unwrap().extend(bytes[10..40].iter());
+        assert!(reader.next_chunk().unwrap().is_none());
+        assert_eq!(reader.corrupt_events(), 0);
+        // The tail arrives: the chunk parses whole on the next poll.
+        pipe.0.lock().unwrap().extend(bytes[40..].iter());
+        let got = reader.next_chunk().unwrap().expect("complete chunk once bytes land");
+        assert_eq!(got.payload, vec![9; 64]);
+        assert_eq!(reader.corrupt_events(), 0);
+        // No EOF was latched: later traffic is still picked up.
+        let more = encode_chunk(&frame_chunk(2, 1, FrameKind::Predicted, vec![3; 16]));
+        pipe.0.lock().unwrap().extend(more.iter());
+        assert_eq!(reader.next_chunk().unwrap().unwrap().seq, 2);
+        assert!(reader.next_chunk().unwrap().is_none());
     }
 
     fn sample_chunks() -> Vec<Chunk> {

@@ -29,6 +29,11 @@
 //!   [`Supervisor`] that walks a `pcc-adapt` quality ladder on live
 //!   feedback, abandons over-deadline P-frames (deadline watchdog), and
 //!   contains encode-worker panics as single dropped frames.
+//! * [`recovery`] — the recovery plane: receiver-driven
+//!   [`RecoveryRequest`]s (intra-refresh asks, per-brick repair NACKs)
+//!   ride the feedback channel back to the sender, which re-anchors
+//!   with an out-of-schedule I-frame or retransmits individual brick
+//!   payloads from a bounded [`RepairRing`].
 //! * [`StreamStats`] — delivery accounting: frames sent / delivered /
 //!   dropped, resyncs, wire bytes, corruption events.
 //!
@@ -72,12 +77,14 @@ pub mod arq;
 pub mod chunk;
 pub mod crc;
 pub mod plan;
+pub mod recovery;
 pub mod session;
 pub mod source;
 pub mod stats;
 pub mod supervise;
 
 pub use arq::{ArqConfig, Retransmit, RetransmitRing, SharedRing};
+pub use recovery::{RecoveryRequest, RepairRing, RepairSource, SharedRepairRing};
 pub use chunk::{
     decode_chunk, encode_chunk, encode_chunk_parts, Chunk, ChunkKind, ChunkReader, ChunkWriter,
 };

@@ -16,9 +16,10 @@
 
 use crate::arq::{ArqConfig, Retransmit, SharedRing};
 use crate::chunk::{decode_chunk, Chunk, ChunkKind, ChunkReader};
+use crate::recovery::{RecoveryRequest, RepairSource, SharedRepairRing};
 use crate::stats::{SharedStats, StreamStats};
 use pcc_adapt::{Clock, SystemClock};
-use pcc_core::{container, Design, FrameDecoder, PccCodec};
+use pcc_core::{container, Design, EncodedFrame, FrameDecoder, PccCodec};
 use pcc_edge::Device;
 use pcc_types::{Aabb, FrameKind, GofPattern, PointCloud, Video};
 use std::collections::VecDeque;
@@ -90,6 +91,9 @@ pub(crate) fn end_chunk(stream_id: u32, seq: u32, total_frames: u32) -> Chunk {
 pub struct Sender<'d, W: Write> {
     source: crate::FrameSource<'d>,
     sub: crate::Subscription<W>,
+    /// Receiver feedback slot; drained for recovery requests before each
+    /// encode so an intra-refresh ask re-anchors at the next slot.
+    feedback: Option<SharedStats>,
 }
 
 impl<'d, W: Write> Sender<'d, W> {
@@ -107,7 +111,7 @@ impl<'d, W: Write> Sender<'d, W> {
     ) -> io::Result<Self> {
         let source = crate::FrameSource::new(codec, depth, device, config);
         let sub = crate::Subscription::attach(writer, &source.header())?;
-        Ok(Sender { source, sub })
+        Ok(Sender { source, sub, feedback: None })
     }
 
     /// Voxelizes every frame in a common bounding box (see
@@ -125,12 +129,41 @@ impl<'d, W: Write> Sender<'d, W> {
         self
     }
 
+    /// Listens on the receiver's feedback slot for recovery requests: an
+    /// [`RecoveryRequest::IntraRefresh`] published there (by a receiver
+    /// built [`with_recovery`](Receiver::with_recovery) on the same
+    /// [`SharedStats`] handle) makes the next
+    /// [`send_frame`](Self::send_frame) re-anchor with an
+    /// out-of-schedule I-frame.
+    pub fn with_feedback(mut self, feedback: SharedStats) -> Self {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// Parks every brick-partitioned I-frame in `ring` so a receiver
+    /// holding a clone can NACK individually damaged bricks (see
+    /// [`Receiver::with_repair`]).
+    pub fn with_repair(mut self, ring: SharedRepairRing) -> Self {
+        self.source = self.source.with_repair(ring);
+        self
+    }
+
     /// Encodes and transmits the next frame, returning its coded kind.
+    /// Pending recovery requests on the feedback slot are drained first,
+    /// so a refresh ask published after the previous frame lands at this
+    /// slot.
     ///
     /// # Errors
     ///
     /// Propagates transport errors.
     pub fn send_frame(&mut self, cloud: &PointCloud) -> io::Result<FrameKind> {
+        if let Some(feedback) = &self.feedback {
+            for request in feedback.take_recovery() {
+                if matches!(request, RecoveryRequest::IntraRefresh { .. }) {
+                    self.source.request_refresh();
+                }
+            }
+        }
         let frame = self.source.encode_next(cloud);
         self.sub.record_encode(&frame);
         self.sub.send_payload(&frame)?;
@@ -252,6 +285,20 @@ pub struct Receiver<'d, R: Read> {
     arq: Option<ArqState>,
     /// Counter snapshots published to the sender side after every frame.
     feedback: Option<SharedStats>,
+    /// Where brick-repair NACKs go: answers with the original
+    /// `geometry ++ attribute` bytes of one damaged brick.
+    repair: Option<Box<dyn RepairSource + Send>>,
+    /// Recovery mode: publish intra-refresh requests when the reference
+    /// breaks, and treat any counted gap as a potential lost anchor
+    /// (out-of-schedule refresh I-frames make the static GOF cadence an
+    /// unreliable oracle).
+    recovery: bool,
+    /// An intra-refresh request is in flight; suppresses duplicates
+    /// until the session re-anchors.
+    refresh_outstanding: bool,
+    /// Live-transport mode: a chunk-less poll means "no data yet", not
+    /// end of stream.
+    streaming: bool,
     /// Whether the decoder holds the reference the next P-frame needs.
     synced: bool,
     /// Whether any frame has been lost since the last resync point.
@@ -308,6 +355,10 @@ impl<'d, R: Read> Receiver<'d, R> {
             payload_offset: 0,
             arq: None,
             feedback: None,
+            repair: None,
+            recovery: false,
+            refresh_outstanding: false,
+            streaming: false,
             synced: false,
             loss_since_sync: false,
             done: false,
@@ -356,6 +407,57 @@ impl<'d, R: Read> Receiver<'d, R> {
     pub fn with_feedback(mut self, feedback: SharedStats) -> Self {
         self.feedback = Some(feedback);
         self
+    }
+
+    /// Enables receiver-driven recovery: when the reference picture
+    /// breaks (a lost or undecodable I-frame, a gap that may have
+    /// swallowed one), the receiver publishes
+    /// [`RecoveryRequest::IntraRefresh`] into its feedback slot — at
+    /// most one per desync episode — and the sender re-anchors with an
+    /// out-of-schedule I-frame. Requires
+    /// [`with_feedback`](Self::with_feedback); without a feedback slot
+    /// the request has nowhere to go and recovery mode only tightens the
+    /// desync rule.
+    ///
+    /// Recovery receivers treat *any* counted gap as a potential lost
+    /// anchor: once refresh I-frames can appear at arbitrary slots, the
+    /// static GOF cadence no longer proves a gap was P-only, so the
+    /// session desynchronizes and re-anchors instead of guessing. Do not
+    /// combine with senders that deliberately stride P-frames (shedding
+    /// controllers) — every shed would read as loss.
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = true;
+        self
+    }
+
+    /// Enables brick-level repair: when a brick-partitioned I-frame
+    /// arrives with individually damaged bricks, each broken cell is
+    /// NACKed against `source` (typically a clone of the sender's
+    /// [`SharedRepairRing`]) and the retransmitted payload is CRC
+    /// re-verified and spliced back in. A fully mended frame is
+    /// delivered bit-exact and re-anchors the reference chain; a repair
+    /// that cannot complete falls back to partial salvage.
+    pub fn with_repair<S: RepairSource + Send + 'static>(mut self, source: S) -> Self {
+        self.repair = Some(Box::new(source));
+        self
+    }
+
+    /// Switches the session to live-transport semantics: a poll that
+    /// finds no complete chunk returns `Ok(None)` *without* ending the
+    /// session, and the session is over only when an end chunk arrives
+    /// (check [`is_done`](Self::is_done)). Use this when the sender is
+    /// still writing — an interleaved in-process pipe, a nonblocking
+    /// socket — where "no bytes buffered" must not read as EOF.
+    pub fn with_streaming(mut self) -> Self {
+        self.chunks.set_streaming(true);
+        self.streaming = true;
+        self
+    }
+
+    /// Whether the session has ended: an end chunk arrived, or (in
+    /// batch mode) the transport ran out of bytes.
+    pub fn is_done(&self) -> bool {
+        self.done
     }
 
     /// The stream's design, once the stream-header chunk has arrived.
@@ -418,9 +520,14 @@ impl<'d, R: Read> Receiver<'d, R> {
                 recovered
             } else {
                 let Some(chunk) = self.chunks.next_chunk()? else {
+                    self.sync_chunk_counters();
+                    if self.streaming {
+                        // Live transport: no complete chunk buffered
+                        // yet. The session ends only at an end chunk.
+                        return Ok(None);
+                    }
                     // Transport ended without an end chunk.
                     self.done = true;
-                    self.sync_chunk_counters();
                     return Ok(None);
                 };
                 self.sync_chunk_counters();
@@ -618,7 +725,12 @@ impl<'d, R: Read> Receiver<'d, R> {
             self.stats.frames_dropped += counted_gap;
             self.loss_since_sync = true;
         }
-        if index > self.next_frame && self.gof.range_contains_intra(self.next_frame..index) {
+        let crossed_intra =
+            index > self.next_frame && self.gof.range_contains_intra(self.next_frame..index);
+        // With recovery on, any counted gap may have swallowed an
+        // out-of-schedule refresh I-frame the GOF cadence knows nothing
+        // about — desynchronize and re-anchor instead of guessing.
+        if crossed_intra || (self.recovery && counted_gap > 0) {
             self.desync();
         }
         self.next_frame = index + 1;
@@ -658,12 +770,17 @@ impl<'d, R: Read> Receiver<'d, R> {
         self.stats.add_stage_ns("stream/decode", decode_sp.stop());
         match decoded {
             Ok((cloud, timeline)) => {
-                if kind == FrameKind::Intra && !self.synced {
-                    if self.loss_since_sync {
-                        self.stats.resyncs += 1;
+                if kind == FrameKind::Intra {
+                    if !self.synced {
+                        if self.loss_since_sync {
+                            self.stats.resyncs += 1;
+                        }
+                        self.synced = true;
+                        self.loss_since_sync = false;
                     }
-                    self.synced = true;
-                    self.loss_since_sync = false;
+                    // Any intact anchor satisfies an in-flight refresh
+                    // request.
+                    self.refresh_outstanding = false;
                 }
                 self.stats.frames_delivered += 1;
                 Some(Delivered {
@@ -675,6 +792,15 @@ impl<'d, R: Read> Receiver<'d, R> {
                 })
             }
             Err(_) => {
+                if kind == FrameKind::Intra {
+                    // Brick-level repair first: NACK the damaged cells
+                    // and, if every one comes back verified, deliver the
+                    // frame bit-exact — it re-anchors like a clean
+                    // I-frame, so no desync and no refresh request.
+                    if let Some(delivered) = self.try_repair(index, &frame) {
+                        return Some(delivered);
+                    }
+                }
                 // The decoder consumed the frame slot but produced
                 // nothing whole; its reference state is questionable
                 // either way, so the session desynchronizes until the
@@ -706,10 +832,60 @@ impl<'d, R: Read> Receiver<'d, R> {
         }
     }
 
+    /// Attempts brick-level repair of a damaged intra frame (see
+    /// [`with_repair`](Self::with_repair)); `None` leaves the session
+    /// exactly as the failed decode left it.
+    fn try_repair(&mut self, index: usize, frame: &EncodedFrame) -> Option<Delivered> {
+        let repair = self.repair.as_mut()?;
+        let decoder = self.decoder.as_mut()?;
+        let mut nacks = 0usize;
+        let frame_index = index as u32;
+        let outcome = decoder.repair_intra(frame, &mut |cell| {
+            nacks += 1;
+            repair.repair(&RecoveryRequest::BrickRepair { frame_index, cell })
+        });
+        self.stats.brick_nacks += nacks;
+        pcc_probe::add_count("stream/brick_nack", nacks as u64);
+        match outcome {
+            Some(r) => {
+                self.stats.frames_repaired += 1;
+                self.stats.bricks_repaired += r.bricks_repaired;
+                if !self.synced {
+                    if self.loss_since_sync {
+                        self.stats.resyncs += 1;
+                    }
+                    self.synced = true;
+                    self.loss_since_sync = false;
+                }
+                self.refresh_outstanding = false;
+                self.stats.frames_delivered += 1;
+                Some(Delivered {
+                    frame_index: index,
+                    kind: FrameKind::Intra,
+                    cloud: r.cloud,
+                    modeled_decode_ms: r.timeline.total_modeled_ms().as_f64(),
+                    partial: None,
+                })
+            }
+            None => {
+                if nacks > 0 {
+                    // Damage was found and NACKed but the frame could
+                    // not be made whole (ring aged out, bytes failed
+                    // re-verification); fall back to partial salvage.
+                    self.stats.repairs_failed += 1;
+                }
+                None
+            }
+        }
+    }
+
     fn drop_frame(&mut self, index: usize) -> Option<Delivered> {
         self.stats.frames_dropped += 1;
         self.loss_since_sync = true;
-        if self.gof.kind_of(index) == FrameKind::Intra {
+        // In recovery mode any dropped frame may have been an
+        // out-of-schedule anchor, so the conservative move is always to
+        // re-anchor; otherwise the static cadence decides.
+        if self.recovery || self.gof.kind_of(index) == FrameKind::Intra {
             self.desync();
         }
         if let Some(decoder) = self.decoder.as_mut() {
@@ -722,6 +898,15 @@ impl<'d, R: Read> Receiver<'d, R> {
         self.synced = false;
         if let Some(decoder) = self.decoder.as_mut() {
             decoder.invalidate_reference();
+        }
+        if self.recovery && !self.refresh_outstanding {
+            if let Some(feedback) = &self.feedback {
+                feedback.push_recovery(RecoveryRequest::IntraRefresh {
+                    at_frame: self.next_frame as u32,
+                });
+                self.stats.refresh_requests += 1;
+                self.refresh_outstanding = true;
+            }
         }
     }
 }

@@ -23,6 +23,7 @@
 use crate::arq::SharedRing;
 use crate::chunk::{encode_chunk, encode_chunk_parts, Chunk, ChunkKind, ChunkWriter};
 use crate::crc::crc32;
+use crate::recovery::SharedRepairRing;
 use crate::session::{end_chunk, header_chunk, StreamConfig};
 use crate::stats::StreamStats;
 use pcc_core::{container, Design, FrameEncoder, PccCodec};
@@ -50,6 +51,11 @@ pub struct FramePayload {
     pub encode_ns: u64,
     /// Whether the modeled encode latency blew the per-frame budget.
     pub over_budget: bool,
+    /// Whether this frame is an out-of-schedule I-frame emitted in
+    /// answer to a receiver's intra-refresh request. Subscriptions book
+    /// its wire bytes under `refresh_bytes` so re-anchoring cost is
+    /// visible in [`StreamStats`].
+    pub refresh: bool,
 }
 
 impl FramePayload {
@@ -60,7 +66,15 @@ impl FramePayload {
     /// frame's index and kind.
     pub fn from_bytes(frame_index: u32, kind: FrameKind, payload: Vec<u8>) -> Self {
         let payload_crc = crc32(&payload);
-        FramePayload { frame_index, kind, payload, payload_crc, encode_ns: 0, over_budget: false }
+        FramePayload {
+            frame_index,
+            kind,
+            payload,
+            payload_crc,
+            encode_ns: 0,
+            over_budget: false,
+            refresh: false,
+        }
     }
 }
 
@@ -74,6 +88,12 @@ pub struct FrameSource<'d> {
     depth: u8,
     frame_budget_ms: Option<f64>,
     frames_encoded: u64,
+    /// A receiver asked for an intra refresh; the next encoded frame
+    /// re-anchors as an out-of-schedule I-frame.
+    refresh_pending: bool,
+    /// Where brick-partitioned I-frames are parked so receivers can NACK
+    /// individual damaged bricks.
+    repair: Option<SharedRepairRing>,
 }
 
 impl<'d> FrameSource<'d> {
@@ -87,7 +107,37 @@ impl<'d> FrameSource<'d> {
             depth,
             frame_budget_ms: config.frame_budget_ms,
             frames_encoded: 0,
+            refresh_pending: false,
+            repair: None,
         }
+    }
+
+    /// Parks every brick-partitioned I-frame this source encodes in
+    /// `ring`, so receivers holding a clone can NACK individually
+    /// damaged bricks ([`RecoveryRequest::BrickRepair`]
+    /// (`crate::RecoveryRequest::BrickRepair`)) and get just those
+    /// payload bytes back. Monolithic frames are not parked — they have
+    /// no brick granularity to repair at.
+    pub fn with_repair(mut self, ring: SharedRepairRing) -> Self {
+        self.repair = Some(ring);
+        self
+    }
+
+    /// Stages an out-of-schedule intra refresh: the next
+    /// [`encode_next`](Self::encode_next) re-anchors with an I-frame
+    /// even if the GOF cursor says the slot is predicted. Called by the
+    /// session layer when a receiver publishes
+    /// [`RecoveryRequest::IntraRefresh`]
+    /// (`crate::RecoveryRequest::IntraRefresh`) over the feedback
+    /// channel. Idempotent; a refresh landing on a scheduled I-frame
+    /// slot costs nothing extra.
+    pub fn request_refresh(&mut self) {
+        self.refresh_pending = true;
+    }
+
+    /// Whether an intra refresh is staged for the next frame.
+    pub fn refresh_pending(&self) -> bool {
+        self.refresh_pending
     }
 
     /// Voxelizes every frame in a common bounding box (see
@@ -165,9 +215,22 @@ impl<'d> FrameSource<'d> {
     /// subscriptions can transmit.
     pub fn encode_next(&mut self, cloud: &PointCloud) -> FramePayload {
         let frame_index = self.encoder.frame_index() as u32;
+        // A staged refresh re-anchors at this slot; when the slot is a
+        // scheduled I-frame anyway, the ask is satisfied for free and
+        // the frame is not booked as refresh cost.
+        let refresh = self.refresh_pending && self.encoder.next_kind() == FrameKind::Predicted;
+        if refresh {
+            self.encoder.force_intra_next();
+        }
+        self.refresh_pending = false;
         let encode_sp = pcc_probe::span("stream/encode");
         let (encoded, timeline) = self.encoder.encode_frame(cloud);
         let kind = encoded.kind();
+        if kind == FrameKind::Intra {
+            if let Some(ring) = &self.repair {
+                ring.park(frame_index, &encoded);
+            }
+        }
         let mut payload = Vec::new();
         container::mux_frame(&mut payload, &encoded);
         let payload_crc = crc32(&payload);
@@ -175,7 +238,7 @@ impl<'d> FrameSource<'d> {
         let modeled_ms = timeline.total_modeled_ms().as_f64();
         let over_budget = self.frame_budget_ms.is_some_and(|b| modeled_ms > b);
         self.frames_encoded += 1;
-        FramePayload { frame_index, kind, payload, payload_crc, encode_ns, over_budget }
+        FramePayload { frame_index, kind, payload, payload_crc, encode_ns, over_budget, refresh }
     }
 }
 
@@ -195,6 +258,10 @@ pub struct Subscription<W: Write> {
     /// Encoded header chunk, kept so a late `with_arq` can park it.
     header_bytes: Vec<u8>,
     arq_ring: Option<SharedRing>,
+    /// Wire bytes carried over from a previous life of this subscriber
+    /// (reconnect/resume); `bytes_sent` is always `bytes_base` plus the
+    /// current writer's count.
+    bytes_base: u64,
 }
 
 impl<W: Write> Subscription<W> {
@@ -221,7 +288,19 @@ impl<W: Write> Subscription<W> {
             stats,
             header_bytes,
             arq_ring: None,
+            bytes_base: 0,
         })
+    }
+
+    /// Folds a previous life's counters into this subscription — the
+    /// resume half of reconnect: a broadcast checkpoints a dead slot's
+    /// stats, attaches a fresh subscription on the new transport, and
+    /// carries the old life forward so the subscriber's ledger spans
+    /// both. Byte accounting stays exact because future `bytes_sent`
+    /// updates add the carried base to the new writer's count.
+    pub fn carry_over(&mut self, prior: &StreamStats) {
+        self.bytes_base += prior.bytes_sent;
+        self.stats.merge(prior);
     }
 
     /// Parks every outgoing chunk (including the already-written stream
@@ -276,7 +355,11 @@ impl<W: Write> Subscription<W> {
         self.stats.add_stage_ns("stream/send", send_sp.stop());
         self.stats.frames_sent += 1;
         self.stats.chunks_sent += 1;
-        self.stats.bytes_sent = self.writer.bytes_written();
+        self.stats.bytes_sent = self.bytes_base + self.writer.bytes_written();
+        if frame.refresh {
+            self.stats.refresh_frames += 1;
+            self.stats.refresh_bytes += bytes.len() as u64;
+        }
         Ok(())
     }
 
@@ -314,7 +397,7 @@ impl<W: Write> Subscription<W> {
         self.writer.write_encoded(&bytes)?;
         self.writer.flush()?;
         self.stats.chunks_sent += 1;
-        self.stats.bytes_sent = self.writer.bytes_written();
+        self.stats.bytes_sent = self.bytes_base + self.writer.bytes_written();
         self.stats.clean_shutdown = true;
         Ok((self.writer.into_inner(), self.stats))
     }
@@ -328,7 +411,7 @@ impl<W: Write> Subscription<W> {
     /// Propagates transport errors.
     pub fn into_parts(mut self) -> io::Result<(W, StreamStats)> {
         self.writer.flush()?;
-        self.stats.bytes_sent = self.writer.bytes_written();
+        self.stats.bytes_sent = self.bytes_base + self.writer.bytes_written();
         Ok((self.writer.into_inner(), self.stats))
     }
 }
@@ -417,6 +500,71 @@ mod tests {
         assert_eq!(joined.payload.len(), 7);
         assert_eq!(joined.payload[..3], legacy.payload[..]);
         assert_eq!(joined.payload[3..7], 9u32.to_le_bytes());
+    }
+
+    #[test]
+    fn refresh_request_re_anchors_at_the_next_slot() {
+        let video = clip();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let mut source = FrameSource::new(&codec, 6, &device, &StreamConfig::default());
+        let mut sub = Subscription::attach(Vec::new(), &source.header()).unwrap();
+
+        let f0 = source.encode_next(&video.frame(0).unwrap().cloud);
+        assert_eq!(f0.kind, FrameKind::Intra);
+        let f1 = source.encode_next(&video.frame(1).unwrap().cloud);
+        assert_eq!(f1.kind, FrameKind::Predicted);
+
+        // Index 2 is a P slot in the IPP cadence; a staged refresh turns
+        // it into an out-of-schedule anchor.
+        source.request_refresh();
+        assert!(source.refresh_pending());
+        let f2 = source.encode_next(&video.frame(2).unwrap().cloud);
+        assert_eq!(f2.kind, FrameKind::Intra);
+        assert!(f2.refresh);
+        assert!(!source.refresh_pending());
+
+        // Index 3 is a scheduled I slot: a refresh ask there is free.
+        source.request_refresh();
+        let f3 = source.encode_next(&video.frame(3).unwrap().cloud);
+        assert_eq!(f3.kind, FrameKind::Intra);
+        assert!(!f3.refresh);
+
+        for f in [&f0, &f1, &f2, &f3] {
+            sub.send_payload(f).unwrap();
+        }
+        let (_, stats) = sub.finish(4).unwrap();
+        assert_eq!(stats.refresh_frames, 1);
+        assert!(stats.refresh_bytes > 0);
+        assert!(stats.refresh_bytes < stats.bytes_sent);
+    }
+
+    #[test]
+    fn carry_over_spans_two_lives_with_exact_byte_accounting() {
+        let video = clip();
+        let codec = PccCodec::new(Design::IntraInterV1);
+        let device = Device::jetson_agx_xavier(PowerMode::W15);
+        let mut source = FrameSource::new(&codec, 6, &device, &StreamConfig::default());
+
+        let mut first = Subscription::attach(Vec::new(), &source.header()).unwrap();
+        let f0 = source.encode_next(&video.frame(0).unwrap().cloud);
+        first.send_payload(&f0).unwrap();
+        let (wire1, prior) = first.into_parts().unwrap();
+        assert_eq!(prior.bytes_sent, wire1.len() as u64);
+
+        let mut second = Subscription::attach(Vec::new(), &source.header_at(1)).unwrap();
+        second.carry_over(&prior);
+        let f1 = source.encode_next(&video.frame(1).unwrap().cloud);
+        second.send_payload(&f1).unwrap();
+        let (wire2, total) = second.finish(2).unwrap();
+
+        assert_eq!(total.frames_sent, 2, "both lives' frames count");
+        assert_eq!(
+            total.bytes_sent,
+            (wire1.len() + wire2.len()) as u64,
+            "byte ledger must span both transports exactly"
+        );
+        assert!(total.clean_shutdown, "finish() seals the resumed life");
     }
 
     #[test]

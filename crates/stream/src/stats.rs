@@ -1,6 +1,14 @@
 //! Delivery accounting for a streaming session.
 
+use crate::recovery::RecoveryRequest;
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// Cap on queued-but-undrained recovery requests in a [`SharedStats`]
+/// feedback slot. A sender that never drains (or a receiver spamming
+/// requests) must not grow the queue without bound; the oldest request
+/// is dropped, which is safe because every recovery verb is re-issuable.
+const RECOVERY_QUEUE_CAP: usize = 32;
 
 /// Counters a streaming session exposes.
 ///
@@ -69,6 +77,29 @@ pub struct StreamStats {
     /// per-subtree loss ledger behind [`partial_frames`]
     /// (`Self::partial_frames`).
     pub bricks_dropped: usize,
+    /// Intra-refresh requests published by a recovery-enabled receiver
+    /// whose reference picture broke (at most one per desync episode).
+    pub refresh_requests: usize,
+    /// Out-of-schedule I-frames the sender emitted in answer to refresh
+    /// requests.
+    pub refresh_frames: usize,
+    /// Wire bytes spent on those out-of-schedule I-frames — the
+    /// bandwidth cost of re-anchoring early instead of waiting for the
+    /// scheduled GOF boundary.
+    pub refresh_bytes: u64,
+    /// Brick-repair NACKs issued for individually damaged bricks of a
+    /// delivered-but-broken I-frame.
+    pub brick_nacks: usize,
+    /// Damaged bricks made whole again from retransmitted payloads.
+    pub bricks_repaired: usize,
+    /// Frames fully repaired at brick granularity and delivered
+    /// bit-exact; repaired frames re-anchor the reference chain like a
+    /// clean I-frame.
+    pub frames_repaired: usize,
+    /// Repair attempts that could not make the frame whole (ring aged
+    /// out, retransmitted bytes failed re-verification); these fall back
+    /// to partial salvage.
+    pub repairs_failed: usize,
     /// Measured wall-clock nanoseconds per pipeline stage, accumulated
     /// only while `pcc-probe` recording is on (`PCC_PROBE=1`); empty
     /// otherwise. Stages appear in first-recorded order.
@@ -100,6 +131,13 @@ impl PartialEq for StreamStats {
             && self.panics_contained == other.panics_contained
             && self.partial_frames == other.partial_frames
             && self.bricks_dropped == other.bricks_dropped
+            && self.refresh_requests == other.refresh_requests
+            && self.refresh_frames == other.refresh_frames
+            && self.refresh_bytes == other.refresh_bytes
+            && self.brick_nacks == other.brick_nacks
+            && self.bricks_repaired == other.bricks_repaired
+            && self.frames_repaired == other.frames_repaired
+            && self.repairs_failed == other.repairs_failed
     }
 }
 
@@ -138,6 +176,17 @@ impl std::fmt::Display for StreamStats {
             self.arq_degraded,
             self.partial_frames,
             self.bricks_dropped,
+        )?;
+        writeln!(
+            f,
+            "repair    refresh-req {:>4}  refresh-frames {:>4}  refresh-bytes {:>8}  brick-nacks {:>5}  repaired {:>5}/{:>4}  failed {:>4}",
+            self.refresh_requests,
+            self.refresh_frames,
+            self.refresh_bytes,
+            self.brick_nacks,
+            self.bricks_repaired,
+            self.frames_repaired,
+            self.repairs_failed,
         )?;
         write!(
             f,
@@ -181,6 +230,13 @@ impl StreamStats {
         self.panics_contained += other.panics_contained;
         self.partial_frames += other.partial_frames;
         self.bricks_dropped += other.bricks_dropped;
+        self.refresh_requests += other.refresh_requests;
+        self.refresh_frames += other.refresh_frames;
+        self.refresh_bytes += other.refresh_bytes;
+        self.brick_nacks += other.brick_nacks;
+        self.bricks_repaired += other.bricks_repaired;
+        self.frames_repaired += other.frames_repaired;
+        self.repairs_failed += other.repairs_failed;
         for &(stage, ns) in &other.stage_ns {
             self.add_stage_ns(stage, ns);
         }
@@ -208,6 +264,15 @@ impl StreamStats {
     }
 }
 
+/// What a [`SharedStats`] slot actually holds: the latest counter
+/// snapshot plus the queue of recovery requests riding the same channel
+/// back toward the sender.
+#[derive(Debug, Default)]
+struct FeedbackSlot {
+    stats: StreamStats,
+    recovery: VecDeque<RecoveryRequest>,
+}
+
 /// A cloneable, thread-safe [`StreamStats`] snapshot slot — the feedback
 /// channel from a receiver to the sender-side overload controller.
 ///
@@ -216,8 +281,15 @@ impl StreamStats {
 /// counters after every `recv_frame`; a supervisor holding a clone
 /// samples them per encoded frame. Snapshots are whole-struct copies, so
 /// a sampled view is always internally consistent.
+///
+/// The slot also carries the recovery plane's upstream verbs: a
+/// recovery-enabled receiver [`push_recovery`](Self::push_recovery)-es
+/// [`RecoveryRequest`]s (e.g. an intra-refresh ask when its reference
+/// breaks) and the sender [`take_recovery`](Self::take_recovery)-s them
+/// before encoding the next frame. The queue is bounded; the oldest
+/// request is dropped on overflow.
 #[derive(Debug, Clone, Default)]
-pub struct SharedStats(Arc<Mutex<StreamStats>>);
+pub struct SharedStats(Arc<Mutex<FeedbackSlot>>);
 
 impl SharedStats {
     /// An empty snapshot slot.
@@ -227,12 +299,35 @@ impl SharedStats {
 
     /// Replaces the published snapshot.
     pub fn publish(&self, stats: &StreamStats) {
-        *self.0.lock().unwrap_or_else(PoisonError::into_inner) = stats.clone();
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).stats = stats.clone();
     }
 
     /// The latest published snapshot.
     pub fn snapshot(&self) -> StreamStats {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).stats.clone()
+    }
+
+    /// Queues a recovery request for the sender to drain. Bounded: once
+    /// the queue cap is reached, the oldest request is dropped (every
+    /// recovery verb is re-issuable, so this only delays repair, never
+    /// corrupts it).
+    pub fn push_recovery(&self, request: RecoveryRequest) {
+        let mut slot = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.recovery.len() == RECOVERY_QUEUE_CAP {
+            slot.recovery.pop_front();
+        }
+        slot.recovery.push_back(request);
+    }
+
+    /// Drains every pending recovery request, oldest first.
+    pub fn take_recovery(&self) -> Vec<RecoveryRequest> {
+        let mut slot = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.recovery.drain(..).collect()
+    }
+
+    /// Number of recovery requests waiting to be drained.
+    pub fn pending_recovery(&self) -> usize {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).recovery.len()
     }
 }
 
@@ -290,6 +385,31 @@ mod tests {
         assert!(timed.contains("stages"));
         assert!(timed.contains("stream/encode 2.50 ms"), "{timed}");
         assert!(!stats.clean_shutdown || timed.contains("shutdown clean"));
+    }
+
+    #[test]
+    fn recovery_queue_is_ordered_bounded_and_drains_clean() {
+        let fb = SharedStats::new();
+        fb.push_recovery(RecoveryRequest::IntraRefresh { at_frame: 3 });
+        fb.push_recovery(RecoveryRequest::BrickRepair { frame_index: 3, cell: 9 });
+        assert_eq!(fb.pending_recovery(), 2);
+        assert_eq!(
+            fb.take_recovery(),
+            vec![
+                RecoveryRequest::IntraRefresh { at_frame: 3 },
+                RecoveryRequest::BrickRepair { frame_index: 3, cell: 9 },
+            ]
+        );
+        assert_eq!(fb.pending_recovery(), 0);
+        assert!(fb.take_recovery().is_empty());
+
+        // Overflow drops the oldest: the queue never grows past its cap.
+        for i in 0..(RECOVERY_QUEUE_CAP as u32 + 5) {
+            fb.push_recovery(RecoveryRequest::IntraRefresh { at_frame: i });
+        }
+        let drained = fb.take_recovery();
+        assert_eq!(drained.len(), RECOVERY_QUEUE_CAP);
+        assert_eq!(drained.first(), Some(&RecoveryRequest::IntraRefresh { at_frame: 5 }));
     }
 
     #[test]

@@ -275,6 +275,7 @@ pub fn stream_video_supervised<W: Write>(
                         queue_capacity: tx.capacity(),
                         receiver_dropped: fb.frames_dropped.saturating_sub(suppressed),
                         receiver_arq_degraded: fb.arq_degraded,
+                        receiver_refresh_requests: fb.refresh_requests,
                     });
                     if kind == FrameKind::Predicted
                         && budget.is_some_and(|b| effective_ms > abandon_factor * b)

@@ -9,11 +9,17 @@
 //! wire costs whole GOFs) and once with an ARQ back channel (every
 //! dropped chunk is retransmitted and the delivery is bit-exact).
 //!
-//! A final *overload leg* runs a longer capture under a supervised
+//! An *overload leg* runs a longer capture under a supervised
 //! session: a scripted 2× encode overload with a throttled transport
 //! and an injected worker panic. The session degrades down the quality
 //! ladder instead of stalling, contains the panic as one dropped frame,
 //! and climbs back to full quality when the load lifts.
+//!
+//! A final *reconnect leg* broadcasts one shared encode to two viewers
+//! and kills one viewer's transport mid-stream. The dead slot keeps its
+//! identity and counters; [`Broadcast::resubscribe`] resumes it on a
+//! fresh transport with the cached GOF replayed, and the union of both
+//! lives is a lossless, bit-exact copy of the healthy viewer's stream.
 //!
 //! Run with:
 //!
@@ -21,8 +27,9 @@
 //! cargo run --release --example live_stream
 //! ```
 
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -30,7 +37,8 @@ use pcc::adapt::{Controller, ControllerConfig, FakeClock, QualityLadder};
 use pcc::core::{Design, PccCodec};
 use pcc::datasets::catalog;
 use pcc::edge::{Device, PowerMode};
-use pcc::fault::{panic_on_frames, FaultConfig, FaultyTransport, ThrottledTransport};
+use pcc::fault::{panic_on_frames, FaultConfig, FaultyTransport, MortalTransport, ThrottledTransport};
+use pcc::serve::{Broadcast, SlotHealth};
 use pcc::inter::InterConfig;
 use pcc::metrics::attribute_psnr;
 use pcc::stream::{
@@ -132,6 +140,29 @@ fn main() {
 
     lossy_legs(&codec, &video, depth, &device, &delivered);
     overload_leg(&device);
+    reconnect_leg(&device);
+}
+
+/// A cloneable in-memory wire: writes land in a shared buffer that the
+/// caller can read back after the broadcast consumed the writer half.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.0.lock().expect("buffer lock"))
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Replays the clip over a 10%-loss seeded transport, without and with
@@ -304,4 +335,96 @@ fn overload_leg(device: &Device) {
     assert!(max_gap <= 2, "no stall may span more than one missing frame: {delivered:?}");
     assert!(rx_stats.clean_shutdown);
     println!("degraded gracefully and recovered; no stall exceeded one frame interval");
+}
+
+/// Broadcasts one shared encode to a healthy viewer and a doomed one
+/// whose transport dies mid-stream, then resumes the dead slot on a
+/// fresh transport. The resubscribed viewer re-anchors off the cached
+/// GOF replay and the union of its two lives is bit-exact against the
+/// healthy stream — the broadcast never re-encodes and never stalls.
+fn reconnect_leg(device: &Device) {
+    let spec = catalog::by_name("Andrew10").expect("Andrew10 is in Table I");
+    let video = spec.generate_scaled(9, 1_200);
+    let depth = pcc::datasets::density_matched_depth(video.mean_points_per_frame());
+    let codec = PccCodec::new(Design::IntraInterV1);
+    let bb = video.bounding_box().expect("non-empty video");
+
+    let mut session =
+        Broadcast::new(&codec, depth, device, &StreamConfig::default()).with_bounding_box(bb);
+    let healthy_wire = SharedBuf::default();
+    let first_life = SharedBuf::default();
+    let _healthy = session.subscribe(healthy_wire.clone(), Default::default()).expect("subscribe");
+    // The doomed transport survives exactly 4 writes — its stream
+    // header plus frames 0..3 — then fails like a dropped socket.
+    let doomed = session
+        .subscribe(MortalTransport::new(first_life.clone(), 4), Default::default())
+        .expect("subscribe");
+
+    for frame in video.iter().take(4) {
+        session.push_frame(&frame.cloud);
+    }
+    let health = session.subscriber_health(doomed).expect("known subscriber");
+    assert_eq!(
+        health,
+        SlotHealth::Failed { at_frame: 3 },
+        "the doomed transport must die sending frame 3"
+    );
+    println!("\nreconnect leg: one of two subscribers died mid-stream ({health:?})");
+
+    // Resume the same slot on a fresh wire: header at the cached GOF's
+    // I-frame, cache replayed, counters carried over.
+    let second_life = SharedBuf::default();
+    assert!(session.resubscribe(doomed, second_life.clone()).expect("resubscribe"));
+    assert!(session.is_alive(doomed), "resubscribed slot must be served again");
+    for frame in video.iter().skip(4) {
+        session.push_frame(&frame.cloud);
+    }
+    let stats = session.finish();
+    println!("serve counters:\n{stats}");
+    assert_eq!(stats.frames_encoded as usize, video.len(), "one shared encode per frame");
+    assert_eq!(stats.subscribers_failed, 1);
+    assert_eq!(stats.resubscribes, 1);
+    assert_eq!(stats.subscribers_active(), 2, "both viewers end the session live");
+
+    fn drain(wire: &[u8], device: &Device) -> (Vec<pcc::stream::Delivered>, pcc::stream::StreamStats) {
+        let mut rx = Receiver::new(wire, device);
+        let mut frames = Vec::new();
+        while let Some(frame) = rx.recv_frame().expect("decode broadcast wire") {
+            frames.push(frame);
+        }
+        let stats = rx.into_stats();
+        (frames, stats)
+    }
+
+    let (healthy_frames, healthy_stats) = drain(&healthy_wire.take(), device);
+    let (first, first_stats) = drain(&first_life.take(), device);
+    let (second, second_stats) = drain(&second_life.take(), device);
+    println!(
+        "healthy viewer: {} frames; doomed viewer: {} before the drop + {} after resume",
+        healthy_frames.len(),
+        first.len(),
+        second.len()
+    );
+
+    assert_eq!(healthy_frames.len(), video.len());
+    assert!(healthy_stats.clean_shutdown);
+    let first_indices: Vec<usize> = first.iter().map(|f| f.frame_index).collect();
+    let second_indices: Vec<usize> = second.iter().map(|f| f.frame_index).collect();
+    assert_eq!(first_indices, vec![0, 1, 2], "the first life ends where the transport died");
+    assert!(!first_stats.clean_shutdown, "a dropped connection is a dirty shutdown");
+    assert_eq!(
+        second_indices,
+        (3..video.len()).collect::<Vec<_>>(),
+        "the resume must restart at the cached GOF's I-frame"
+    );
+    assert!(second_stats.clean_shutdown, "the resumed life is sealed by finish()");
+    for frame in first.iter().chain(second.iter()) {
+        let reference = healthy_frames.get(frame.frame_index).expect("in range");
+        assert_eq!(
+            frame.cloud, reference.cloud,
+            "frame {} not bit-exact across the reconnect",
+            frame.frame_index
+        );
+    }
+    println!("union of both lives is lossless and bit-exact against the healthy viewer");
 }

@@ -52,7 +52,9 @@ echo "== live streaming over loopback TCP + seeded-loss ARQ legs =="
 # zero drops/resyncs, and a minimum delivered attribute PSNR — then
 # replays the clip over a 10%-loss seeded transport and asserts the
 # plain receiver drops frames while the ARQ receiver recovers all of
-# them bit-exact.
+# them bit-exact. The final reconnect leg kills one broadcast
+# subscriber's transport mid-stream and asserts resubscribe resumes it
+# losslessly on a fresh wire.
 cargo run -q --release --offline --example live_stream
 
 echo "== overload soak: degradation ladder, watchdog, panic containment =="
@@ -76,6 +78,17 @@ echo "== broadcast soak: encode-once fan-out to 100+ subscribers =="
 # along with its own assertions.
 cargo test -q --offline --release --test broadcast_soak
 cargo run -q --release --offline --example broadcast
+
+echo "== chaos soak: recovery plane under seeded faults =="
+# The recovery plane replayed deterministically: a dropped I-frame must
+# trigger exactly one receiver-driven intra refresh and re-anchor at the
+# next slot; a corrupted brick must repair bit-exact from the repair
+# ring with no refresh; a dead subscriber must resume losslessly via
+# resubscribe with carried-over accounting; a stalled consumer must be
+# evicted by the liveness policy and be able to return; and the full
+# four-subscriber soak must replay identically from its seed (trace and
+# all counters compared exactly).
+cargo test -q --offline --release --test chaos_soak
 
 echo "== fuzz smoke: seeded decode-surface mutations =="
 # Fixed-seed corpus (no time, no randomness source beyond the seed):
